@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Backend Bechamel Benchmark Clock Cost_model Hashtbl Instance Interp Measure Memstore Printf Staged Stream Test Tfm_util Time Toolkit Trackfm

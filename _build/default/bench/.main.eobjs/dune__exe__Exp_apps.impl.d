@@ -1,0 +1,1 @@
+bench/exp_apps.ml: Analytics Array Bench_common Clock Driver Hashmap List Memcached Printf Tfm_util

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Bench_common Builder Cost_model Driver Ir Kmeans List Printf Stream Tfm_util Trackfm Verifier

@@ -1,0 +1,1 @@
+bench/exp_nas.ml: Aifm Array Backend Bench_common Bytes Char Clock Cost_model Driver Hashtbl Interp List Memcached Memstore Nas Printf Shenango Stream String Tfm_opt Tfm_util Trackfm

@@ -1,0 +1,1 @@
+bench/exp_params.ml: Bench_common Driver Hashmap List Printf Stream Tfm_util

@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Analytics Array Bench_common Builder Clock Cost_model Driver Fastswap Hashmap Ir Kmeans List Memcached Memstore Nas Printf Stream Tfm_util Trackfm Verifier

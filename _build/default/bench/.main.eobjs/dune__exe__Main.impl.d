@@ -1,0 +1,1 @@
+bench/main.ml: Array Bech Bench_common Exp_apps Exp_micro Exp_nas Exp_params Exp_tables List Printf String Sys Unix

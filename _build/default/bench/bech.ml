@@ -1,0 +1,69 @@
+(* Host-side microbenchmarks (Bechamel): how fast the simulator itself
+   executes its primitives. These do not reproduce paper numbers — they
+   document the cost of running the reproduction. *)
+
+open Bechamel
+open Toolkit
+
+let make_guard_bench () =
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let rt =
+    Trackfm.Runtime.create Cost_model.default clock store ~object_size:4096
+      ~local_budget:(Tfm_util.Units.mib 64)
+  in
+  let p = Trackfm.Runtime.tfm_malloc rt (Tfm_util.Units.mib 1) in
+  Trackfm.Runtime.guard rt ~ptr:p ~size:8 ~write:false;
+  Test.make ~name:"runtime fast-path guard"
+    (Staged.stage (fun () -> Trackfm.Runtime.guard rt ~ptr:p ~size:8 ~write:false))
+
+let make_memstore_bench () =
+  let store = Memstore.create () in
+  let i = ref 0 in
+  Test.make ~name:"memstore 8B store+load"
+    (Staged.stage (fun () ->
+         i := (!i + 8) land 0xFFFFF;
+         Memstore.store store ~addr:!i ~size:8 42;
+         ignore (Memstore.load store ~addr:!i ~size:8)))
+
+let make_interp_bench () =
+  let m = Stream.build ~n:1000 ~kernel:Stream.Sum () in
+  Test.make ~name:"interp 1000-element STREAM sum"
+    (Staged.stage (fun () ->
+         let clock = Clock.create () in
+         let backend =
+           Backend.local Cost_model.default clock (Memstore.create ())
+         in
+         ignore (Interp.run backend m ~entry:"main")))
+
+let make_pipeline_bench () =
+  Test.make ~name:"TrackFM pipeline on STREAM sum"
+    (Staged.stage (fun () ->
+         let m = Stream.build ~n:1000 ~kernel:Stream.Sum () in
+         ignore (Trackfm.Pipeline.run Trackfm.Pipeline.default_config m)))
+
+let run () =
+  let tests =
+    Test.make_grouped ~name:"simulator"
+      [
+        make_guard_bench ();
+        make_memstore_bench ();
+        make_interp_bench ();
+        make_pipeline_bench ();
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "== Simulator host-performance (Bechamel, ns/run) ==\n";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-45s %12.1f\n" name est
+      | _ -> Printf.printf "%-45s (no estimate)\n" name)
+    results;
+  print_newline ()

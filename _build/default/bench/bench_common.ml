@@ -1,0 +1,66 @@
+(* Shared plumbing for the experiment harness: system runners, sweep
+   helpers, and uniform reporting. *)
+
+let quick = ref false
+
+(* Scale factor applied to workload sizes: full size by default, quartered
+   with --quick. *)
+let scaled n = if !quick then max 1 (n / 4) else n
+
+let pct_sweep = [ 10; 20; 30; 40; 50; 60; 75; 90; 100 ]
+let short_sweep = [ 10; 25; 50; 75; 100 ]
+
+(* Budgets are page-rounded with two pages of slack so that a nominal
+   100% budget really holds the working set (allocation granularity would
+   otherwise leave it one page short and turn every scan into LRU
+   thrash). *)
+let budget_of ws pct =
+  max (16 * 4096) ((((ws * pct / 100) + 4095) / 4096 * 4096) + (2 * 4096))
+
+let cycles_to_seconds c = float_of_int c /. 2.4e9
+
+let speedup base x = float_of_int base /. float_of_int x
+
+let print_expectation ~paper ~ours =
+  Printf.printf "paper: %s\nours:  %s\n\n" paper ours
+
+(* Run a workload under TrackFM with given options; returns outcome. *)
+let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
+    ?(use_state_table = true) ?(profile_gate = true) ?(size_classes = [])
+    ~budget build =
+  let opts =
+    {
+      Driver.object_size;
+      local_budget = budget;
+      chunk_mode;
+      prefetch;
+      use_state_table;
+      profile_gate;
+      size_classes;
+    }
+  in
+  fst (Driver.run_trackfm ?blobs build opts)
+
+let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
+    ?(profile_gate = true) ~budget build =
+  let opts =
+    {
+      Driver.object_size;
+      local_budget = budget;
+      chunk_mode;
+      prefetch = true;
+      use_state_table = true;
+      profile_gate;
+      size_classes = [];
+    }
+  in
+  Driver.run_trackfm ?blobs build opts
+
+let fastswap ?blobs ~budget build =
+  Driver.run_fastswap ?blobs ~local_budget:budget build
+
+let local ?blobs build = Driver.run_local ?blobs build
+
+let gb bytes = float_of_int bytes /. 1e9
+let mops ops cycles = float_of_int ops /. (cycles_to_seconds cycles *. 1e6)
+let kops ops cycles = float_of_int ops /. (cycles_to_seconds cycles *. 1e3)

@@ -1,0 +1,74 @@
+(* The experiment harness: one entry per paper table/figure (DESIGN.md's
+   per-experiment index). Run everything with `dune exec bench/main.exe`,
+   or name experiments: `dune exec bench/main.exe -- fig7 fig12 --quick`. *)
+
+let experiments =
+  [
+    ("table1", "Table 1: guard costs", Exp_tables.table1);
+    ("table2", "Table 2: primitive overheads vs Fastswap", Exp_tables.table2);
+    ("fig6", "Figure 6: cost-model crossover", Exp_micro.fig6);
+    ("fig7", "Figure 7: chunking on STREAM", Exp_micro.fig7);
+    ("fig8", "Figure 8: selective chunking on k-means", Exp_micro.fig8);
+    ("fig9", "Figure 9: object size on hashmap", Exp_params.fig9);
+    ("fig10", "Figure 10: object size on STREAM", Exp_params.fig10);
+    ("fig11", "Figure 11: prefetching", Exp_params.fig11);
+    ("fig12", "Figure 12: STREAM vs Fastswap", Exp_params.fig12);
+    ("fig13", "Figure 13: I/O amplification", Exp_apps.fig13);
+    ("fig14", "Figure 14: analytics application", Exp_apps.fig14);
+    ("fig15", "Figure 15: analytics chunking variants", Exp_apps.fig15);
+    ("fig16", "Figure 16: memcached skew sweep", Exp_apps.fig16);
+    ("fig17", "Figure 17: NAS suite", Exp_nas.fig17);
+    ("table3", "Table 3: NAS inventory", Exp_nas.table3);
+    ("compile_costs", "Section 4.6: compilation costs", Exp_tables.compile_costs);
+    ("ablate_state_table", "Ablation: object state table",
+      Exp_nas.ablate_state_table);
+    ("concurrency", "Concurrency: latency hiding on the TCP backend",
+      Exp_nas.concurrency);
+    ("ablate_multisize", "Ablation: multi-object-size heap",
+      Exp_nas.ablate_multisize);
+    ("ablate_eviction", "Ablation: evacuator hotness tracking",
+      Exp_nas.ablate_eviction);
+    ("table4", "Table 4: qualitative comparison", Exp_tables.table4);
+    ("related_dilos", "Related work: DiLOS-style LibOS baseline",
+      Exp_tables.related_dilos);
+    ("hw_kona", "Section 5: Kona-style hardware interposition",
+      Exp_tables.hw_kona);
+    ("limits_pointer_chase", "Section 5 limitation: pointer chasing",
+      Exp_tables.limits_pointer_chase);
+    ("robustness_scale", "Methodology: scale invariance of the shapes",
+      Exp_tables.robustness_scale);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let bechamel = List.mem "--bechamel" args in
+  let named =
+    List.filter (fun a -> a <> "--quick" && a <> "--bechamel") args
+  in
+  Bench_common.quick := quick;
+  let selected =
+    if named = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some e -> Some e
+          | None ->
+              Printf.eprintf "unknown experiment %s (available: %s)\n" name
+                (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+              exit 1)
+        named
+  in
+  Printf.printf
+    "TrackFM reproduction benchmark harness%s — %d experiment(s)\n\n"
+    (if quick then " (quick mode)" else "")
+    (List.length selected);
+  List.iter
+    (fun (name, title, f) ->
+      Printf.printf "### %s — %s\n" name title;
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s done in %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0))
+    selected;
+  if bechamel then Bech.run ()

@@ -1,0 +1,322 @@
+(* trackfm_cli: compile-and-run any bundled workload under a chosen
+   far-memory system and print its statistics.
+
+   Examples:
+     dune exec bin/trackfm_cli.exe -- run -w stream-sum -s trackfm -m 25
+     dune exec bin/trackfm_cli.exe -- run -w memcached -s fastswap -m 10
+     dune exec bin/trackfm_cli.exe -- list *)
+
+open Workloads
+open Cmdliner
+
+type workload = {
+  wname : string;
+  describe : string;
+  build : unit -> Ir.modul;
+  blobs : (int * Bytes.t) list;
+  working_set : int;
+  expected : int;
+}
+
+let workloads () =
+  let stream kernel =
+    let n = 200_000 in
+    {
+      wname = "stream-" ^ Stream.kernel_name kernel;
+      describe = "STREAM " ^ Stream.kernel_name kernel ^ " kernel";
+      build = (fun () -> Stream.build ~n ~kernel ());
+      blobs = [];
+      working_set = Stream.working_set_bytes ~n ~kernel ();
+      expected = Stream.checksum ~n ~kernel ();
+    }
+  in
+  let kme =
+    let p = Kmeans.default_params ~n:15_000 in
+    {
+      wname = "kmeans";
+      describe = "k-means clustering (dimension-major)";
+      build = (fun () -> Kmeans.build p ());
+      blobs = [];
+      working_set = Kmeans.working_set_bytes p;
+      expected = Kmeans.checksum p;
+    }
+  in
+  let hm =
+    let p = Hashmap.default_params ~keys:80_000 ~lookups:100_000 in
+    {
+      wname = "hashmap";
+      describe = "Zipfian hashmap lookups";
+      build = (fun () -> Hashmap.build p ());
+      blobs = [ (0, Hashmap.trace_blob p) ];
+      working_set = Hashmap.working_set_bytes p;
+      expected = Hashmap.checksum p;
+    }
+  in
+  let mc =
+    let p = Memcached.default_params ~keys:80_000 ~gets:50_000 ~skew:1.1 in
+    {
+      wname = "memcached";
+      describe = "memcached-style KV store, Zipf 1.1";
+      build = (fun () -> Memcached.build p ());
+      blobs = [ (0, Memcached.trace_blob p) ];
+      working_set = Memcached.working_set_bytes p;
+      expected = Memcached.checksum p;
+    }
+  in
+  let an =
+    let p = Analytics.default_params ~rows:150_000 in
+    {
+      wname = "analytics";
+      describe = "NYC-taxi-style dataframe queries";
+      build = (fun () -> Analytics.build p ());
+      blobs = [];
+      working_set = Analytics.working_set_bytes p;
+      expected = Analytics.checksum p;
+    }
+  in
+  let nas kernel =
+    let p = { Nas.kernel; scale = 1 } in
+    {
+      wname = "nas-" ^ Nas.kernel_name kernel;
+      describe =
+        "NAS " ^ String.uppercase_ascii (Nas.kernel_name kernel) ^ " kernel";
+      build = (fun () -> Nas.build p ());
+      blobs = [];
+      working_set = Nas.working_set_bytes p;
+      expected = Nas.checksum p;
+    }
+  in
+  List.map stream [ Stream.Sum; Stream.Copy; Stream.Scale; Stream.Triad ]
+  @ [ kme; hm; mc; an ]
+  @ List.map nas Nas.all_kernels
+
+let find_workload name =
+  match List.find_opt (fun w -> w.wname = name) (workloads ()) with
+  | Some w -> Ok w
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %s; try: %s" name
+           (String.concat ", " (List.map (fun w -> w.wname) (workloads ()))))
+
+let print_outcome w (o : Driver.outcome) =
+  Printf.printf "checksum: %d (%s)\n" o.Driver.ret
+    (if o.Driver.ret = w.expected then "correct" else "WRONG!");
+  Printf.printf "cycles:   %s (%.2f ms at 2.4 GHz)\n"
+    (Tfm_util.Units.cycles_to_string o.Driver.cycles)
+    (float_of_int o.Driver.cycles /. 2.4e6);
+  Printf.printf "instrs:   %d\n" o.Driver.instrs;
+  let counters = Clock.counters o.Driver.clock in
+  if counters <> [] then begin
+    Printf.printf "counters:\n";
+    List.iter (fun (k, v) -> Printf.printf "  %-28s %d\n" k v) counters
+  end
+
+let run_cmd workload_name system local_pct object_size chunk prefetch o1 =
+  match find_workload workload_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok w ->
+      let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
+      Printf.printf
+        "workload %s (%s), working set %s, local budget %s (%d%%), system %s\n\n"
+        w.wname w.describe
+        (Tfm_util.Units.bytes_to_string w.working_set)
+        (Tfm_util.Units.bytes_to_string budget)
+        local_pct system;
+      let build =
+        if o1 then fun () ->
+          let m = w.build () in
+          ignore (Tfm_opt.O1.run m);
+          m
+        else w.build
+      in
+      let chunk_mode =
+        match chunk with "off" -> `Off | "all" -> `All | _ -> `Gated
+      in
+      (match system with
+      | "local" -> print_outcome w (Driver.run_local ~blobs:w.blobs build)
+      | "fastswap" ->
+          print_outcome w
+            (Driver.run_fastswap ~blobs:w.blobs ~local_budget:budget build)
+      | "trackfm" ->
+          let opts =
+            {
+              Driver.object_size;
+              local_budget = budget;
+              chunk_mode;
+              prefetch;
+              use_state_table = true;
+              profile_gate = true;
+              size_classes = [];
+            }
+          in
+          let o, report = Driver.run_trackfm ~blobs:w.blobs build opts in
+          Printf.printf
+            "compile: %d guards, %d chunk sites, growth %.2fx, %.1f ms\n\n"
+            (report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_loads
+            + report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_stores)
+            report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.chunk_sites
+            (Trackfm.Pipeline.code_growth report)
+            (report.Trackfm.Pipeline.compile_time_s *. 1e3);
+          print_outcome w o
+      | other ->
+          Printf.eprintf "unknown system %s (local|trackfm|fastswap)\n" other);
+      0
+
+let sweep_cmd workload_name object_size =
+  match find_workload workload_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok w ->
+      Printf.printf "sweeping %s (working set %s), object size %dB\n\n"
+        w.wname
+        (Tfm_util.Units.bytes_to_string w.working_set)
+        object_size;
+      let t =
+        Tfm_util.Table.create
+          ~title:"slowdown vs all-local, by local memory"
+          ~columns:[ "local mem %"; "TrackFM"; "Fastswap" ]
+      in
+      let lo = Driver.run_local ~blobs:w.blobs w.build in
+      let tfm_pts = ref [] and fs_pts = ref [] in
+      List.iter
+        (fun pct ->
+          let budget = max (16 * 4096) (w.working_set * pct / 100) in
+          let opts =
+            {
+              Driver.object_size;
+              local_budget = budget;
+              chunk_mode = `Gated;
+              prefetch = true;
+              use_state_table = true;
+              profile_gate = true;
+              size_classes = [];
+            }
+          in
+          let tfm, _ = Driver.run_trackfm ~blobs:w.blobs w.build opts in
+          let fs =
+            Driver.run_fastswap ~blobs:w.blobs ~local_budget:budget w.build
+          in
+          assert (tfm.Driver.ret = w.expected && fs.Driver.ret = w.expected);
+          let sl c = float_of_int c /. float_of_int lo.Driver.cycles in
+          tfm_pts := (float_of_int pct, sl tfm.Driver.cycles) :: !tfm_pts;
+          fs_pts := (float_of_int pct, sl fs.Driver.cycles) :: !fs_pts;
+          Tfm_util.Table.add_rowf t "%d | %.2f | %.2f" pct
+            (sl tfm.Driver.cycles) (sl fs.Driver.cycles))
+        [ 10; 25; 50; 75; 100 ];
+      Tfm_util.Table.print t;
+      Tfm_util.Ascii_plot.print ~x_label:"local mem %"
+        ~title:(w.wname ^ ": slowdown vs all-local")
+        [
+          { Tfm_util.Ascii_plot.label = "TrackFM"; points = !tfm_pts };
+          { label = "Fastswap"; points = !fs_pts };
+        ];
+      0
+
+let autotune_cmd workload_name local_pct =
+  match find_workload workload_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok w ->
+      let budget = max 65536 (w.working_set * local_pct / 100) in
+      Printf.printf
+        "autotuning object size for %s at %d%% local memory (Section 3.2's \
+         exhaustive recompile-and-run search)\n\n"
+        w.wname local_pct;
+      let best, results =
+        Driver.autotune_object_size ~blobs:w.blobs w.build ~local_budget:budget
+      in
+      List.iter
+        (fun (osz, cycles) ->
+          Printf.printf "  %5dB -> %s%s\n" osz
+            (Tfm_util.Units.cycles_to_string cycles)
+            (if osz = best then "   <- chosen" else ""))
+        results;
+      0
+
+let list_cmd () =
+  List.iter
+    (fun w ->
+      Printf.printf "%-14s %-45s %s\n" w.wname w.describe
+        (Tfm_util.Units.bytes_to_string w.working_set))
+    (workloads ());
+  0
+
+(* -- cmdliner wiring -- *)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run (see list).")
+
+let system_arg =
+  Arg.(
+    value & opt string "trackfm"
+    & info [ "s"; "system" ] ~docv:"SYSTEM"
+        ~doc:"Memory system: local, trackfm or fastswap.")
+
+let local_mem_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "m"; "local-mem" ] ~docv:"PCT"
+        ~doc:"Local memory as a percentage of the working set.")
+
+let object_size_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "o"; "object-size" ] ~docv:"BYTES"
+        ~doc:"TrackFM/AIFM object size (power of two, 64-65536).")
+
+let chunk_arg =
+  Arg.(
+    value & opt string "gated"
+    & info [ "c"; "chunk" ] ~docv:"MODE"
+        ~doc:"Loop chunking mode: off, all, or gated (profiled cost model).")
+
+let prefetch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-prefetch" ] ~doc:"Disable compiler-directed prefetching.")
+
+let o1_arg =
+  Arg.(
+    value & flag
+    & info [ "o1" ] ~doc:"Run the O1 pre-optimization pipeline first.")
+
+let run_term =
+  Term.(
+    const (fun w s m o c np o1 -> run_cmd w s m o c (not np) o1)
+    $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
+    $ prefetch_arg $ o1_arg)
+
+let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
+let list_info = Cmd.info "list" ~doc:"List available workloads"
+
+let sweep_term =
+  Term.(const sweep_cmd $ workload_arg $ object_size_arg)
+
+let sweep_info =
+  Cmd.info "sweep"
+    ~doc:"Sweep local memory and chart TrackFM vs Fastswap slowdowns"
+
+let autotune_term = Term.(const autotune_cmd $ workload_arg $ local_mem_arg)
+
+let autotune_info =
+  Cmd.info "autotune" ~doc:"Pick the best TrackFM object size by search"
+
+let main =
+  Cmd.group
+    (Cmd.info "trackfm_cli" ~version:"1.0"
+       ~doc:"TrackFM far-memory reproduction driver")
+    [
+      Cmd.v run_info run_term;
+      Cmd.v list_info Term.(const list_cmd $ const ());
+      Cmd.v sweep_info sweep_term;
+      Cmd.v autotune_info autotune_term;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/autotune.ml: Driver Hashmap List Printf Stream Tfm_util Workloads

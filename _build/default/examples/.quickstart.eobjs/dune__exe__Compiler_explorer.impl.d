@@ -1,0 +1,1 @@
+examples/compiler_explorer.ml: Alias Builder Format Induction Ir List Loops Printer Printf Trackfm Verifier Workloads

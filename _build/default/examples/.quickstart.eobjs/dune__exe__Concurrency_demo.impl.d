@@ -1,0 +1,1 @@
+examples/concurrency_demo.ml: Cost_model List Printf Shenango Tfm_util

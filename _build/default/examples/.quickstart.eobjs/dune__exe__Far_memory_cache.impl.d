@@ -1,0 +1,1 @@
+examples/far_memory_cache.ml: Driver List Memcached Printf Tfm_util Workloads

@@ -1,0 +1,1 @@
+examples/far_memory_cache.mli:

@@ -1,0 +1,1 @@
+examples/o0_to_far_memory.ml: Backend Builder Clock Cost_model Interp Ir Memstore Printf Tfm_opt Tfm_util Trackfm Verifier

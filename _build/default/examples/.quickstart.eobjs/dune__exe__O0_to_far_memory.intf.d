@@ -1,0 +1,1 @@
+examples/o0_to_far_memory.mli:

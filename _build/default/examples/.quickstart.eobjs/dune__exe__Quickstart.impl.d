@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Builder Clock Cost_model Interp Ir List Memstore Printf Tfm_util Trackfm Verifier

@@ -1,0 +1,1 @@
+examples/remote_datastructures.ml: Aifm Clock Cost_model Memstore Printf Tfm_util

@@ -1,0 +1,98 @@
+(* From -O0-style code to far memory: why the pre-optimization matters.
+
+   Frontends at -O0 keep variables in stack slots and leave helper calls
+   uninlined. Both defeat TrackFM's loop analysis: a memory-cell
+   induction variable is not a phi, and a strided access inside a callee
+   is invisible to the caller's loops. The paper hit exactly this on the
+   NAS FT benchmark and fixed it by pre-optimizing ("TFM/O1",
+   Figure 17b).
+
+   This example builds such a program, compiles it for far memory with
+   and without the O1 pipeline (inline + mem2reg + cleanups), and shows
+   the difference in what the chunking pass can do and what the run
+   costs.
+
+   Run with: dune exec examples/o0_to_far_memory.exe *)
+
+let n = 300_000
+
+(* sum_at(arr, i) — the helper hiding the strided access. *)
+let build () =
+  let m = Ir.create_module () in
+  let bh = Builder.create m ~name:"sum_at" ~nparams:2 in
+  let ptr = Builder.gep bh (Builder.arg 0) ~index:(Builder.arg 1) ~scale:8 () in
+  Builder.ret bh (Some (Builder.load bh ptr));
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let arr = Builder.call b "malloc" [ Ir.Const (n * 8) ] in
+  Builder.for_loop b ~hint:"fill" ~init:(Ir.Const 0) ~bound:(Ir.Const n)
+    (fun b i ->
+      Builder.store b (Builder.binop b Ir.And i (Ir.Const 0xFF))
+        ~ptr:(Builder.gep b arr ~index:i ~scale:8 ()));
+  ignore (Builder.call b "!bench_begin" []);
+  (* -O0 shape: accumulator and induction variable live in stack slots *)
+  let acc_slot = Builder.alloca b 8 in
+  let i_slot = Builder.alloca b 8 in
+  Builder.store b (Ir.Const 0) ~ptr:acc_slot;
+  Builder.store b (Ir.Const 0) ~ptr:i_slot;
+  let header = Builder.add_block b "h" in
+  let body = Builder.add_block b "b" in
+  let exit_l = Builder.add_block b "x" in
+  Builder.br b header;
+  Builder.set_block b header;
+  let i = Builder.load b i_slot in
+  Builder.cbr b (Builder.icmp b Ir.Lt i (Ir.Const n)) body exit_l;
+  Builder.set_block b body;
+  let i' = Builder.load b i_slot in
+  let v = Builder.call b "sum_at" [ arr; i' ] in
+  let acc = Builder.load b acc_slot in
+  Builder.store b
+    (Builder.binop b Ir.And (Builder.add b acc v) (Ir.Const 0x3FFFFFFF))
+    ~ptr:acc_slot;
+  Builder.store b (Builder.add b i' (Ir.Const 1)) ~ptr:i_slot;
+  Builder.br b header;
+  Builder.set_block b exit_l;
+  Builder.ret b (Some (Builder.load b acc_slot));
+  Verifier.check_module m;
+  m
+
+let compile_and_run ~o1 =
+  let m = build () in
+  let pre = if o1 then Tfm_opt.O1.run m else 0 in
+  let report = Trackfm.Pipeline.run Trackfm.Pipeline.default_config m in
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let rt =
+    Trackfm.Runtime.create Cost_model.default clock store ~object_size:4096
+      ~local_budget:(n * 8 / 4)
+  in
+  let r = Interp.run (Backend.trackfm rt store) m ~entry:"main" in
+  (pre, report, r, clock)
+
+let () =
+  Printf.printf
+    "program: -O0-style loop (stack-slot IV and accumulator) summing a \
+     %s array through a helper call, 25%% local memory\n\n"
+    (Tfm_util.Units.bytes_to_string (n * 8));
+  let describe label (pre, report, (r : Interp.result), clock) =
+    Printf.printf "%s:\n" label;
+    if pre > 0 then Printf.printf "  O1 rewrites: %d\n" pre;
+    Printf.printf "  chunked loops: %d; guards injected: %d\n"
+      report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.chunk_sites
+      (report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_loads
+      + report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_stores);
+    Printf.printf "  result %d in %s (%d fast guards, %d boundary checks)\n\n"
+      r.Interp.ret
+      (Tfm_util.Units.cycles_to_string r.Interp.cycles)
+      (Clock.get clock "tfm.fast_guards")
+      (Clock.get clock "tfm.boundary_checks")
+  in
+  let plain = compile_and_run ~o1:false in
+  let optimized = compile_and_run ~o1:true in
+  describe "TrackFM alone (unoptimized input)" plain;
+  describe "O1 then TrackFM (the paper's TFM/O1)" optimized;
+  let _, _, r1, _ = plain and _, _, r2, _ = optimized in
+  assert (r1.Interp.ret = r2.Interp.ret);
+  Printf.printf
+    "Same answer, but pre-optimization turned per-element guards into \n\
+     boundary checks: inlining surfaced the strided access and mem2reg \n\
+     turned the stack-slot IV into a phi the chunking pass understands.\n"

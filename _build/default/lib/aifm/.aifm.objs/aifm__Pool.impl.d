@@ -1,0 +1,1 @@
+lib/aifm/pool.ml: Bytes Char Clock Cost_model Fun Hashtbl Net Queue

@@ -1,0 +1,1 @@
+lib/aifm/pool.mli: Clock Cost_model Net

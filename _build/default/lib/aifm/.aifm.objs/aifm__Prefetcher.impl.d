@@ -1,0 +1,1 @@
+lib/aifm/prefetcher.ml: Array Pool

@@ -1,0 +1,1 @@
+lib/aifm/prefetcher.mli: Pool

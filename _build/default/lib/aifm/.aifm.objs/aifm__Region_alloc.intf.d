@@ -1,0 +1,1 @@
+lib/aifm/region_alloc.mli:

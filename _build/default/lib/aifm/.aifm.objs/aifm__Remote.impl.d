@@ -1,0 +1,1 @@
+lib/aifm/remote.ml: Clock Cost_model Memstore Net Pool Prefetcher Region_alloc Scope

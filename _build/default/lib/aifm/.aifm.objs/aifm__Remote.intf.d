@@ -1,0 +1,1 @@
+lib/aifm/remote.mli: Clock Cost_model Memstore Net Pool

@@ -1,0 +1,1 @@
+lib/aifm/scope.ml: Fun List Pool

@@ -1,0 +1,1 @@
+lib/aifm/scope.mli: Pool

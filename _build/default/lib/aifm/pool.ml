@@ -1,0 +1,185 @@
+(* Metadata bits, one byte per object id. An id with byte 0 has never been
+   allocated ("absent"): treated as remote-and-empty if ever localized. *)
+let bit_exists = 0x01
+let bit_local = 0x02
+let bit_dirty = 0x04
+let bit_hot = 0x08
+let bit_prefetched = 0x10
+let bit_swapped = 0x20 (* a remote copy exists *)
+
+exception Out_of_local_memory
+
+type policy = Clock_hand | Fifo
+
+type t = {
+  cost : Cost_model.t;
+  clock : Clock.t;
+  net : Net.t;
+  policy : policy;
+  osize : int;
+  budget : int;
+  mutable meta : Bytes.t;
+  mutable used : int;
+  mutable nlocal : int;
+  clock_queue : int Queue.t; (* CLOCK second-chance candidate ring *)
+  pins : (int, int) Hashtbl.t;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(policy = Clock_hand) cost clock ~net ~object_size ~local_budget =
+  if not (is_pow2 object_size && object_size >= 16 && object_size <= 65536)
+  then invalid_arg "Pool.create: object_size";
+  {
+    cost;
+    clock;
+    net;
+    policy;
+    osize = object_size;
+    budget = local_budget;
+    meta = Bytes.make 4096 '\000';
+    used = 0;
+    nlocal = 0;
+    clock_queue = Queue.create ();
+    pins = Hashtbl.create 16;
+  }
+
+let object_size t = t.osize
+let local_budget t = t.budget
+let local_used t = t.used
+let local_count t = t.nlocal
+
+let ensure_capacity t id =
+  let n = Bytes.length t.meta in
+  if id >= n then begin
+    let n' = max (id + 1) (n * 2) in
+    let meta' = Bytes.make n' '\000' in
+    Bytes.blit t.meta 0 meta' 0 n;
+    t.meta <- meta'
+  end
+
+let get_meta t id =
+  if id < Bytes.length t.meta then Char.code (Bytes.get t.meta id) else 0
+
+let set_meta t id m =
+  ensure_capacity t id;
+  Bytes.set t.meta id (Char.chr m)
+
+let pinned t id =
+  match Hashtbl.find_opt t.pins id with Some n -> n > 0 | None -> false
+
+let pin t id =
+  let n = try Hashtbl.find t.pins id with Not_found -> 0 in
+  Hashtbl.replace t.pins id (n + 1)
+
+let unpin t id =
+  match Hashtbl.find_opt t.pins id with
+  | Some n when n > 1 -> Hashtbl.replace t.pins id (n - 1)
+  | Some _ -> Hashtbl.remove t.pins id
+  | None -> invalid_arg "Pool.unpin: not pinned"
+
+let is_local t id = get_meta t id land bit_local <> 0
+
+(* One sweep step of the CLOCK hand. Returns true if something was
+   evicted. Hot objects get a second chance; pinned objects are skipped
+   (requeued) — this is the evacuator barrier of Section 3.3. *)
+let evict_one t =
+  let attempts = ref (2 * Queue.length t.clock_queue) in
+  let rec go () =
+    if Queue.is_empty t.clock_queue || !attempts = 0 then false
+    else begin
+      decr attempts;
+      let id = Queue.pop t.clock_queue in
+      let m = get_meta t id in
+      if m land bit_local = 0 then go () (* stale entry *)
+      else if pinned t id then begin
+        Queue.push id t.clock_queue;
+        go ()
+      end
+      else if t.policy = Clock_hand && m land bit_hot <> 0 then begin
+        set_meta t id (m land lnot bit_hot);
+        Queue.push id t.clock_queue;
+        go ()
+      end
+      else begin
+        let swapped =
+          if m land bit_dirty <> 0 then begin
+            Net.writeback t.net ~bytes:t.osize;
+            Clock.count t.clock "aifm.writebacks" 1;
+            bit_swapped
+          end
+          else m land bit_swapped
+        in
+        set_meta t id (bit_exists lor swapped);
+        t.used <- t.used - t.osize;
+        t.nlocal <- t.nlocal - 1;
+        Clock.tick t.clock t.cost.Cost_model.evict_object;
+        Clock.count t.clock "aifm.evictions" 1;
+        true
+      end
+    end
+  in
+  go ()
+
+let evict_until_fits t =
+  while t.used > t.budget do
+    if not (evict_one t) then raise Out_of_local_memory
+  done
+
+let make_local t id m =
+  set_meta t id (m lor bit_exists lor bit_local lor bit_hot);
+  t.used <- t.used + t.osize;
+  t.nlocal <- t.nlocal + 1;
+  Queue.push id t.clock_queue;
+  (* The object being localized is in use by the caller (it is inside a
+     guard or DerefScope): the evacuator must not pick it. *)
+  pin t id;
+  Fun.protect ~finally:(fun () -> unpin t id) (fun () -> evict_until_fits t)
+
+let materialize t id =
+  let m = get_meta t id in
+  if m land bit_local = 0 then begin
+    Clock.count t.clock "aifm.materialized" 1;
+    make_local t id (m lor bit_dirty)
+  end
+
+let ensure_local t id =
+  let m = get_meta t id in
+  if m land bit_local <> 0 then
+    set_meta t id (m lor bit_hot)
+  else if m land bit_swapped = 0 then begin
+    (* Never written (or never existed): fresh backing, no remote copy to
+       fetch — the analogue of an anonymous first-touch fault. *)
+    Clock.tick t.clock 50;
+    Clock.count t.clock "aifm.materialized" 1;
+    make_local t id (m land lnot bit_prefetched)
+  end
+  else begin
+    if m land bit_prefetched <> 0 then
+      Net.fetch_prefetched t.net ~bytes:t.osize
+    else begin
+      Net.fetch t.net ~bytes:t.osize;
+      Clock.count t.clock "aifm.demand_fetches" 1
+    end;
+    make_local t id (m land lnot bit_prefetched)
+  end
+
+let mark_dirty t id =
+  let m = get_meta t id in
+  set_meta t id (m lor bit_dirty)
+
+let mark_prefetched t id =
+  let m = get_meta t id in
+  (* Prefetching only makes sense for objects with a remote copy. *)
+  if m land bit_local = 0 && m land bit_swapped <> 0 then
+    set_meta t id (m lor bit_prefetched)
+
+let discard t id =
+  if not (pinned t id) then begin
+    let m = get_meta t id in
+    if m land bit_local <> 0 then begin
+      t.used <- t.used - t.osize;
+      t.nlocal <- t.nlocal - 1
+    end;
+    set_meta t id 0
+  end

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Format Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: Hashtbl Ir List

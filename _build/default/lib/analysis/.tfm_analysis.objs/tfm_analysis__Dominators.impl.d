@@ -1,0 +1,1 @@
+lib/analysis/dominators.ml: Cfg Hashtbl List

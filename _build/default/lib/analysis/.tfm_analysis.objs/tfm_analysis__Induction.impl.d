@@ -1,0 +1,1 @@
+lib/analysis/induction.ml: Defuse Hashtbl Ir List Loops

@@ -1,0 +1,1 @@
+lib/analysis/induction.mli: Ir Loops

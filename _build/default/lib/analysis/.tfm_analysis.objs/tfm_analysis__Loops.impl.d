@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dominators Hashtbl Ir List

@@ -1,0 +1,81 @@
+type cls = Bottom | Heap | Stack | Global | Unknown
+
+type t = { classes : (int, cls) Hashtbl.t }
+
+let join a b =
+  match (a, b) with
+  | Bottom, x | x, Bottom -> x
+  | Unknown, _ | _, Unknown -> Unknown
+  | Heap, Heap -> Heap
+  | Stack, Stack -> Stack
+  | Global, Global -> Global
+  | (Heap | Stack | Global), (Heap | Stack | Global) -> Unknown
+
+let is_heap_alloc_callee callee =
+  Ir.is_alloc_call callee
+  || callee = "tfm_malloc" || callee = "tfm_calloc" || callee = "tfm_realloc"
+
+let analyze (f : Ir.func) =
+  let classes = Hashtbl.create 64 in
+  let value_cls = function
+    | Ir.Const _ | Ir.Constf _ -> Bottom
+    | Ir.Sym _ -> Global
+    | Ir.Arg _ -> Unknown
+    | Ir.Reg id -> ( try Hashtbl.find classes id with Not_found -> Bottom)
+  in
+  let transfer (i : Ir.instr) =
+    match i.kind with
+    | Ir.Alloca _ -> Stack
+    | Ir.Call { callee; _ } when is_heap_alloc_callee callee -> Heap
+    | Ir.Call _ -> Unknown
+    | Ir.Gep { base; _ } -> value_cls base
+    | Ir.Phi incoming ->
+        List.fold_left (fun acc (_, v) -> join acc (value_cls v)) Bottom
+          incoming
+    | Ir.Select (_, a, b) -> join (value_cls a) (value_cls b)
+    | Ir.Load { is_float = false; _ } -> Unknown
+    | Ir.Load { is_float = true; _ } -> Bottom
+    | Ir.Binop _ -> Unknown (* integer math may carry a cast pointer *)
+    | Ir.Fbinop _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Si_to_fp _ | Ir.Fp_to_si _
+    | Ir.Store _ ->
+        Bottom
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            if Ir.defines_value i.kind then begin
+              let old = try Hashtbl.find classes i.id with Not_found -> Bottom in
+              let nu = join old (transfer i) in
+              if nu <> old then begin
+                Hashtbl.replace classes i.id nu;
+                changed := true
+              end
+            end)
+          b.instrs)
+      f.blocks
+  done;
+  { classes }
+
+let classify t = function
+  | Ir.Const _ | Ir.Constf _ -> Bottom
+  | Ir.Sym _ -> Global
+  | Ir.Arg _ -> Unknown
+  | Ir.Reg id -> ( try Hashtbl.find t.classes id with Not_found -> Bottom)
+
+let needs_guard t v =
+  match classify t v with
+  | Stack | Global -> false
+  | Heap | Unknown | Bottom -> true
+
+let pp_cls fmt c =
+  Format.pp_print_string fmt
+    (match c with
+    | Bottom -> "bottom"
+    | Heap -> "heap"
+    | Stack -> "stack"
+    | Global -> "global"
+    | Unknown -> "unknown")

@@ -1,0 +1,27 @@
+(** Pointer-origin classification.
+
+    TrackFM's guard-check analysis marks loads and stores that may touch
+    heap memory and skips accesses that provably target the stack or
+    globals (the paper leverages NOELLE's PDG and alias analyses for
+    this). We implement a flow-insensitive lattice over registers:
+
+    {v Bottom < Heap | Stack | Global < Unknown v}
+
+    [alloca] yields Stack, allocation calls yield Heap, [Sym] is Global,
+    loaded pointers and arguments are Unknown. [gep] preserves the class of
+    its base; [phi]/[select] join. A guard is required unless the pointer
+    is provably Stack or Global — guarding Unknown is safe because the
+    runtime custody check filters non-TrackFM pointers dynamically. *)
+
+type cls = Bottom | Heap | Stack | Global | Unknown
+
+type t
+
+val analyze : Ir.func -> t
+
+val classify : t -> Ir.value -> cls
+
+val needs_guard : t -> Ir.value -> bool
+(** [true] unless the pointer is provably Stack or Global. *)
+
+val pp_cls : Format.formatter -> cls -> unit

@@ -1,0 +1,138 @@
+module Int_set = Set.Make (Int)
+
+type liveness = {
+  live_in : (string, Int_set.t) Hashtbl.t;
+  live_out : (string, Int_set.t) Hashtbl.t;
+}
+
+let regs_of_values vs =
+  List.fold_left
+    (fun acc v ->
+      match v with
+      | Ir.Reg id -> Int_set.add id acc
+      | Ir.Const _ | Ir.Constf _ | Ir.Arg _ | Ir.Sym _ -> acc)
+    Int_set.empty vs
+
+let term_uses = function
+  | Ir.Cbr (c, _, _) -> regs_of_values [ c ]
+  | Ir.Ret (Some v) -> regs_of_values [ v ]
+  | Ir.Br _ | Ir.Ret None | Ir.Unreachable -> Int_set.empty
+
+(* Per-block gen (upward-exposed uses) and kill (definitions). Phi
+   incoming values are treated as used at the end of the corresponding
+   predecessor; for the backward may-analysis we conservatively treat
+   them as used in this block, which over-approximates liveness but
+   keeps the framework simple and safe for pressure estimation. *)
+let block_gen_kill (b : Ir.block) =
+  let gen = ref Int_set.empty in
+  let kill = ref Int_set.empty in
+  List.iter
+    (fun (i : Ir.instr) ->
+      let uses = regs_of_values (Ir.instr_operands i.Ir.kind) in
+      gen := Int_set.union !gen (Int_set.diff uses !kill);
+      if Ir.defines_value i.Ir.kind then kill := Int_set.add i.Ir.id !kill)
+    b.instrs;
+  let tuses = term_uses b.term in
+  gen := Int_set.union !gen (Int_set.diff tuses !kill);
+  (!gen, !kill)
+
+let liveness (f : Ir.func) =
+  let cfg = Cfg.build f in
+  let live_in = Hashtbl.create 16 in
+  let live_out = Hashtbl.create 16 in
+  let gen_kill = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace gen_kill b.label (block_gen_kill b);
+      Hashtbl.replace live_in b.label Int_set.empty;
+      Hashtbl.replace live_out b.label Int_set.empty)
+    f.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* reverse order converges faster for the backward problem *)
+    List.iter
+      (fun (b : Ir.block) ->
+        let out =
+          List.fold_left
+            (fun acc s ->
+              Int_set.union acc
+                (try Hashtbl.find live_in s with Not_found -> Int_set.empty))
+            Int_set.empty (Cfg.successors cfg b.label)
+        in
+        let gen, kill = Hashtbl.find gen_kill b.label in
+        let inn = Int_set.union gen (Int_set.diff out kill) in
+        if
+          not
+            (Int_set.equal out (Hashtbl.find live_out b.label)
+            && Int_set.equal inn (Hashtbl.find live_in b.label))
+        then begin
+          Hashtbl.replace live_out b.label out;
+          Hashtbl.replace live_in b.label inn;
+          changed := true
+        end)
+      (List.rev f.blocks)
+  done;
+  { live_in; live_out }
+
+let live_in t l = try Hashtbl.find t.live_in l with Not_found -> Int_set.empty
+let live_out t l = try Hashtbl.find t.live_out l with Not_found -> Int_set.empty
+
+let max_pressure (f : Ir.func) =
+  let lv = liveness f in
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      max acc
+        (max
+           (Int_set.cardinal (live_in lv b.label))
+           (Int_set.cardinal (live_out lv b.label))))
+    0 f.blocks
+
+type reaching = {
+  reach_in : (string, Int_set.t) Hashtbl.t;
+  reach_out : (string, Int_set.t) Hashtbl.t;
+}
+
+let reaching_definitions (f : Ir.func) =
+  let cfg = Cfg.build f in
+  let reach_in = Hashtbl.create 16 in
+  let reach_out = Hashtbl.create 16 in
+  let defs_of (b : Ir.block) =
+    List.fold_left
+      (fun acc (i : Ir.instr) ->
+        if Ir.defines_value i.Ir.kind then Int_set.add i.Ir.id acc else acc)
+      Int_set.empty b.instrs
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace reach_in b.label Int_set.empty;
+      Hashtbl.replace reach_out b.label (defs_of b))
+    f.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        let inn =
+          List.fold_left
+            (fun acc p ->
+              Int_set.union acc
+                (try Hashtbl.find reach_out p with Not_found -> Int_set.empty))
+            Int_set.empty (Cfg.predecessors cfg b.label)
+        in
+        (* SSA registers are never redefined, so out = in U defs. *)
+        let out = Int_set.union inn (defs_of b) in
+        if
+          not
+            (Int_set.equal inn (Hashtbl.find reach_in b.label)
+            && Int_set.equal out (Hashtbl.find reach_out b.label))
+        then begin
+          Hashtbl.replace reach_in b.label inn;
+          Hashtbl.replace reach_out b.label out;
+          changed := true
+        end)
+      f.blocks
+  done;
+  { reach_in; reach_out }
+
+let reach_in t l = try Hashtbl.find t.reach_in l with Not_found -> Int_set.empty

@@ -1,0 +1,40 @@
+(** Classic iterative dataflow over the CFG.
+
+    NOELLE exposes dataflow engines that passes build on; we provide the
+    two standard instances TrackFM-adjacent tooling needs:
+
+    - {b liveness} (backward, may): which registers are live into/out of
+      each block — used to bound how much state a runtime call like the
+      slow-path guard must consider spilled, and by the register-pressure
+      report;
+    - {b reaching definitions} (forward, may): which instruction ids may
+      define each register observed at a block — the substrate for
+      def-use style queries across blocks.
+
+    Both run to a fixpoint over the reducible CFGs the builder emits (and
+    terminate on any CFG: the lattices are finite powersets). *)
+
+module Int_set : Set.S with type elt = int
+
+type liveness = {
+  live_in : (string, Int_set.t) Hashtbl.t;
+  live_out : (string, Int_set.t) Hashtbl.t;
+}
+
+val liveness : Ir.func -> liveness
+
+val live_in : liveness -> string -> Int_set.t
+val live_out : liveness -> string -> Int_set.t
+
+val max_pressure : Ir.func -> int
+(** Maximum number of simultaneously-live registers at any block boundary
+    — a proxy for the spill pressure the injected guards add. *)
+
+type reaching = {
+  reach_in : (string, Int_set.t) Hashtbl.t;
+  reach_out : (string, Int_set.t) Hashtbl.t;
+}
+
+val reaching_definitions : Ir.func -> reaching
+
+val reach_in : reaching -> string -> Int_set.t

@@ -1,0 +1,63 @@
+type t = {
+  idoms : (string, string) Hashtbl.t;
+  entry : string;
+  reachable : (string, unit) Hashtbl.t;
+}
+
+let compute cfg =
+  let rpo = Cfg.reachable cfg in
+  let entry = match rpo with e :: _ -> e | [] -> invalid_arg "empty cfg" in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) rpo;
+  let reachable = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace reachable l ()) rpo;
+  let idoms = Hashtbl.create 16 in
+  Hashtbl.replace idoms entry entry;
+  let intersect a b =
+    (* Walk up the (partial) dominator tree towards the entry. *)
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+        if ia > ib then go (Hashtbl.find idoms a) b else go a (Hashtbl.find idoms b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> entry then begin
+          let preds =
+            List.filter
+              (fun p -> Hashtbl.mem reachable p && Hashtbl.mem idoms p)
+              (Cfg.predecessors cfg l)
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if Hashtbl.find_opt idoms l <> Some new_idom then begin
+                Hashtbl.replace idoms l new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idoms; entry; reachable }
+
+let idom t l =
+  if l = t.entry then None
+  else if not (Hashtbl.mem t.reachable l) then None
+  else Hashtbl.find_opt t.idoms l
+
+let dominates t a b =
+  if not (Hashtbl.mem t.reachable b) then false
+  else
+    let rec go x = if x = a then true else if x = t.entry then a = t.entry else
+      match Hashtbl.find_opt t.idoms x with
+      | Some p when p <> x -> go p
+      | _ -> false
+    in
+    go b

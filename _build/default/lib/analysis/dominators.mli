@@ -1,0 +1,15 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    Needed to identify natural loops (a back edge is an edge whose target
+    dominates its source). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> string -> string option
+(** Immediate dominator; [None] for the entry block (and for blocks
+    unreachable from the entry). *)
+
+val dominates : t -> string -> string -> bool
+(** [dominates t a b] — does [a] dominate [b]? Reflexive. *)

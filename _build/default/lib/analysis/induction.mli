@@ -1,0 +1,40 @@
+(** Induction-variable and strided-access detection.
+
+    TrackFM's loop chunking pass needs to know, for each loop, which memory
+    accesses walk an affine function of a loop-governing induction
+    variable over a loop-invariant base pointer. NOELLE finds induction
+    variables as patterns in the dependence graph rather than by syntactic
+    variable matching; we mirror that by chasing def-use chains through
+    arithmetic, so IVs survive intermediate [add]/[mul]/[shl] rewrites. *)
+
+type iv = {
+  phi_id : int;            (** register id of the header phi *)
+  init : Ir.value;         (** value on loop entry *)
+  step : int;              (** constant per-iteration increment *)
+  header : string;         (** loop header label *)
+  bound : Ir.value option; (** loop-governing bound when the header exits on
+                               [iv < bound] (or [<=]) with invariant bound *)
+}
+
+type strided_access = {
+  instr_id : int;          (** the load or store *)
+  block : string;
+  is_store : bool;
+  access_size : int;       (** bytes per access *)
+  base : Ir.value;         (** loop-invariant base pointer *)
+  gep_offset : int;        (** constant byte displacement of the access *)
+  iv : iv;
+  byte_stride : int;       (** bytes advanced per loop iteration *)
+}
+
+type t
+
+val analyze : Ir.func -> t
+
+val ivs_of_loop : t -> Loops.loop -> iv list
+
+val strided_accesses : t -> Loops.loop -> strided_access list
+(** Accesses inside the given loop (not in nested sub-loops) whose address
+    is [base + (a*iv + b) * scale + offset] with invariant [base]. *)
+
+val is_loop_invariant : t -> Loops.loop -> Ir.value -> bool

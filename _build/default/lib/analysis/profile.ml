@@ -1,0 +1,19 @@
+type t = { counts : (string * string, int) Hashtbl.t }
+
+let create () = { counts = Hashtbl.create 64 }
+
+let add_block t ~func ~block n =
+  let key = (func, block) in
+  let cur = try Hashtbl.find t.counts key with Not_found -> 0 in
+  Hashtbl.replace t.counts key (cur + n)
+
+let block_count t ~func ~block =
+  try Hashtbl.find t.counts (func, block) with Not_found -> 0
+
+let avg_trip_count t ~func ~header ~preheader =
+  let entries = block_count t ~func ~block:preheader in
+  let headers = block_count t ~func ~block:header in
+  if entries = 0 then None
+  else
+    let trips = float_of_int (headers - entries) /. float_of_int entries in
+    Some (max 0.0 trips)

@@ -1,0 +1,24 @@
+(** Execution profiles: block-frequency counts.
+
+    NOELLE's profiling engine feeds TrackFM's improved loop chunking
+    (Section 3.4): loops whose measured iteration behaviour cannot
+    amortize the chunking setup are filtered out. Our profile is filled
+    by an instrumented interpreter run and consumed by the chunking
+    pass's gate. *)
+
+type t
+
+val create : unit -> t
+
+val add_block : t -> func:string -> block:string -> int -> unit
+(** Accumulate executions of one block. *)
+
+val block_count : t -> func:string -> block:string -> int
+
+val avg_trip_count :
+  t -> func:string -> header:string -> preheader:string -> float option
+(** Mean iterations per loop entry, derived as
+    [header executions / preheader executions] (our canonical loops test
+    the condition in the header, so the header runs trip+1 times per
+    entry; the estimate subtracts that final check). [None] when the loop
+    was never entered. *)

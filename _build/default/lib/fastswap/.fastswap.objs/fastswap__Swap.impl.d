@@ -1,0 +1,1 @@
+lib/fastswap/swap.ml: Clock Cost_model Hashtbl Memstore Net Queue

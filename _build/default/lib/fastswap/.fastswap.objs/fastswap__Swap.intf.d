@@ -1,0 +1,1 @@
+lib/fastswap/swap.mli: Clock Cost_model

@@ -1,0 +1,119 @@
+let page_size = Memstore.page_size
+let page_bits = 12
+
+(* Per-page state bits. *)
+let bit_present = 0x1
+let bit_dirty = 0x2
+let bit_hot = 0x4
+let bit_swapped = 0x8 (* has a remote copy *)
+
+type t = {
+  cost : Cost_model.t;
+  clock : Clock.t;
+  net : Net.t;
+  budget_pages : int;
+  readahead : int;
+  state : (int, int) Hashtbl.t; (* page index -> bits *)
+  lru : int Queue.t;
+  mutable present : int;
+}
+
+let create ?(readahead = 0) cost clock ~local_budget =
+  {
+    cost;
+    clock;
+    net = Net.create cost clock Net.Rdma;
+    budget_pages = max 1 (local_budget / page_size);
+    readahead;
+    state = Hashtbl.create 4096;
+    lru = Queue.create ();
+    present = 0;
+  }
+
+let get_state t p = try Hashtbl.find t.state p with Not_found -> 0
+let set_state t p s = Hashtbl.replace t.state p s
+
+let is_present t ~addr = get_state t (addr lsr page_bits) land bit_present <> 0
+let present_pages t = t.present
+
+(* Second-chance reclaim, the kernel's approximated LRU. *)
+let reclaim_one t =
+  let attempts = ref (2 * Queue.length t.lru) in
+  let rec go () =
+    if Queue.is_empty t.lru || !attempts = 0 then false
+    else begin
+      decr attempts;
+      let p = Queue.pop t.lru in
+      let s = get_state t p in
+      if s land bit_present = 0 then go ()
+      else if s land bit_hot <> 0 then begin
+        set_state t p (s land lnot bit_hot);
+        Queue.push p t.lru;
+        go ()
+      end
+      else begin
+        if s land bit_dirty <> 0 then begin
+          Net.writeback t.net ~bytes:page_size;
+          Clock.count t.clock "fastswap.writebacks" 1
+        end;
+        set_state t p ((s lor bit_swapped) land lnot (bit_present lor bit_dirty));
+        t.present <- t.present - 1;
+        Clock.tick t.clock t.cost.Cost_model.evict_page;
+        Clock.count t.clock "fastswap.evictions" 1;
+        true
+      end
+    end
+  in
+  go ()
+
+let reclaim_until_fits t =
+  while t.present > t.budget_pages do
+    if not (reclaim_one t) then
+      (* Nothing reclaimable: a kernel would OOM; surface it. *)
+      failwith "Fastswap: local memory exhausted with nothing reclaimable"
+  done
+
+let map_page t p ~hot =
+  let s = get_state t p in
+  set_state t p (s lor bit_present lor if hot then bit_hot else 0);
+  t.present <- t.present + 1;
+  Queue.push p t.lru;
+  reclaim_until_fits t
+
+let fault_page t p =
+  let s = get_state t p in
+  if s land bit_swapped <> 0 then begin
+    (* Major fault: kernel software path plus the RDMA page read. *)
+    Clock.tick t.clock t.cost.Cost_model.fastswap_fault_base;
+    Net.fetch t.net ~bytes:page_size;
+    Clock.count t.clock "fastswap.major_faults" 1;
+    map_page t p ~hot:true;
+    (* Optional cluster readahead of subsequent swapped-out pages. *)
+    for k = 1 to t.readahead do
+      let q = p + k in
+      let sq = get_state t q in
+      if sq land bit_swapped <> 0 && sq land bit_present = 0 then begin
+        Net.fetch_prefetched t.net ~bytes:page_size;
+        Clock.count t.clock "fastswap.readahead_pages" 1;
+        map_page t q ~hot:false
+      end
+    done
+  end
+  else begin
+    (* First touch: anonymous page allocation (minor fault). *)
+    Clock.tick t.clock t.cost.Cost_model.fastswap_fault_local;
+    Clock.count t.clock "fastswap.minor_faults" 1;
+    map_page t p ~hot:true
+  end
+
+let touch t p ~write =
+  let s = get_state t p in
+  if s land bit_present = 0 then fault_page t p;
+  let s = get_state t p in
+  set_state t p (s lor bit_hot lor if write then bit_dirty else 0)
+
+let access t ~addr ~size ~write =
+  let first = addr lsr page_bits in
+  let last = (addr + size - 1) lsr page_bits in
+  touch t first ~write;
+  if last <> first then touch t last ~write

@@ -1,0 +1,45 @@
+(** Kernel-based far memory baseline (Fastswap, Amaro et al. EuroSys '20).
+
+    The Linux swap subsystem, with pages moved to the memory server by
+    one-sided RDMA. Programmer-transparent, but constrained to the
+    architected 4 KiB page granularity — the source of the I/O
+    amplification the paper measures — and each miss takes the full
+    hardware-fault plus kernel path (mapping, cgroups reclaim), which is
+    the 34 Kcycle "Fastswap read fault / remote" row of Table 2.
+
+    Faults are synchronous single-page fetches, matching Fastswap's
+    design point (its contribution was offloading *reclaim*, not
+    readahead); an optional readahead window can be enabled to model
+    kernels with swap cluster readahead.
+
+    Pages are tracked for the heap region only: stack and global pages
+    are hot in every workload we model and would never be reclaim
+    victims. *)
+
+type t
+
+val create :
+  ?readahead:int ->
+  Cost_model.t ->
+  Clock.t ->
+  local_budget:int ->
+  t
+(** [local_budget] bytes of local DRAM (rounded down to whole pages, with
+    a one-page minimum). [readahead] pages are fetched alongside each
+    major fault (default 0). *)
+
+val page_size : int
+
+val access : t -> addr:int -> size:int -> write:bool -> unit
+(** Account one program access. Present pages cost nothing beyond the
+    program's own access charge; absent pages take a minor fault (first
+    touch) or a major fault (swapped out), then LRU-style reclaim runs if
+    the budget is exceeded. Accesses spanning a page boundary touch both
+    pages. *)
+
+val is_present : t -> addr:int -> bool
+val present_pages : t -> int
+
+(** Counters on the shared clock: [fastswap.major_faults],
+    [fastswap.minor_faults], [fastswap.evictions],
+    [fastswap.writebacks]. *)

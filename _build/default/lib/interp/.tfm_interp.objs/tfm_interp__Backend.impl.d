@@ -1,0 +1,1 @@
+lib/interp/backend.ml: Aifm Array Clock Cost_model Fastswap Memsim Memstore Printf Trackfm

@@ -1,0 +1,1 @@
+lib/interp/backend.mli: Clock Cost_model Memstore Trackfm

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Backend Format Hashtbl Ir List Memsim Profile String

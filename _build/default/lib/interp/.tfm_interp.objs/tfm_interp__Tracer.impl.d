@@ -1,0 +1,1 @@
+lib/interp/tracer.ml: Array Backend Hashtbl Memsim

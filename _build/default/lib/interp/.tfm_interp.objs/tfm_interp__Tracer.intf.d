@@ -1,0 +1,1 @@
+lib/interp/tracer.mli: Backend

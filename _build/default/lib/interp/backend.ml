@@ -1,0 +1,171 @@
+type t = {
+  name : string;
+  store : Memstore.t;
+  clock : Clock.t;
+  cost : Cost_model.t;
+  malloc : int -> int;
+  free : int -> unit;
+  realloc : int -> int -> int;
+  on_access : addr:int -> size:int -> write:bool -> unit;
+  intrinsic : string -> int array -> int option;
+}
+
+let heap_base = 1 lsl 44
+
+let plain_alloc_cost = 60
+
+let base_intrinsics clock name (args : int array) =
+  match name with
+  | "!tfm_init" -> Some 0 (* runtime already initialized host-side *)
+  | "!bench_begin" ->
+      (* Start of the measured region: discard setup-phase cycles and
+         counters (memory-system state stays warm). *)
+      Memsim.Clock.reset clock;
+      Some 0
+  | "!cpu_work" ->
+      (* Fixed CPU-only work (request parsing, protocol handling, ...):
+         charged directly rather than interpreted instruction by
+         instruction. Never touches remotable memory. *)
+      Memsim.Clock.tick clock args.(0);
+      Some 0
+  | _ -> None
+
+let local cost clock store =
+  let alloc = Aifm.Region_alloc.create ~base:heap_base in
+  {
+    name = "local";
+    store;
+    clock;
+    cost;
+    malloc =
+      (fun n ->
+        Clock.tick clock plain_alloc_cost;
+        Aifm.Region_alloc.alloc alloc (max 1 n));
+    free =
+      (fun p ->
+        Clock.tick clock plain_alloc_cost;
+        Aifm.Region_alloc.free alloc p);
+    realloc =
+      (fun p n ->
+        if p = 0 then Aifm.Region_alloc.alloc alloc (max 1 n)
+        else begin
+          let old_req = Aifm.Region_alloc.requested_size_of alloc p in
+          let cls = Aifm.Region_alloc.size_of alloc p in
+          if n <= cls then p
+          else begin
+            let fresh = Aifm.Region_alloc.alloc alloc n in
+            Memstore.blit store ~src:p ~dst:fresh ~len:(min old_req n);
+            Aifm.Region_alloc.free alloc p;
+            fresh
+          end
+        end);
+    on_access = (fun ~addr:_ ~size:_ ~write:_ -> ());
+    intrinsic = (fun name args -> base_intrinsics clock name args);
+  }
+
+let fastswap ?readahead cost clock store ~local_budget =
+  let alloc = Aifm.Region_alloc.create ~base:heap_base in
+  let swap = Fastswap.Swap.create ?readahead cost clock ~local_budget in
+  {
+    name = "fastswap";
+    store;
+    clock;
+    cost;
+    malloc =
+      (fun n ->
+        Clock.tick clock plain_alloc_cost;
+        Aifm.Region_alloc.alloc alloc (max 1 n));
+    free =
+      (fun p ->
+        Clock.tick clock plain_alloc_cost;
+        Aifm.Region_alloc.free alloc p);
+    realloc =
+      (fun p n ->
+        if p = 0 then Aifm.Region_alloc.alloc alloc (max 1 n)
+        else begin
+          let old_req = Aifm.Region_alloc.requested_size_of alloc p in
+          let cls = Aifm.Region_alloc.size_of alloc p in
+          if n <= cls then p
+          else begin
+            let fresh = Aifm.Region_alloc.alloc alloc n in
+            Memstore.blit store ~src:p ~dst:fresh ~len:(min old_req n);
+            Aifm.Region_alloc.free alloc p;
+            fresh
+          end
+        end);
+    on_access =
+      (fun ~addr ~size ~write ->
+        if addr >= heap_base then Fastswap.Swap.access swap ~addr ~size ~write);
+    intrinsic = (fun name args -> base_intrinsics clock name args);
+  }
+
+let trackfm rt store =
+  let module R = Trackfm.Runtime in
+  let clock = R.clock rt in
+  let untransformed name =
+    failwith
+      (Printf.sprintf
+         "trackfm backend: untransformed libc call %s reached the runtime \
+          (libc pass missing?)"
+         name)
+  in
+  (* The runtime-initialization pass must have inserted the !tfm_init hook
+     before any TrackFM call executes, exactly as a real binary would
+     crash without runtime setup. *)
+  let initialized = ref false in
+  let require_init name =
+    if not !initialized then
+      failwith
+        (Printf.sprintf
+           "trackfm backend: %s before !tfm_init (runtime-initialization \
+            pass missing?)"
+           name)
+  in
+  {
+    name = "trackfm";
+    store;
+    clock;
+    cost = R.cost rt;
+    malloc = (fun _ -> untransformed "malloc");
+    free = (fun _ -> untransformed "free");
+    realloc = (fun _ _ -> untransformed "realloc");
+    on_access = (fun ~addr:_ ~size:_ ~write:_ -> ());
+    intrinsic =
+      (fun name args ->
+        match name with
+        | "!tfm_init" ->
+            initialized := true;
+            Some 0
+        | "!bench_begin" | "!cpu_work" -> base_intrinsics clock name args
+        | "tfm_malloc" ->
+            require_init name;
+            Some (R.tfm_malloc rt args.(0))
+        | "tfm_calloc" ->
+            require_init name;
+            Some (R.tfm_calloc rt args.(0) args.(1))
+        | "tfm_realloc" -> Some (R.tfm_realloc rt args.(0) args.(1))
+        | "tfm_free" ->
+            R.tfm_free rt args.(0);
+            Some 0
+        | "tfm_guard_read" ->
+            R.guard rt ~ptr:args.(0) ~size:args.(1) ~write:false;
+            Some args.(0)
+        | "tfm_guard_write" ->
+            R.guard rt ~ptr:args.(0) ~size:args.(1) ~write:true;
+            Some args.(0)
+        | "!tfm_chunk_init" ->
+            R.chunk_init rt ~handle:args.(0) ~stride_bytes:args.(1);
+            Some 0
+        | "tfm_chunk_access_read" ->
+            R.chunk_access rt ~handle:args.(0) ~ptr:args.(1) ~size:args.(2)
+              ~write:false;
+            Some args.(1)
+        | "tfm_chunk_access_write" ->
+            R.chunk_access rt ~handle:args.(0) ~ptr:args.(1) ~size:args.(2)
+              ~write:true;
+            Some args.(1)
+        | "!tfm_chunk_end" ->
+            R.chunk_end rt ~handle:args.(0);
+            Some 0
+        | _ -> None);
+  }

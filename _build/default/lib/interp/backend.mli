@@ -1,0 +1,43 @@
+(** Memory-system backends for the interpreter.
+
+    A backend decides what every allocation and memory access costs and
+    which runtime intrinsics exist. Three configurations mirror the
+    paper's systems:
+
+    - {!local}: everything in local DRAM — the "local-only" baseline the
+      application figures normalize against;
+    - {!fastswap}: unmodified programs over kernel paging;
+    - {!trackfm}: TrackFM-transformed programs — plain accesses are
+      local-cost; the injected [tfm_*] intrinsic calls drive the TrackFM
+      runtime (and an untransformed libc [malloc] reaching this backend
+      is reported as a compiler bug rather than silently tolerated). *)
+
+type t = {
+  name : string;
+  store : Memstore.t;
+  clock : Clock.t;
+  cost : Cost_model.t;
+  malloc : int -> int;
+  free : int -> unit;
+  realloc : int -> int -> int;
+  on_access : addr:int -> size:int -> write:bool -> unit;
+  intrinsic : string -> int array -> int option;
+      (** Handle a runtime call; [None] means unknown intrinsic. *)
+}
+
+val local : Cost_model.t -> Clock.t -> Memstore.t -> t
+
+val fastswap :
+  ?readahead:int ->
+  Cost_model.t ->
+  Clock.t ->
+  Memstore.t ->
+  local_budget:int ->
+  t
+
+val trackfm : Trackfm.Runtime.t -> Memstore.t -> t
+(** Wraps an existing TrackFM runtime (whose clock/cost the result
+    shares). *)
+
+val heap_base : int
+(** Base address of the untracked (local/fastswap) heap segment. *)

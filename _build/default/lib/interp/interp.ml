@@ -1,0 +1,306 @@
+exception Trap of string
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+type result = { ret : int; cycles : int; instrs_executed : int }
+
+type v = I of int | F of float
+
+let as_int = function I n -> n | F _ -> trap "expected int, got float"
+let as_float = function F x -> x | I _ -> trap "expected float, got int"
+
+(* Prepared (array-indexed) function representation for execution speed. *)
+type pblock = {
+  plabel : string;
+  pinstrs : Ir.instr array;
+  pterm : Ir.terminator;
+}
+
+type pfunc = {
+  src : Ir.func;
+  blocks : pblock array;
+  index : (string, int) Hashtbl.t;
+}
+
+type state = {
+  backend : Backend.t;
+  m : Ir.modul;
+  prepared : (string, pfunc) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  profile : Profile.t option;
+  mutable stack_ptr : int;
+  mutable fuel : int;
+  mutable instrs : int;
+  mutable depth : int;
+}
+
+let max_call_depth = 10_000
+
+let global_base = 1 lsl 28
+let stack_base = 1 lsl 30
+
+let prepare st fname =
+  match Hashtbl.find_opt st.prepared fname with
+  | Some p -> p
+  | None ->
+      let f =
+        try Ir.find_func st.m fname
+        with Not_found -> trap "unknown function %s" fname
+      in
+      let blocks =
+        Array.of_list
+          (List.map
+             (fun (b : Ir.block) ->
+               {
+                 plabel = b.label;
+                 pinstrs = Array.of_list b.instrs;
+                 pterm = b.term;
+               })
+             f.blocks)
+      in
+      let index = Hashtbl.create 16 in
+      Array.iteri (fun i b -> Hashtbl.replace index b.plabel i) blocks;
+      let p = { src = f; blocks; index } in
+      Hashtbl.replace st.prepared fname p;
+      p
+
+let layout_globals st =
+  let cursor = ref global_base in
+  List.iter
+    (fun (name, size) ->
+      Hashtbl.replace st.globals name !cursor;
+      cursor := !cursor + ((size + 15) land lnot 15))
+    (List.rev st.m.Ir.globals)
+
+(* Ticks for non-memory instructions are batched per block for speed. *)
+
+let rec eval st env args = function
+  | Ir.Const n -> I n
+  | Ir.Constf x -> F x
+  | Ir.Reg id -> env.(id)
+  | Ir.Arg i -> args.(i)
+  | Ir.Sym s -> (
+      match Hashtbl.find_opt st.globals s with
+      | Some addr -> I addr
+      | None -> trap "unknown global %s" s)
+
+and eval_int st env args v = as_int (eval st env args v)
+and eval_float st env args v = as_float (eval st env args v)
+
+and exec_binop op a b =
+  match (op : Ir.binop) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Sdiv -> if b = 0 then trap "division by zero" else a / b
+  | Srem -> if b = 0 then trap "remainder by zero" else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl b
+  | Lshr -> a lsr b
+  | Ashr -> a asr b
+
+and exec_fbinop op a b =
+  match (op : Ir.fbinop) with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+
+and exec_icmp op a b =
+  let c =
+    match (op : Ir.cmp) with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if c then 1 else 0
+
+and exec_fcmp op (a : float) (b : float) =
+  let c =
+    match (op : Ir.cmp) with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if c then 1 else 0
+
+and call_function st fname (actuals : v array) =
+  let p = prepare st fname in
+  let f = p.src in
+  if Array.length actuals <> f.nparams then
+    trap "%s expects %d arguments, got %d" fname f.nparams
+      (Array.length actuals);
+  st.depth <- st.depth + 1;
+  if st.depth > max_call_depth then trap "call depth exceeded (recursion?)";
+  let env = Array.make f.next_id (I 0) in
+  let saved_sp = st.stack_ptr in
+  let ret = exec_blocks st p env actuals in
+  st.stack_ptr <- saved_sp;
+  st.depth <- st.depth - 1;
+  ret
+
+and exec_call st env args callee actual_values =
+  (* libc allocation interface goes through the backend hooks; runtime
+     intrinsics through the backend's dispatcher; everything else must be
+     an IR function. *)
+  let b = st.backend in
+  match callee with
+  | "malloc" -> I (b.Backend.malloc (as_int actual_values.(0)))
+  | "calloc" ->
+      I (b.Backend.malloc (as_int actual_values.(0) * as_int actual_values.(1)))
+  | "realloc" ->
+      I (b.Backend.realloc (as_int actual_values.(0)) (as_int actual_values.(1)))
+  | "free" ->
+      b.Backend.free (as_int actual_values.(0));
+      I 0
+  | _ -> begin
+      let int_args = Array.map as_int actual_values in
+      match b.Backend.intrinsic callee int_args with
+      | Some r -> I r
+      | None ->
+          if String.length callee > 0 && callee.[0] = '!' then
+            trap "unknown runtime hook %s" callee
+          else begin
+            Memsim.Clock.tick b.Backend.clock 5 (* call overhead *);
+            call_function st callee actual_values
+          end
+    end
+  [@@warning "-27"]
+
+and exec_blocks st p env args =
+  let cost = st.backend.Backend.cost in
+  let clock = st.backend.Backend.clock in
+  let store = st.backend.Backend.store in
+  let fname = p.src.fname in
+  (* Iterative block dispatch: loops run for millions of iterations, so
+     branch handling must not grow the OCaml stack. *)
+  let ret = ref (I 0) in
+  let cur = ref 0 in
+  let prev = ref "<entry>" in
+  let running = ref true in
+  while !running do
+    let bidx = !cur in
+    let prev_label = !prev in
+    let blk = p.blocks.(bidx) in
+    (match st.profile with
+    | Some prof -> Profile.add_block prof ~func:fname ~block:blk.plabel 1
+    | None -> ());
+    let n = Array.length blk.pinstrs in
+    st.fuel <- st.fuel - (n + 1);
+    if st.fuel < 0 then trap "out of fuel (infinite loop?)";
+    st.instrs <- st.instrs + n + 1;
+    (* Straight-line cost: ALU/branch instructions retire ~4 per cycle on
+       the modelled 4-wide core; memory and calls add their own charges
+       below. *)
+    Memsim.Clock.tick clock ((n + 4) / 4);
+    for k = 0 to n - 1 do
+      let i = blk.pinstrs.(k) in
+      let result =
+        match i.kind with
+        | Ir.Binop (op, a, b) ->
+            I (exec_binop op (eval_int st env args a) (eval_int st env args b))
+        | Ir.Fbinop (op, a, b) ->
+            F
+              (exec_fbinop op (eval_float st env args a)
+                 (eval_float st env args b))
+        | Ir.Icmp (op, a, b) ->
+            I (exec_icmp op (eval_int st env args a) (eval_int st env args b))
+        | Ir.Fcmp (op, a, b) ->
+            I
+              (exec_fcmp op (eval_float st env args a)
+                 (eval_float st env args b))
+        | Ir.Si_to_fp a -> F (float_of_int (eval_int st env args a))
+        | Ir.Fp_to_si a -> I (int_of_float (eval_float st env args a))
+        | Ir.Load { ptr; size; is_float } ->
+            let addr = eval_int st env args ptr in
+            st.backend.Backend.on_access ~addr ~size ~write:false;
+            Memsim.Clock.tick clock cost.Memsim.Cost_model.local_access;
+            if is_float then F (Memsim.Memstore.load_float store ~addr)
+            else I (Memsim.Memstore.load store ~addr ~size)
+        | Ir.Store { ptr; size; is_float; v } ->
+            let addr = eval_int st env args ptr in
+            st.backend.Backend.on_access ~addr ~size ~write:true;
+            Memsim.Clock.tick clock cost.Memsim.Cost_model.local_access;
+            (if is_float then
+               Memsim.Memstore.store_float store ~addr
+                 (eval_float st env args v)
+             else
+               Memsim.Memstore.store store ~addr ~size
+                 (eval_int st env args v));
+            I 0
+        | Ir.Gep { base; index; scale; offset } ->
+            I
+              (eval_int st env args base
+              + (eval_int st env args index * scale)
+              + offset)
+        | Ir.Alloca bytes ->
+            let addr = st.stack_ptr in
+            st.stack_ptr <- st.stack_ptr + ((bytes + 15) land lnot 15);
+            I addr
+        | Ir.Call { callee; args = call_args } ->
+            let actuals =
+              Array.of_list (List.map (eval st env args) call_args)
+            in
+            exec_call st env args callee actuals
+        | Ir.Phi incoming -> begin
+            match
+              List.find_opt (fun (l, _) -> l = prev_label) incoming
+            with
+            | Some (_, v) -> eval st env args v
+            | None -> trap "%s: phi has no arm for predecessor %s" fname
+                        prev_label
+          end
+        | Ir.Select (c, a, b) ->
+            if eval_int st env args c <> 0 then eval st env args a
+            else eval st env args b
+      in
+      env.(i.id) <- result
+    done;
+    match blk.pterm with
+    | Ir.Br l ->
+        prev := blk.plabel;
+        cur := Hashtbl.find p.index l
+    | Ir.Cbr (c, t, e) ->
+        let target = if eval_int st env args c <> 0 then t else e in
+        prev := blk.plabel;
+        cur := Hashtbl.find p.index target
+    | Ir.Ret None ->
+        ret := I 0;
+        running := false
+    | Ir.Ret (Some v) ->
+        ret := eval st env args v;
+        running := false
+    | Ir.Unreachable -> trap "%s: reached unreachable in %s" fname blk.plabel
+  done;
+  !ret
+
+let run ?profile ?(fuel = 2_000_000_000) ?(args = []) backend m ~entry =
+  let st =
+    {
+      backend;
+      m;
+      prepared = Hashtbl.create 8;
+      globals = Hashtbl.create 8;
+      profile;
+      stack_ptr = stack_base;
+      fuel;
+      instrs = 0;
+      depth = 0;
+    }
+  in
+  layout_globals st;
+  let actuals = Array.of_list (List.map (fun n -> I n) args) in
+  let ret = call_function st entry actuals in
+  {
+    ret = as_int ret;
+    cycles = Memsim.Clock.cycles backend.Backend.clock;
+    instrs_executed = st.instrs;
+  }

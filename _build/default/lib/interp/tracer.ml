@@ -1,0 +1,65 @@
+type t = {
+  mutable addrs : int array;
+  mutable meta : int array; (* size lsl 1 lor write *)
+  mutable len : int;
+}
+
+let create () = { addrs = Array.make 1024 0; meta = Array.make 1024 0; len = 0 }
+
+let ensure t =
+  if t.len = Array.length t.addrs then begin
+    let n = 2 * t.len in
+    let addrs = Array.make n 0 and meta = Array.make n 0 in
+    Array.blit t.addrs 0 addrs 0 t.len;
+    Array.blit t.meta 0 meta 0 t.len;
+    t.addrs <- addrs;
+    t.meta <- meta
+  end
+
+let record t ~addr ~size ~write =
+  ensure t;
+  t.addrs.(t.len) <- addr;
+  t.meta.(t.len) <- (size lsl 1) lor if write then 1 else 0;
+  t.len <- t.len + 1
+
+let recording t (backend : Backend.t) =
+  {
+    backend with
+    Backend.on_access =
+      (fun ~addr ~size ~write ->
+        record t ~addr ~size ~write;
+        backend.Backend.on_access ~addr ~size ~write);
+  }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Tracer.get";
+  (t.addrs.(i), t.meta.(i) lsr 1, t.meta.(i) land 1 = 1)
+
+let replay t (backend : Backend.t) =
+  let cost = backend.Backend.cost.Memsim.Cost_model.local_access in
+  for i = 0 to t.len - 1 do
+    let addr = t.addrs.(i) in
+    let size = t.meta.(i) lsr 1 in
+    let write = t.meta.(i) land 1 = 1 in
+    backend.Backend.on_access ~addr ~size ~write;
+    Memsim.Clock.tick backend.Backend.clock cost
+  done
+
+let count_writes t =
+  let w = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.meta.(i) land 1 = 1 then incr w
+  done;
+  !w
+
+let writes = count_writes
+let reads t = t.len - count_writes t
+
+let footprint_bytes t =
+  let lines = Hashtbl.create 1024 in
+  for i = 0 to t.len - 1 do
+    Hashtbl.replace lines (t.addrs.(i) lsr 6) ()
+  done;
+  64 * Hashtbl.length lines

@@ -1,0 +1,36 @@
+(** Memory-access trace record and replay.
+
+    Wrapping a backend with {!recording} captures every load/store the
+    interpreter issues (address, size, read/write). A captured trace can
+    be replayed against any other backend with {!replay}, which drives the
+    same access sequence through that backend's memory system and charges
+    the same per-access base cost — useful for studying a memory system in
+    isolation from computation, and for regression-testing that two
+    backends see identical access streams.
+
+    Traces are stored columnar (flat int arrays), so multi-million-access
+    captures are cheap. *)
+
+type t
+
+val create : unit -> t
+
+val recording : t -> Backend.t -> Backend.t
+(** A backend that behaves exactly like the argument but appends every
+    access to the trace. *)
+
+val length : t -> int
+
+val get : t -> int -> int * int * bool
+(** [get t i] is [(addr, size, write)] of the i-th access. *)
+
+val replay : t -> Backend.t -> unit
+(** Drive the trace through [backend]: for each access, call its
+    [on_access] hook and charge the local-access base cost, exactly as
+    the interpreter does for a real load/store. *)
+
+val reads : t -> int
+val writes : t -> int
+
+val footprint_bytes : t -> int
+(** Number of distinct 64-byte lines touched, times 64. *)

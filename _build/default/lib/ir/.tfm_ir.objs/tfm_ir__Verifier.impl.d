@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Cfg Format Hashtbl Ir List String

@@ -1,0 +1,47 @@
+type t = {
+  order : string list;
+  succ : (string, string list) Hashtbl.t;
+  pred : (string, string list) Hashtbl.t;
+  entry : string;
+}
+
+let build (f : Ir.func) =
+  let succ = Hashtbl.create 16 in
+  let pred = Hashtbl.create 16 in
+  let order = List.map (fun (b : Ir.block) -> b.label) f.blocks in
+  List.iter
+    (fun l ->
+      Hashtbl.replace succ l [];
+      Hashtbl.replace pred l [])
+    order;
+  let get table l = try Hashtbl.find table l with Not_found -> [] in
+  let add_edge a b =
+    (* Tolerate edges to labels that do not exist: the verifier reports
+       them as Ill_formed; the CFG must not crash first. *)
+    Hashtbl.replace succ a (get succ a @ [ b ]);
+    Hashtbl.replace pred b (get pred b @ [ a ])
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun s -> add_edge b.label s) (Ir.successors b.term))
+    f.blocks;
+  { order; succ; pred; entry = (Ir.entry f).label }
+
+let successors t l = try Hashtbl.find t.succ l with Not_found -> []
+let predecessors t l = try Hashtbl.find t.pred l with Not_found -> []
+let labels t = t.order
+
+let postorder t =
+  let visited = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      List.iter go (successors t l);
+      out := l :: !out
+    end
+  in
+  go t.entry;
+  List.rev !out
+
+let reachable t = List.rev (postorder t)

@@ -1,0 +1,20 @@
+(** Control-flow graph view of a function.
+
+    Built once from a function snapshot; rebuilding after a transformation
+    pass is the caller's responsibility. *)
+
+type t
+
+val build : Ir.func -> t
+
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+
+val labels : t -> string list
+(** All block labels in function order (entry first). *)
+
+val reachable : t -> string list
+(** Labels reachable from the entry, in reverse postorder. *)
+
+val postorder : t -> string list
+(** Reachable labels in postorder (entry last). *)

@@ -1,0 +1,87 @@
+let binop_name : Ir.binop -> string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let fbinop_name : Ir.fbinop -> string = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let cmp_name : Ir.cmp -> string = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_value fmt : Ir.value -> unit = function
+  | Const n -> Format.fprintf fmt "%d" n
+  | Constf x -> Format.fprintf fmt "%g" x
+  | Reg id -> Format.fprintf fmt "%%%d" id
+  | Arg i -> Format.fprintf fmt "%%arg%d" i
+  | Sym s -> Format.fprintf fmt "@%s" s
+
+let pp_values fmt vs =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+    pp_value fmt vs
+
+let pp_kind fmt : Ir.kind -> unit = function
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "%s %a, %a" (binop_name op) pp_value a pp_value b
+  | Fbinop (op, a, b) ->
+      Format.fprintf fmt "%s %a, %a" (fbinop_name op) pp_value a pp_value b
+  | Icmp (op, a, b) ->
+      Format.fprintf fmt "icmp %s %a, %a" (cmp_name op) pp_value a pp_value b
+  | Fcmp (op, a, b) ->
+      Format.fprintf fmt "fcmp %s %a, %a" (cmp_name op) pp_value a pp_value b
+  | Si_to_fp v -> Format.fprintf fmt "sitofp %a" pp_value v
+  | Fp_to_si v -> Format.fprintf fmt "fptosi %a" pp_value v
+  | Load { ptr; size; is_float } ->
+      Format.fprintf fmt "load %s%d, %a"
+        (if is_float then "f" else "i")
+        (size * 8) pp_value ptr
+  | Store { ptr; size; is_float; v } ->
+      Format.fprintf fmt "store %s%d %a, %a"
+        (if is_float then "f" else "i")
+        (size * 8) pp_value v pp_value ptr
+  | Gep { base; index; scale; offset } ->
+      Format.fprintf fmt "gep %a, %a x %d + %d" pp_value base pp_value index
+        scale offset
+  | Alloca n -> Format.fprintf fmt "alloca %d" n
+  | Call { callee; args } ->
+      Format.fprintf fmt "call @%s(%a)" callee pp_values args
+  | Phi incoming ->
+      Format.fprintf fmt "phi %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           (fun fmt (l, v) -> Format.fprintf fmt "[%s: %a]" l pp_value v))
+        incoming
+  | Select (c, a, b) ->
+      Format.fprintf fmt "select %a, %a, %a" pp_value c pp_value a pp_value b
+
+let pp_instr fmt (i : Ir.instr) =
+  if Ir.defines_value i.kind then
+    Format.fprintf fmt "%%%d = %a" i.id pp_kind i.kind
+  else Format.fprintf fmt "%a" pp_kind i.kind
+
+let pp_terminator fmt : Ir.terminator -> unit = function
+  | Br l -> Format.fprintf fmt "br %s" l
+  | Cbr (c, t, e) -> Format.fprintf fmt "br %a, %s, %s" pp_value c t e
+  | Ret None -> Format.fprintf fmt "ret void"
+  | Ret (Some v) -> Format.fprintf fmt "ret %a" pp_value v
+  | Unreachable -> Format.fprintf fmt "unreachable"
+
+let pp_block fmt (b : Ir.block) =
+  Format.fprintf fmt "%s:@." b.label;
+  List.iter (fun i -> Format.fprintf fmt "  %a@." pp_instr i) b.instrs;
+  Format.fprintf fmt "  %a@." pp_terminator b.term
+
+let pp_func fmt (f : Ir.func) =
+  Format.fprintf fmt "define @%s(%d params) {@." f.fname f.nparams;
+  List.iter (pp_block fmt) f.blocks;
+  Format.fprintf fmt "}@."
+
+let pp_module fmt (m : Ir.modul) =
+  List.iter
+    (fun (name, size) -> Format.fprintf fmt "global @%s : %d bytes@." name size)
+    m.globals;
+  List.iter (pp_func fmt) m.funcs
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+let module_to_string m = Format.asprintf "%a" pp_module m

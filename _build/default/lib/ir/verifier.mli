@@ -1,0 +1,21 @@
+(** Structural well-formedness checks for IR.
+
+    Run after construction and after every transformation pass; a pass that
+    produces ill-formed IR is a bug in the pass, so violations raise. *)
+
+exception Ill_formed of string
+
+val check_func : Ir.func -> unit
+(** Verifies:
+    - block labels are unique and branch targets exist;
+    - instruction ids are unique within the function;
+    - every [Reg] operand refers to an instruction that defines a value;
+    - phi nodes appear only at the start of a block and their incoming
+      labels exactly match the block's CFG predecessors;
+    - the entry block has no phis;
+    - [Arg] indices are within [nparams];
+    - load/store sizes are 1, 2, 4 or 8.
+
+    @raise Ill_formed with a description on the first violation. *)
+
+val check_module : Ir.modul -> unit

@@ -1,0 +1,1 @@
+lib/memsim/clock.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/memsim/memstore.ml: Bytes Char Hashtbl Int32 Int64

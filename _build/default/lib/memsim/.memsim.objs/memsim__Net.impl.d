@@ -1,0 +1,1 @@
+lib/memsim/net.ml: Clock Cost_model

@@ -1,0 +1,1 @@
+lib/memsim/net.mli: Clock Cost_model

@@ -1,0 +1,28 @@
+type t = {
+  mutable cycles : int;
+  table : (string, int ref) Hashtbl.t;
+}
+
+let create () = { cycles = 0; table = Hashtbl.create 16 }
+
+let tick t n =
+  assert (n >= 0);
+  t.cycles <- t.cycles + n
+
+let cycles t = t.cycles
+
+let count t name n =
+  match Hashtbl.find_opt t.table name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.table name (ref n)
+
+let get t name =
+  match Hashtbl.find_opt t.table name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.table []
+  |> List.sort compare
+
+let reset t =
+  t.cycles <- 0;
+  Hashtbl.reset t.table

@@ -1,0 +1,27 @@
+(** Simulated cycle clock and event counters.
+
+    Every runtime component charges its costs here; experiments read the
+    final cycle count as "execution time" and the named counters as the
+    event series the paper plots (guard counts, fault counts, bytes
+    transferred). *)
+
+type t
+
+val create : unit -> t
+
+val tick : t -> int -> unit
+(** Advance the clock by a number of cycles. *)
+
+val cycles : t -> int
+
+val count : t -> string -> int -> unit
+(** Add to a named counter, creating it at zero on first use. *)
+
+val get : t -> string -> int
+(** Value of a named counter (0 if never counted). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+(** Zero the clock and all counters. *)

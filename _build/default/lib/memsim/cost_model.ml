@@ -1,0 +1,49 @@
+type t = {
+  local_access : int;
+  fast_guard_read : int;
+  fast_guard_write : int;
+  slow_guard_read_local : int;
+  slow_guard_write_local : int;
+  custody_check : int;
+  boundary_check : int;
+  locality_guard : int;
+  cache_miss_penalty : int;
+  metadata_indirection : int;
+  fastswap_fault_local : int;
+  fastswap_fault_base : int;
+  evict_object : int;
+  evict_page : int;
+  tcp_latency : int;
+  rdma_latency : int;
+  bytes_per_kcycle : int;
+  prefetch_hit : int;
+}
+
+(* Table 1: fast guards 21 cyc cached, ~300 uncached; slow guards 144/159
+   cached, 453/432 uncached. Table 2: Fastswap fault 1.3 Kcyc local /
+   34-35 Kcyc remote; TrackFM slow guard ~450 local / 35 Kcyc remote.
+   The remote numbers decompose as network latency + 4 KiB at 25 Gb/s. *)
+let default =
+  {
+    local_access = 12;
+    fast_guard_read = 21;
+    fast_guard_write = 21;
+    slow_guard_read_local = 144;
+    slow_guard_write_local = 159;
+    custody_check = 4;
+    boundary_check = 3;
+    locality_guard = 450;
+    cache_miss_penalty = 280;
+    metadata_indirection = 60;
+    fastswap_fault_local = 1300;
+    fastswap_fault_base = 900;
+    evict_object = 120;
+    evict_page = 600;
+    tcp_latency = 31800;
+    rdma_latency = 30000;
+    bytes_per_kcycle = 1302;
+    prefetch_hit = 450;
+  }
+
+let transfer_cycles t ~latency ~bytes =
+  latency + (bytes * 1000 / t.bytes_per_kcycle)

@@ -1,0 +1,52 @@
+(** Simulation cost constants.
+
+    Absolute primitive costs are inputs to this reproduction, not outputs:
+    they are calibrated to the medians the paper measured on CloudLab x170
+    nodes (Tables 1 and 2). Everything downstream — figure shapes, who
+    wins, crossover points — is then produced by the simulation.
+
+    All costs are in CPU cycles at the paper's 2.40 GHz clock. *)
+
+type t = {
+  local_access : int;
+      (** effective (throughput) cost of an unguarded local load/store;
+          the paper's Table 1 quotes the 36-cycle *latency* of one
+          access, but pipelined loops sustain far more than one access
+          per 36 cycles, so the simulation charges an effective cost *)
+  fast_guard_read : int;   (** extra cycles for a fast-path read guard *)
+  fast_guard_write : int;
+  slow_guard_read_local : int;
+      (** slow-path guard when the object is already local (runtime call) *)
+  slow_guard_write_local : int;
+  custody_check : int;     (** non-TrackFM pointer: bit test + branch *)
+  boundary_check : int;    (** loop-chunking object-boundary check (3 instrs) *)
+  locality_guard : int;
+      (** loop-chunking per-chunk runtime call that pins the object *)
+  cache_miss_penalty : int;
+      (** added to a guard whose state-table entry misses the data cache *)
+  metadata_indirection : int;
+      (** extra dependent load when the object state table is disabled
+          (ablation of the paper's Section 3.2 optimization) *)
+  fastswap_fault_local : int;
+      (** kernel fault with the page present locally (swap-cache hit) *)
+  fastswap_fault_base : int;
+      (** kernel fault software overhead added on top of the remote fetch
+          (mapping, cgroups reclaim) *)
+  evict_object : int;      (** evacuator bookkeeping per evicted object *)
+  evict_page : int;        (** kernel reclaim bookkeeping per evicted page *)
+  tcp_latency : int;       (** AIFM/Shenango TCP round-trip fixed cost *)
+  rdma_latency : int;      (** Fastswap one-sided RDMA fixed cost *)
+  bytes_per_kcycle : int;
+      (** wire bandwidth: bytes moved per 1000 cycles (25 Gb/s at 2.4 GHz
+          is ~1302 bytes/Kcyc) *)
+  prefetch_hit : int;
+      (** cost of an access whose object was brought in by a completed
+          prefetch: the latency is overlapped, only pipeline overhead and
+          a bandwidth share remain *)
+}
+
+val default : t
+(** Calibration used across the benchmark harness. *)
+
+val transfer_cycles : t -> latency:int -> bytes:int -> int
+(** [latency + bytes * per-byte cost]. *)

@@ -1,0 +1,26 @@
+(** Sparse byte-addressable backing storage.
+
+    Both the "local DRAM" and the "remote server" of the simulated cluster
+    store real data here, so workloads compute real results (STREAM sums
+    check out, hash lookups return the stored values). Pages materialize
+    lazily and read as zero before the first write, like anonymous mmap. *)
+
+type t
+
+val create : unit -> t
+
+val load : t -> addr:int -> size:int -> int
+(** Little-endian load of 1, 2, 4 or 8 bytes. 8-byte loads fill the OCaml
+    63-bit int; the top byte is truncated to keep values non-negative
+    tags intact (all simulated data fits 63 bits). *)
+
+val store : t -> addr:int -> size:int -> int -> unit
+
+val load_float : t -> addr:int -> float
+val store_float : t -> addr:int -> float -> unit
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** Copy a byte range (used by realloc). *)
+
+val page_size : int
+(** Granularity of lazy materialization (4096). *)

@@ -1,0 +1,43 @@
+type backend = Tcp | Rdma
+
+type t = {
+  cost : Cost_model.t;
+  clock : Clock.t;
+  latency : int;
+}
+
+let create cost clock backend =
+  let latency =
+    match backend with
+    | Tcp -> cost.Cost_model.tcp_latency
+    | Rdma -> cost.Cost_model.rdma_latency
+  in
+  { cost; clock; latency }
+
+let fetch t ~bytes =
+  Clock.tick t.clock
+    (Cost_model.transfer_cycles t.cost ~latency:t.latency ~bytes);
+  Clock.count t.clock "net.bytes_in" bytes;
+  Clock.count t.clock "net.fetches" 1
+
+let fetch_prefetched t ~bytes =
+  Clock.tick t.clock
+    (t.cost.Cost_model.prefetch_hit + (bytes * 1000 / t.cost.Cost_model.bytes_per_kcycle));
+  Clock.count t.clock "net.bytes_in" bytes;
+  Clock.count t.clock "net.fetches" 1;
+  Clock.count t.clock "net.prefetched_fetches" 1
+
+(* Dirty data is pushed back by the asynchronous reclaim path (Fastswap's
+   dedicated reclaim core, AIFM's evacuator threads), so the application
+   only pays a small enqueue cost; the volume still counts toward the
+   transfer totals the I/O-amplification figures report. *)
+let writeback_enqueue_cycles = 250
+
+let writeback t ~bytes =
+  Clock.tick t.clock writeback_enqueue_cycles;
+  Clock.count t.clock "net.bytes_out" bytes;
+  Clock.count t.clock "net.writebacks" 1
+
+let bytes_in t = Clock.get t.clock "net.bytes_in"
+let bytes_out t = Clock.get t.clock "net.bytes_out"
+let fetches t = Clock.get t.clock "net.fetches"

@@ -1,0 +1,34 @@
+(** Network transfer model between the compute node and the memory server.
+
+    Two backends mirror the paper's setups: AIFM/TrackFM move objects over
+    Shenango's TCP stack, Fastswap moves pages with one-sided RDMA. A
+    fetch or writeback charges [latency + size/bandwidth] cycles to the
+    clock and maintains the transfer counters the I/O-amplification
+    figures report. Prefetched fetches overlap their latency with
+    application progress and charge only the residual cost. *)
+
+type backend = Tcp | Rdma
+
+type t
+
+val create : Cost_model.t -> Clock.t -> backend -> t
+
+val fetch : t -> bytes:int -> unit
+(** Demand fetch: blocks the application for the full transfer cost. *)
+
+val fetch_prefetched : t -> bytes:int -> unit
+(** Fetch whose latency was hidden by an earlier asynchronous prefetch. *)
+
+val writeback : t -> bytes:int -> unit
+(** Dirty data pushed to the remote node by the asynchronous reclaim path
+    (Fastswap's dedicated reclaim core, AIFM's evacuator threads): the
+    application is charged only a small enqueue cost, but the bytes count
+    toward the transfer totals. *)
+
+val bytes_in : t -> int
+val bytes_out : t -> int
+val fetches : t -> int
+
+(** Counter names used on the shared clock: [net.bytes_in],
+    [net.bytes_out], [net.fetches], [net.writebacks],
+    [net.prefetched_fetches]. *)

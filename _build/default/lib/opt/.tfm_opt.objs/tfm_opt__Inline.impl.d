@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Hashtbl Ir List Printf Verifier

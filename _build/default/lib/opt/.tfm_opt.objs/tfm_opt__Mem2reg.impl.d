@@ -1,0 +1,1 @@
+lib/opt/mem2reg.ml: Cfg Hashtbl Ir List Opt Verifier

@@ -1,0 +1,1 @@
+lib/opt/o1.ml: Inline Ir Mem2reg Opt Verifier

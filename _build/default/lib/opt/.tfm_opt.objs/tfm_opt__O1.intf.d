@@ -1,0 +1,1 @@
+lib/opt/o1.mli: Ir

@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Cfg Hashtbl Ir List Tfm_analysis Verifier

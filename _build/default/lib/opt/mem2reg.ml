@@ -1,0 +1,176 @@
+(* A promotable alloca and the access shape its loads/stores agree on. *)
+type candidate = { alloca_id : int; size : int; is_float : bool }
+
+let find_candidates (f : Ir.func) =
+  let allocas = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.kind with
+          | Ir.Alloca _ -> Hashtbl.replace allocas i.id None
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  (* Disqualify on any non-load/store-pointer use; record access shape. *)
+  let disqualify id = Hashtbl.remove allocas id in
+  let note_access id ~size ~is_float =
+    (* Only full-width (8-byte) slots are promoted: narrower accesses
+       truncate through memory, which a register would not. *)
+    if size <> 8 then disqualify id
+    else
+      match Hashtbl.find_opt allocas id with
+      | None -> ()
+      | Some None -> Hashtbl.replace allocas id (Some (size, is_float))
+      | Some (Some (s, fl)) ->
+          if s <> size || fl <> is_float then disqualify id
+  in
+  let check_value ~as_plain_operand = function
+    | Ir.Reg id when Hashtbl.mem allocas id && as_plain_operand ->
+        disqualify id
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.kind with
+          | Ir.Load { ptr = Ir.Reg id; size; is_float }
+            when Hashtbl.mem allocas id ->
+              note_access id ~size ~is_float
+          | Ir.Store { ptr = Ir.Reg id; size; is_float; v }
+            when Hashtbl.mem allocas id ->
+              note_access id ~size ~is_float;
+              check_value ~as_plain_operand:true v
+          | k ->
+              List.iter (check_value ~as_plain_operand:true)
+                (Ir.instr_operands k))
+        b.instrs;
+      match b.term with
+      | Ir.Cbr (c, _, _) -> check_value ~as_plain_operand:true c
+      | Ir.Ret (Some v) -> check_value ~as_plain_operand:true v
+      | Ir.Br _ | Ir.Ret None | Ir.Unreachable -> ())
+    f.blocks;
+  Hashtbl.fold
+    (fun id shape acc ->
+      match shape with
+      | Some (size, is_float) -> { alloca_id = id; size; is_float } :: acc
+      | None -> acc (* never accessed: plain DCE food *))
+    allocas []
+
+let promote (f : Ir.func) =
+  let candidates = find_candidates f in
+  if candidates = [] then 0
+  else begin
+    let cfg = Cfg.build f in
+    let entry_label = (Ir.entry f).label in
+    let undef_of (c : candidate) =
+      if c.is_float then Ir.Constf 0.0 else Ir.Const 0
+    in
+    (* One phi per (variable, non-entry block); the entry's incoming value
+       is undef (a promotable slot read before any store reads zero in
+       our frame model, matching Const 0 / 0.0). *)
+    let phi_of : (int * string, Ir.instr) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun (b : Ir.block) ->
+        if b.label <> entry_label then
+          List.iter
+            (fun c ->
+              let id = Ir.fresh_id f in
+              Hashtbl.replace phi_of (c.alloca_id, b.label)
+                { Ir.id; kind = Ir.Phi [] })
+            candidates)
+      f.blocks;
+    (* Rename block by block; collect exit values and use substitutions. *)
+    let subst : (int, Ir.value) Hashtbl.t = Hashtbl.create 32 in
+    let exit_value : (int * string, Ir.value) Hashtbl.t = Hashtbl.create 32 in
+    let is_candidate id = List.exists (fun c -> c.alloca_id = id) candidates in
+    List.iter
+      (fun (b : Ir.block) ->
+        let current : (int, Ir.value) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun c ->
+            let init =
+              if b.label = entry_label then undef_of c
+              else Ir.Reg (Hashtbl.find phi_of (c.alloca_id, b.label)).Ir.id
+            in
+            Hashtbl.replace current c.alloca_id init)
+          candidates;
+        b.instrs <-
+          List.filter
+            (fun (i : Ir.instr) ->
+              match i.kind with
+              | Ir.Alloca _ when is_candidate i.id -> false
+              | Ir.Load { ptr = Ir.Reg id; _ } when is_candidate id ->
+                  Hashtbl.replace subst i.id (Hashtbl.find current id);
+                  false
+              | Ir.Store { ptr = Ir.Reg id; v; _ } when is_candidate id ->
+                  Hashtbl.replace current id v;
+                  false
+              | _ -> true)
+            b.instrs;
+        List.iter
+          (fun c ->
+            Hashtbl.replace exit_value (c.alloca_id, b.label)
+              (Hashtbl.find current c.alloca_id))
+          candidates)
+      f.blocks;
+    (* Resolve substitution chains (a promoted load may map to another
+       promoted load's id). *)
+    let rec resolve v =
+      match v with
+      | Ir.Reg id -> (
+          match Hashtbl.find_opt subst id with Some v' -> resolve v' | None -> v)
+      | _ -> v
+    in
+    (* Install the phis with arms from predecessor exit values. *)
+    List.iter
+      (fun (b : Ir.block) ->
+        if b.label <> entry_label then begin
+          let preds = Cfg.predecessors cfg b.label in
+          let new_phis =
+            List.filter_map
+              (fun c ->
+                match Hashtbl.find_opt phi_of (c.alloca_id, b.label) with
+                | None -> None
+                | Some phi ->
+                    let arms =
+                      List.map
+                        (fun p ->
+                          (p, resolve (Hashtbl.find exit_value (c.alloca_id, p))))
+                        preds
+                    in
+                    Some { phi with Ir.kind = Ir.Phi arms })
+              candidates
+          in
+          b.instrs <- new_phis @ b.instrs
+        end)
+      f.blocks;
+    (* Rewrite all remaining uses through the substitution. *)
+    let rewrite v = resolve v in
+    List.iter
+      (fun (b : Ir.block) ->
+        b.instrs <-
+          List.map
+            (fun (i : Ir.instr) ->
+              { i with Ir.kind = Ir.map_operands rewrite i.kind })
+            b.instrs;
+        b.term <-
+          (match b.term with
+          | Ir.Cbr (c, t, e) -> Ir.Cbr (rewrite c, t, e)
+          | Ir.Ret (Some v) -> Ir.Ret (Some (rewrite v))
+          | (Ir.Br _ | Ir.Ret None | Ir.Unreachable) as t -> t))
+      f.blocks;
+    List.length candidates
+  end
+
+let run (m : Ir.modul) =
+  let n = List.fold_left (fun acc f -> acc + promote f) 0 m.Ir.funcs in
+  if n > 0 then
+    List.iter
+      (fun f ->
+        ignore (Opt.simplify_trivial_phis f);
+        ignore (Opt.dce f))
+      m.Ir.funcs;
+  Verifier.check_module m;
+  n

@@ -1,0 +1,6 @@
+let run (m : Ir.modul) =
+  let inlined = Inline.inline_calls m in
+  let promoted = Mem2reg.run m in
+  let cleaned = Opt.run_o1 m in
+  Verifier.check_module m;
+  inlined + promoted + cleaned

@@ -1,0 +1,11 @@
+(** The complete -O1-style pre-optimization: what Figure 17b's "TFM/O1"
+    configuration runs before the TrackFM passes.
+
+    Order: inline small helpers ({!Inline}), promote stack slots to SSA
+    ({!Mem2reg}) — both of which expose induction variables and strided
+    accesses to the chunking pass — then the scalar cleanup fixpoint
+    ({!Opt.run_o1}). *)
+
+val run : Ir.modul -> int
+(** Returns the total of inlined sites, promoted slots and eliminated
+    instructions. Verifies the module afterwards. *)

@@ -1,0 +1,385 @@
+(* Substitute values according to [subst] throughout the function. *)
+let substitute (f : Ir.func) subst =
+  let rewrite v =
+    match v with
+    | Ir.Reg id -> ( match Hashtbl.find_opt subst id with Some v' -> v' | None -> v)
+    | Ir.Const _ | Ir.Constf _ | Ir.Arg _ | Ir.Sym _ -> v
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.instrs <-
+        List.map
+          (fun (i : Ir.instr) -> { i with Ir.kind = Ir.map_operands rewrite i.kind })
+          b.instrs;
+      b.term <-
+        (match b.term with
+        | Ir.Cbr (c, t, e) -> Ir.Cbr (rewrite c, t, e)
+        | Ir.Ret (Some v) -> Ir.Ret (Some (rewrite v))
+        | (Ir.Br _ | Ir.Ret None | Ir.Unreachable) as t -> t))
+    f.blocks
+
+let eval_binop op a b =
+  match (op : Ir.binop) with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Sdiv -> if b = 0 then None else Some (a / b)
+  | Srem -> if b = 0 then None else Some (a mod b)
+  | And -> Some (a land b)
+  | Or -> Some (a lor b)
+  | Xor -> Some (a lxor b)
+  | Shl -> Some (a lsl b)
+  | Lshr -> Some (a lsr b)
+  | Ashr -> Some (a asr b)
+
+let eval_cmp op a b =
+  let c =
+    match (op : Ir.cmp) with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if c then 1 else 0
+
+let constant_fold (f : Ir.func) =
+  let subst = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.kind with
+          | Ir.Binop (op, Ir.Const a, Ir.Const b) -> begin
+              match eval_binop op a b with
+              | Some v -> Hashtbl.replace subst i.id (Ir.Const v)
+              | None -> ()
+            end
+          | Ir.Icmp (op, Ir.Const a, Ir.Const b) ->
+              Hashtbl.replace subst i.id (Ir.Const (eval_cmp op a b))
+          | Ir.Select (Ir.Const c, x, y) ->
+              Hashtbl.replace subst i.id (if c <> 0 then x else y)
+          | Ir.Gep { base = Ir.Const p; index = Ir.Const i'; scale; offset } ->
+              Hashtbl.replace subst i.id (Ir.Const (p + (i' * scale) + offset))
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  if Hashtbl.length subst > 0 then substitute f subst;
+  Hashtbl.length subst
+
+(* Structural key for pure instructions eligible for local CSE. *)
+let cse_key (k : Ir.kind) =
+  match k with
+  | Ir.Binop _ | Ir.Fbinop _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Gep _
+  | Ir.Si_to_fp _ | Ir.Fp_to_si _ | Ir.Select _ ->
+      Some (`Pure k)
+  | Ir.Load { ptr; size; is_float } -> Some (`Load (ptr, size, is_float))
+  | Ir.Store _ | Ir.Call _ | Ir.Alloca _ | Ir.Phi _ -> None
+
+let cse (f : Ir.func) =
+  let subst = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let pure : (Ir.kind, int) Hashtbl.t = Hashtbl.create 16 in
+      let loads : (Ir.value * int * bool, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.kind with
+          | Ir.Store _ | Ir.Call _ ->
+              (* Conservatively kill all remembered loads. *)
+              Hashtbl.reset loads
+          | _ -> begin
+              match cse_key i.Ir.kind with
+              | Some (`Pure k) -> begin
+                  match Hashtbl.find_opt pure k with
+                  | Some prev -> Hashtbl.replace subst i.id (Ir.Reg prev)
+                  | None -> Hashtbl.replace pure k i.id
+                end
+              | Some (`Load key) -> begin
+                  match Hashtbl.find_opt loads key with
+                  | Some prev -> Hashtbl.replace subst i.id (Ir.Reg prev)
+                  | None -> Hashtbl.replace loads key i.id
+                end
+              | None -> ()
+            end)
+        b.instrs)
+    f.blocks;
+  if Hashtbl.length subst > 0 then begin
+    substitute f subst;
+    (* Drop the now-unused duplicates immediately so the count is real. *)
+    List.iter
+      (fun (b : Ir.block) ->
+        b.instrs <-
+          List.filter (fun (i : Ir.instr) -> not (Hashtbl.mem subst i.id)) b.instrs)
+      f.blocks
+  end;
+  Hashtbl.length subst
+
+let has_side_effect (k : Ir.kind) =
+  match k with
+  | Ir.Store _ | Ir.Call _ -> true
+  | Ir.Alloca _ -> true (* keep frame layout stable *)
+  | Ir.Binop _ | Ir.Fbinop _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Si_to_fp _
+  | Ir.Fp_to_si _ | Ir.Load _ | Ir.Gep _ | Ir.Phi _ | Ir.Select _ ->
+      false
+
+let dce (f : Ir.func) =
+  let used = Hashtbl.create 64 in
+  let note = function
+    | Ir.Reg id -> Hashtbl.replace used id ()
+    | Ir.Const _ | Ir.Constf _ | Ir.Arg _ | Ir.Sym _ -> ()
+  in
+  let removed = ref 0 in
+  let rec fixpoint () =
+    Hashtbl.reset used;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) -> List.iter note (Ir.instr_operands i.Ir.kind))
+          b.instrs;
+        match b.term with
+        | Ir.Cbr (c, _, _) -> note c
+        | Ir.Ret (Some v) -> note v
+        | Ir.Br _ | Ir.Ret None | Ir.Unreachable -> ())
+      f.blocks;
+    let changed = ref false in
+    List.iter
+      (fun (b : Ir.block) ->
+        let keep, drop =
+          List.partition
+            (fun (i : Ir.instr) ->
+              has_side_effect i.Ir.kind || Hashtbl.mem used i.id)
+            b.instrs
+        in
+        if drop <> [] then begin
+          b.instrs <- keep;
+          removed := !removed + List.length drop;
+          changed := true
+        end)
+      f.blocks;
+    if !changed then fixpoint ()
+  in
+  fixpoint ();
+  !removed
+
+let licm (f : Ir.func) =
+  let hoisted = ref 0 in
+  let loop_info = Tfm_analysis.Loops.analyze f in
+  List.iter
+    (fun (loop : Tfm_analysis.Loops.loop) ->
+      match loop.preheader with
+      | None -> ()
+      | Some pre_label ->
+          (* [du] is refreshed after each hoisting round so that values
+             moved to the preheader count as loop-invariant for the next
+             round. *)
+          let du = ref (Tfm_analysis.Defuse.build f) in
+          let in_loop_def = function
+            | Ir.Reg id -> begin
+                match Tfm_analysis.Defuse.block_of !du id with
+                | Some blk -> Tfm_analysis.Loops.contains loop blk
+                | None -> false
+              end
+            | Ir.Const _ | Ir.Constf _ | Ir.Arg _ | Ir.Sym _ -> false
+          in
+          let loop_has_memory_effects =
+            List.exists
+              (fun blk_label ->
+                let blk = Ir.find_block f blk_label in
+                List.exists
+                  (fun (i : Ir.instr) ->
+                    match i.kind with
+                    | Ir.Store _ | Ir.Call _ -> true
+                    | _ -> false)
+                  blk.instrs)
+              loop.body
+          in
+          let hoistable (i : Ir.instr) =
+            let pure_ok =
+              match i.kind with
+              | Ir.Binop ((Ir.Sdiv | Ir.Srem), _, _) ->
+                  false (* may trap; keep it guarded by the loop condition *)
+              | Ir.Binop _ | Ir.Fbinop _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Gep _
+              | Ir.Si_to_fp _ | Ir.Fp_to_si _ | Ir.Select _ ->
+                  true
+              | Ir.Load _ -> not loop_has_memory_effects
+              | Ir.Store _ | Ir.Call _ | Ir.Alloca _ | Ir.Phi _ -> false
+            in
+            pure_ok
+            && not (List.exists in_loop_def (Ir.instr_operands i.kind))
+          in
+          (* Iterate: hoisting one instruction can make its users
+             hoistable. Hoisting a load out of a loop with no stores is
+             safe even if the loop may run zero times only for loads from
+             provably allocated memory; in this IR loads never trap, so
+             zero-trip hoisting is value-safe (the result is then dead). *)
+          let changed = ref true in
+          while !changed do
+            changed := false;
+            du := Tfm_analysis.Defuse.build f;
+            let pre = Ir.find_block f pre_label in
+            List.iter
+              (fun blk_label ->
+                let blk = Ir.find_block f blk_label in
+                let stay, move =
+                  List.partition (fun i -> not (hoistable i)) blk.instrs
+                in
+                if move <> [] then begin
+                  blk.instrs <- stay;
+                  pre.instrs <- pre.instrs @ move;
+                  hoisted := !hoisted + List.length move;
+                  changed := true
+                end)
+              loop.body
+          done)
+    (Tfm_analysis.Loops.loops loop_info);
+  !hoisted
+
+let simplify_cfg (f : Ir.func) =
+  let changes = ref 0 in
+  (* 1. Fold constant conditional branches. *)
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Ir.Cbr (Ir.Const c, t', e) ->
+          b.term <- Ir.Br (if c <> 0 then t' else e);
+          incr changes
+      | Ir.Cbr (_, t', e) when t' = e ->
+          b.term <- Ir.Br t';
+          incr changes
+      | _ -> ())
+    f.blocks;
+  (* 2. Thread branches through empty forwarding blocks (no instructions,
+     unconditional branch), as long as doing so cannot confuse phis: we
+     only thread when the ultimate target has no phis. *)
+  let target_of label =
+    match Ir.find_block f label with
+    | { instrs = []; term = Ir.Br next; _ } when next <> label -> Some next
+    | _ | (exception Not_found) -> None
+  in
+  let has_phis label =
+    match Ir.find_block f label with
+    | b ->
+        List.exists
+          (fun (i : Ir.instr) ->
+            match i.kind with Ir.Phi _ -> true | _ -> false)
+          b.instrs
+    | exception Not_found -> false
+  in
+  let thread label =
+    match target_of label with
+    | Some next when not (has_phis next) ->
+        incr changes;
+        next
+    | _ -> label
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.term <-
+        (match b.term with
+        | Ir.Br l -> Ir.Br (thread l)
+        | Ir.Cbr (c, t', e) -> Ir.Cbr (c, thread t', thread e)
+        | (Ir.Ret _ | Ir.Unreachable) as t' -> t'))
+    f.blocks;
+  (* 3. Remove unreachable blocks and prune phi arms that referenced
+     them. *)
+  let cfg = Cfg.build f in
+  let reachable = Cfg.reachable cfg in
+  let is_reachable l = List.mem l reachable in
+  let removed = List.filter (fun (b : Ir.block) -> not (is_reachable b.label)) f.blocks in
+  if removed <> [] then begin
+    changes := !changes + List.length removed;
+    let dead = List.map (fun (b : Ir.block) -> b.label) removed in
+    f.blocks <-
+      List.filter (fun (b : Ir.block) -> is_reachable b.label) f.blocks;
+    List.iter
+      (fun (b : Ir.block) ->
+        b.instrs <-
+          List.map
+            (fun (i : Ir.instr) ->
+              match i.kind with
+              | Ir.Phi incoming ->
+                  {
+                    i with
+                    kind =
+                      Ir.Phi
+                        (List.filter
+                           (fun (l, _) -> not (List.mem l dead))
+                           incoming);
+                  }
+              | _ -> i)
+            b.instrs)
+      f.blocks
+  end;
+  !changes
+
+let simplify_trivial_phis (f : Ir.func) =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let subst = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.Ir.kind with
+            | Ir.Phi incoming -> begin
+                let values =
+                  List.sort_uniq compare
+                    (List.filter_map
+                       (fun (_, v) ->
+                         match v with
+                         | Ir.Reg id when id = i.Ir.id -> None
+                         | v -> Some v)
+                       incoming)
+                in
+                match values with
+                | [ v ] -> begin
+                    (* avoid same-round substitution cycles between two
+                       mutually-trivial phis (an undef loop): defer the
+                       second one to the next round *)
+                    match v with
+                    | Ir.Reg vid when Hashtbl.mem subst vid -> ()
+                    | _ -> Hashtbl.replace subst i.Ir.id v
+                  end
+                | _ -> ()
+              end
+            | _ -> ())
+          b.instrs)
+      f.blocks;
+    if Hashtbl.length subst > 0 then begin
+      removed := !removed + Hashtbl.length subst;
+      changed := true;
+      substitute f subst;
+      List.iter
+        (fun (b : Ir.block) ->
+          b.instrs <-
+            List.filter
+              (fun (i : Ir.instr) -> not (Hashtbl.mem subst i.Ir.id))
+              b.instrs)
+        f.blocks
+    end
+  done;
+  !removed
+
+let run_o1 (m : Ir.modul) =
+  let total = ref 0 in
+  let round () =
+    List.fold_left
+      (fun acc f ->
+        acc + constant_fold f + cse f + licm f + simplify_trivial_phis f
+        + dce f + simplify_cfg f)
+      0 m.Ir.funcs
+  in
+  let rec go () =
+    let n = round () in
+    total := !total + n;
+    if n > 0 then go ()
+  in
+  go ();
+  Verifier.check_module m;
+  !total
+
+

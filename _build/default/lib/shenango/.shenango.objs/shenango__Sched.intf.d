@@ -1,0 +1,1 @@
+lib/shenango/sched.mli:

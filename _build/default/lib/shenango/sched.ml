@@ -1,0 +1,92 @@
+type _ Effect.t +=
+  | Work : int -> unit Effect.t
+  | Block : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Now : int Effect.t
+
+let work c = Effect.perform (Work c)
+let block l = Effect.perform (Block l)
+let yield () = Effect.perform Yield
+let now () = Effect.perform Now
+
+(* A runnable continuation becomes ready at [wake_at]; the single core
+   executes at [core_time], advancing over Work and jumping forward when
+   every task is still blocked. *)
+type runnable = { wake_at : int; seq : int; k : (unit, unit) Effect.Deep.continuation option }
+
+type t = {
+  mutable tasks : (unit -> unit) list;
+  mutable queue : runnable list; (* sorted by (wake_at, seq) *)
+  mutable core_time : int;
+  mutable next_seq : int;
+}
+
+let create () = { tasks = []; queue = []; core_time = 0; next_seq = 0 }
+
+let spawn t f = t.tasks <- t.tasks @ [ f ]
+
+let push t r =
+  (* insertion keeps (wake_at, seq) order: FIFO among equal wake times *)
+  let rec ins = function
+    | [] -> [ r ]
+    | x :: rest ->
+        if (x.wake_at, x.seq) <= (r.wake_at, r.seq) then x :: ins rest
+        else r :: x :: rest
+  in
+  t.queue <- ins t.queue
+
+let run t =
+  let open Effect.Deep in
+  let enqueue_ready wake_at k =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    push t { wake_at; seq; k }
+  in
+  (* Start a task under the scheduler's handler. *)
+  let start f =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Work c ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    t.core_time <- t.core_time + c;
+                    continue k ())
+            | Block l ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    enqueue_ready (t.core_time + l) (Some k))
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    enqueue_ready t.core_time (Some k))
+            | Now ->
+                Some (fun (k : (a, unit) continuation) -> continue k t.core_time)
+            | _ -> None);
+      }
+  in
+  (* Seed: all spawned tasks are ready at time 0, in spawn order. *)
+  let pending = ref t.tasks in
+  t.tasks <- [];
+  List.iter (fun _ -> ()) !pending;
+  let rec schedule () =
+    match (!pending, t.queue) with
+    | f :: rest, _ ->
+        pending := rest;
+        start f;
+        schedule ()
+    | [], [] -> ()
+    | [], r :: rest ->
+        t.queue <- rest;
+        if r.wake_at > t.core_time then t.core_time <- r.wake_at;
+        (match r.k with
+        | Some k -> continue k ()
+        | None -> ());
+        schedule ()
+  in
+  schedule ();
+  t.core_time

@@ -1,0 +1,49 @@
+(** Shenango-style user-level tasking (discrete-event simulation).
+
+    AIFM sits on Shenango's lightweight green threads: when one task
+    blocks on a remote object fetch, the core switches to another in tens
+    of nanoseconds, so concurrent requests hide far-memory latency. The
+    paper leans on this in two places: AIFM's TCP backend "outperforms
+    ... when there is sufficient concurrency" (Section 4.1), and remote
+    fetch costs are dwarfed whenever other runnable work exists.
+
+    This module simulates that execution model on a single core with a
+    discrete-event scheduler over OCaml effects:
+
+    - {!work} consumes CPU cycles (cores are serial: work from different
+      tasks adds up);
+    - {!block} releases the core for the duration of an I/O latency
+      (blocking overlaps with other tasks' work and with other blocks);
+    - {!yield} lets the evacuator-style background tasks interleave.
+
+    The completion time returned by {!run} is therefore
+    [max(total work, per-task critical paths)] — exactly the latency
+    hiding AIFM exploits. *)
+
+type t
+
+val create : unit -> t
+
+val spawn : t -> (unit -> unit) -> unit
+(** Register a task. Tasks only run inside {!run}. *)
+
+val run : t -> int
+(** Execute all tasks to completion; returns the simulated completion
+    time in cycles. @raise Failure on a deadlock (never happens with
+    work/block/yield only). *)
+
+(** {1 Task-side operations} — must be called from inside a task. *)
+
+val work : int -> unit
+(** Consume CPU cycles on the (single) core. *)
+
+val block : int -> unit
+(** Block this task for a latency (e.g. a remote fetch): the core is
+    released to other runnable tasks. *)
+
+val yield : unit -> unit
+(** Cooperative reschedule point (the out-of-scope state AIFM's
+    evacuator barrier waits for). *)
+
+val now : unit -> int
+(** Current simulated time (valid inside a task). *)

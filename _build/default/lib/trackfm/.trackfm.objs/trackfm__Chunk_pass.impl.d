@@ -1,0 +1,1 @@
+lib/trackfm/chunk_pass.ml: Cost_eq Hashtbl Ir List Tfm_analysis

@@ -1,0 +1,1 @@
+lib/trackfm/chunk_pass.mli: Cost_model Hashtbl Ir Profile

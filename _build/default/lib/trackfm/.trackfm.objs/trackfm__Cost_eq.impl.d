@@ -1,0 +1,1 @@
+lib/trackfm/cost_eq.ml: Cost_model

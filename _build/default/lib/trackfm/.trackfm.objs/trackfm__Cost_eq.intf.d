@@ -1,0 +1,1 @@
+lib/trackfm/cost_eq.mli: Cost_model

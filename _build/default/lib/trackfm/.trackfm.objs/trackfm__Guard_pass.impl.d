@@ -1,0 +1,1 @@
+lib/trackfm/guard_pass.ml: Hashtbl Ir List Tfm_analysis

@@ -1,0 +1,1 @@
+lib/trackfm/guard_pass.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/trackfm/init_pass.ml: Ir List

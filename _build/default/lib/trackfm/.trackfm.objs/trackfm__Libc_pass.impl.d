@@ -1,0 +1,1 @@
+lib/trackfm/libc_pass.ml: Ir List

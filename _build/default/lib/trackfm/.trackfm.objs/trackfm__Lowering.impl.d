@@ -1,0 +1,1 @@
+lib/trackfm/lowering.ml: Ir List

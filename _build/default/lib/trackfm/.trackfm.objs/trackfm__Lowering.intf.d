@@ -1,0 +1,1 @@
+lib/trackfm/lowering.mli: Ir

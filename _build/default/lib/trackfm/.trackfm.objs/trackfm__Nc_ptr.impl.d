@@ -1,0 +1,1 @@
+lib/trackfm/nc_ptr.ml:

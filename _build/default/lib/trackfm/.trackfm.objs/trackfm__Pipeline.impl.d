@@ -1,0 +1,1 @@
+lib/trackfm/pipeline.ml: Chunk_pass Cost_model Guard_pass Init_pass Ir Libc_pass Lowering Profile Sys Verifier

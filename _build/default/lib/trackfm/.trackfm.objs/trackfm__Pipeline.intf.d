@@ -1,0 +1,1 @@
+lib/trackfm/pipeline.mli: Chunk_pass Cost_model Guard_pass Ir Profile

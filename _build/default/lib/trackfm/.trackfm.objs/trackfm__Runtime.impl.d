@@ -1,0 +1,1 @@
+lib/trackfm/runtime.ml: Array Clock Cost_model Hashtbl List Memstore Nc_ptr Net Pool Prefetcher Queue Region_alloc

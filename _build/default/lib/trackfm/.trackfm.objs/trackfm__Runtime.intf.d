@@ -1,0 +1,1 @@
+lib/trackfm/runtime.mli: Clock Cost_model Memstore Net Pool

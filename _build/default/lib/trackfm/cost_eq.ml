@@ -1,0 +1,27 @@
+(* Must match the loop-entry charge in Runtime.chunk_init. *)
+let chunk_init_call = 130
+
+let chunk_entry_cost (c : Cost_model.t) = chunk_init_call + c.locality_guard
+
+let naive_cost_per_object (c : Cost_model.t) ~density =
+  ((density - 1) * c.fast_guard_read) + c.slow_guard_read_local
+
+let chunked_cost_per_object (c : Cost_model.t) ~density =
+  ((density - 1) * c.boundary_check) + c.locality_guard
+
+let density_threshold (c : Cost_model.t) =
+  float_of_int (c.slow_guard_read_local - c.locality_guard)
+  /. float_of_int (c.boundary_check - c.fast_guard_read)
+
+let should_chunk_static c ~density =
+  float_of_int density > density_threshold c
+
+let chunk_benefit (c : Cost_model.t) ~density ~avg_trip =
+  let crossings = avg_trip /. float_of_int (max 1 density) in
+  (avg_trip *. float_of_int (c.fast_guard_read - c.boundary_check))
+  -. float_of_int (chunk_entry_cost c)
+  -. (crossings
+     *. float_of_int (c.locality_guard - c.slow_guard_read_local))
+
+let should_chunk_profiled c ~density ~avg_trip =
+  chunk_benefit c ~density ~avg_trip > 0.0

@@ -1,0 +1,25 @@
+(** Pointer-guard analysis and transformation (Sections 3.1 and 3.3).
+
+    The analysis marks every load/store that may touch heap memory (via
+    the {!Tfm_analysis.Alias} classification); the transform prepends the
+    compiler-injected guard call that performs the custody check and the
+    fast/slow path logic at run time. Accesses already covered by the
+    loop chunking transform are skipped — they carry the cheaper
+    boundary-check protocol instead. *)
+
+type report = {
+  guarded_loads : int;
+  guarded_stores : int;
+  skipped_non_heap : int;
+      (** accesses proven stack/global, left unguarded *)
+  skipped_chunked : int;
+}
+
+val analyze : Ir.func -> (int * bool) list
+(** Eligible accesses in one function: (instruction id, is_store). *)
+
+val run : ?exclude:(int, unit) Hashtbl.t -> Ir.modul -> report
+(** Insert guards module-wide, skipping ids in [exclude]. *)
+
+val guard_read_name : string
+val guard_write_name : string

@@ -1,0 +1,23 @@
+let hook_name = "!tfm_init"
+
+let run (m : Ir.modul) =
+  match List.find_opt (fun (f : Ir.func) -> f.fname = "main") m.funcs with
+  | None -> false
+  | Some f ->
+      let entry = Ir.entry f in
+      let already =
+        List.exists
+          (fun (i : Ir.instr) ->
+            match i.kind with
+            | Ir.Call { callee; _ } -> callee = hook_name
+            | _ -> false)
+          entry.instrs
+      in
+      if already then false
+      else begin
+        let id = Ir.fresh_id f in
+        entry.instrs <-
+          { Ir.id; kind = Ir.Call { callee = hook_name; args = [] } }
+          :: entry.instrs;
+        true
+      end

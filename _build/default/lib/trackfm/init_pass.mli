@@ -1,0 +1,12 @@
+(** Runtime initialization pass (Figure 2, first stage).
+
+    Inserts a [!tfm_init] hook at the top of [main]'s entry block so the
+    transformed binary brings up the TrackFM runtime before any
+    application code runs — the transparency trick that spares the
+    programmer any setup code. *)
+
+val run : Ir.modul -> bool
+(** [true] if a hook was inserted ([main] exists and was not already
+    instrumented). Idempotent. *)
+
+val hook_name : string

@@ -1,0 +1,29 @@
+let tfm_name = function
+  | "malloc" -> Some "tfm_malloc"
+  | "calloc" -> Some "tfm_calloc"
+  | "realloc" -> Some "tfm_realloc"
+  | "free" -> Some "tfm_free"
+  | _ -> None
+
+let run (m : Ir.modul) =
+  let rewritten = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          b.instrs <-
+            List.map
+              (fun (i : Ir.instr) ->
+                match i.kind with
+                | Ir.Call { callee; args } -> begin
+                    match tfm_name callee with
+                    | Some name ->
+                        incr rewritten;
+                        { i with kind = Ir.Call { callee = name; args } }
+                    | None -> i
+                  end
+                | _ -> i)
+              b.instrs)
+        f.blocks)
+    m.funcs;
+  !rewritten

@@ -1,0 +1,31 @@
+(* Weights follow Figure 4 and Section 3.3/3.4: the inlined guard body is
+   14 instructions on its fast path plus the slow-path call stub; the
+   chunking boundary check is 3 instructions; runtime hooks are plain
+   calls. *)
+let instr_weight : Ir.kind -> int = function
+  | Ir.Call { callee; _ } -> begin
+      match callee with
+      | "tfm_guard_read" | "tfm_guard_write" -> 16 (* 14 + call stub *)
+      | "tfm_chunk_access_read" | "tfm_chunk_access_write" -> 3
+      | "!tfm_chunk_init" | "!tfm_chunk_end" -> 2
+      | "!tfm_init" -> 1
+      | _ -> 2 (* call + arg setup *)
+    end
+  | Ir.Phi _ -> 0 (* resolved into copies at block edges; amortized *)
+  | Ir.Gep _ -> 2 (* lea or shift+add *)
+  | Ir.Binop _ | Ir.Fbinop _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Si_to_fp _
+  | Ir.Fp_to_si _ | Ir.Load _ | Ir.Store _ | Ir.Alloca _ | Ir.Select _ ->
+      1
+
+let func_size (f : Ir.func) =
+  List.fold_left
+    (fun acc (b : Ir.block) ->
+      (* one instruction per terminator *)
+      1
+      + List.fold_left
+          (fun acc (i : Ir.instr) -> acc + instr_weight i.kind)
+          acc b.instrs)
+    0 f.blocks
+
+let module_size (m : Ir.modul) =
+  List.fold_left (fun acc f -> acc + func_size f) 0 m.funcs

@@ -1,0 +1,38 @@
+(** Non-canonical TrackFM pointer encoding (Section 3.1).
+
+    The paper overloads bit 60 of the x86 virtual address: TrackFM's
+    custom malloc returns addresses in the non-canonical range starting at
+    2^60, so a single shift-and-test distinguishes TrackFM-managed heap
+    pointers from stack/global/foreign pointers, and any unguarded
+    dereference of a tracked pointer would fault rather than silently read
+    the wrong memory. OCaml ints are 63-bit, so the same encoding fits
+    verbatim: simulated stack and global segments live far below 2^60 and
+    can never collide with tagged heap addresses.
+
+    The multi-object-size extension (the paper's Section 3.2 future work)
+    additionally reserves bits 57-58 for a size-class index, so a guard
+    can derive both the class and the object id from the pointer with
+    shifts — no table lookup. *)
+
+val tag_base : int
+(** [2^60], the start of the TrackFM-managed address range. *)
+
+val is_tracked : int -> bool
+(** The custody check: does this pointer carry the TrackFM tag? *)
+
+val offset : int -> int
+(** Heap offset of a tracked pointer within its size class (address with
+    the tag and class bits stripped). Requires [is_tracked]. *)
+
+val size_class : int -> int
+(** Size-class index (0-3) encoded in bits 57-58; 0 for the default
+    single-class configuration. *)
+
+val class_base : int -> int
+(** Base address of a size class's heap range. *)
+
+val object_id : int -> object_size_log2:int -> int
+(** The AIFM object id a tracked pointer falls in: the in-class offset
+    shifted by the object-size exponent — the "divide by the object size"
+    of Section 3.2, a single shift because object sizes are powers of
+    two. *)

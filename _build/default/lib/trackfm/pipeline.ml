@@ -1,0 +1,66 @@
+type config = {
+  object_size : int;
+  chunk_mode : Chunk_pass.mode;
+  profile : Profile.t option;
+  cost : Cost_model.t;
+  dump_after : (string -> Ir.modul -> unit) option;
+}
+
+let default_config =
+  {
+    object_size = 4096;
+    chunk_mode = `Gated;
+    profile = None;
+    cost = Cost_model.default;
+    dump_after = None;
+  }
+
+type report = {
+  guards : Guard_pass.report;
+  chunks : Chunk_pass.report;
+  libc_rewrites : int;
+  init_inserted : bool;
+  ir_instrs_before : int;
+  ir_instrs_after : int;
+  lowered_size_before : int;
+  lowered_size_after : int;
+  compile_time_s : float;
+}
+
+let run config (m : Ir.modul) =
+  let t0 = Sys.time () in
+  let ir_instrs_before = Ir.module_instr_count m in
+  let lowered_size_before = Lowering.module_size m in
+  let dump name =
+    match config.dump_after with Some f -> f name m | None -> ()
+  in
+  Verifier.check_module m;
+  let init_inserted = Init_pass.run m in
+  Verifier.check_module m;
+  dump "runtime-init";
+  let chunks =
+    Chunk_pass.run config.cost ~object_size:config.object_size
+      ~mode:config.chunk_mode ?profile:config.profile m
+  in
+  Verifier.check_module m;
+  dump "loop-chunking";
+  let guards = Guard_pass.run ~exclude:chunks.Chunk_pass.covered m in
+  Verifier.check_module m;
+  dump "guard-transform";
+  let libc_rewrites = Libc_pass.run m in
+  Verifier.check_module m;
+  dump "libc-transform";
+  {
+    guards;
+    chunks;
+    libc_rewrites;
+    init_inserted;
+    ir_instrs_before;
+    ir_instrs_after = Ir.module_instr_count m;
+    lowered_size_before;
+    lowered_size_after = Lowering.module_size m;
+    compile_time_s = Sys.time () -. t0;
+  }
+
+let code_growth r =
+  float_of_int r.lowered_size_after /. float_of_int (max 1 r.lowered_size_before)

@@ -1,0 +1,39 @@
+(** The TrackFM compiler pipeline (Figure 2).
+
+    Applies, in order: runtime initialization, loop chunking analysis and
+    transform (with the configured gate), guard check analysis and
+    transform over the remaining accesses, and the libc transformation.
+    The module is verified after every stage — a pass that breaks IR
+    well-formedness is a compiler bug and raises. *)
+
+type config = {
+  object_size : int;          (** compile-time AIFM object size choice *)
+  chunk_mode : Chunk_pass.mode;
+  profile : Profile.t option; (** enables the profiled chunking gate *)
+  cost : Cost_model.t;
+  dump_after : (string -> Ir.modul -> unit) option;
+      (** compiler-debugging hook ("-print-after-all"): called with the
+          pass name and the module after each stage *)
+}
+
+val default_config : config
+(** 4 KiB objects, gated chunking, no profile, default cost model. *)
+
+type report = {
+  guards : Guard_pass.report;
+  chunks : Chunk_pass.report;
+  libc_rewrites : int;
+  init_inserted : bool;
+  ir_instrs_before : int;
+  ir_instrs_after : int;
+  lowered_size_before : int;
+  lowered_size_after : int;
+  compile_time_s : float;
+}
+
+val run : config -> Ir.modul -> report
+(** Transforms the module in place. *)
+
+val code_growth : report -> float
+(** Lowered-size ratio after/before — the paper reports an average of
+    2.4x. *)

@@ -1,0 +1,366 @@
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v / 2) in
+  go 0 n
+
+(* Direct-mapped model of the data cache lines holding object state table
+   entries: 4096 entries of 8 B each (32 KiB), enough that hot loops hit
+   and pointer-chasing workloads miss — giving Table 1's cached/uncached
+   split without a full cache simulator. *)
+let meta_cache_slots = 4096
+
+type chunk_state = {
+  mutable cur : (int * int) option; (* pinned (class, object id) *)
+  mutable stride_bytes : int;
+}
+
+(* One far-memory size class: its own pool (budget share), allocator range
+   and object-size exponent. The default configuration has exactly one. *)
+type size_class = {
+  max_alloc : int; (* allocations up to this many bytes land here *)
+  pool : Pool.t;
+  alloc : Region_alloc.t;
+  osize_log2 : int;
+  miss_prefetcher : Prefetcher.t;
+}
+
+type guard_event = {
+  ptr : int;
+  object_id : int;
+  size_class : int;
+  path : [ `Custody_skip | `Fast | `Slow_local | `Slow_remote ];
+  write : bool;
+}
+
+type t = {
+  cost : Cost_model.t;
+  clock : Clock.t;
+  store : Memstore.t;
+  classes : size_class array;
+  use_state_table : bool;
+  prefetch : bool;
+  prefetch_depth : int;
+  meta_cache : int array;
+  chunks : (int, chunk_state) Hashtbl.t;
+  mutable debug : bool;
+  debug_ring : guard_event Queue.t;
+}
+
+let make_class ?policy cost clock backend idx ~max_alloc ~object_size ~budget
+    =
+  let net = Net.create cost clock backend in
+  let pool =
+    Pool.create ?policy cost clock ~net ~object_size ~local_budget:budget
+  in
+  {
+    max_alloc;
+    pool;
+    alloc = Region_alloc.create ~base:(Nc_ptr.class_base idx);
+    osize_log2 = log2 object_size;
+    miss_prefetcher = Prefetcher.create pool ();
+  }
+
+let create ?(backend = Net.Tcp) ?(use_state_table = true) ?(prefetch = true)
+    ?size_classes ?policy cost clock store ~object_size ~local_budget =
+  let specs =
+    match size_classes with
+    | None | Some [] -> [ (max_int, object_size, 1.0) ]
+    | Some specs ->
+        if List.length specs > 4 then
+          invalid_arg "Runtime.create: at most 4 size classes";
+        let rec last = function
+          | [ (m, _, _) ] -> m
+          | _ :: rest -> last rest
+          | [] -> assert false
+        in
+        if last specs <> max_int then
+          invalid_arg
+            "Runtime.create: the final size class must be a catch-all \
+             (max_int)";
+        specs
+  in
+  let classes =
+    Array.of_list
+      (List.mapi
+         (fun idx (max_alloc, osize, share) ->
+           make_class ?policy cost clock backend idx ~max_alloc
+             ~object_size:osize
+             ~budget:(max osize (int_of_float (float_of_int local_budget *. share))))
+         specs)
+  in
+  {
+    cost;
+    clock;
+    store;
+    classes;
+    use_state_table;
+    prefetch;
+    prefetch_depth = 8;
+    meta_cache = Array.make meta_cache_slots (-1);
+    chunks = Hashtbl.create 16;
+    debug = false;
+    debug_ring = Queue.create ();
+  }
+
+let debug_ring_capacity = 4096
+
+let set_debug t on = t.debug <- on
+
+let debug_events t = List.of_seq (Queue.to_seq t.debug_ring)
+
+let log_event t ev =
+  if t.debug then begin
+    if Queue.length t.debug_ring >= debug_ring_capacity then
+      ignore (Queue.pop t.debug_ring);
+    Queue.push ev t.debug_ring
+  end
+
+let pool t = t.classes.(0).pool
+let pools t = Array.to_list (Array.map (fun c -> c.pool) t.classes)
+let cost t = t.cost
+let clock t = t.clock
+let object_size t = Pool.object_size t.classes.(0).pool
+let size_class_count t = Array.length t.classes
+
+let cls_of_ptr t ptr =
+  let idx = Nc_ptr.size_class ptr in
+  if idx >= Array.length t.classes then
+    invalid_arg "Runtime: pointer with unknown size class"
+  else (idx, t.classes.(idx))
+
+let object_id (c : size_class) ptr =
+  Nc_ptr.object_id ptr ~object_size_log2:c.osize_log2
+
+(* -- allocation ---------------------------------------------------------- *)
+
+let malloc_cost = 60
+
+let class_for_size t n =
+  let rec go i =
+    if i = Array.length t.classes - 1 then i
+    else if n <= t.classes.(i).max_alloc then i
+    else go (i + 1)
+  in
+  go 0
+
+let tfm_malloc t n =
+  (* Objects materialize lazily on first access (the pool's analogue of an
+     anonymous first-touch fault), so huge allocations are cheap and fresh
+     memory never crosses the network. *)
+  Clock.tick t.clock malloc_cost;
+  Clock.count t.clock "tfm.mallocs" 1;
+  let c = t.classes.(class_for_size t n) in
+  Region_alloc.alloc c.alloc n
+
+let tfm_calloc t count size =
+  (* The store reads as zero before first write, so calloc is malloc. *)
+  tfm_malloc t (max 1 (count * size))
+
+let tfm_free t ptr =
+  Clock.tick t.clock malloc_cost;
+  let _, c = cls_of_ptr t ptr in
+  let cls_bytes = Region_alloc.size_of c.alloc ptr in
+  Region_alloc.free c.alloc ptr;
+  (* Objects fully covered by the dead block are released back to the
+     pool: their data can never be read again, so neither the local
+     budget nor a remote copy needs to be kept. Partially covered edge
+     objects may still hold neighbouring allocations and stay. *)
+  let osize = 1 lsl c.osize_log2 in
+  let first_full = (Nc_ptr.offset ptr + osize - 1) lsr c.osize_log2 in
+  let last_full = ((Nc_ptr.offset ptr + cls_bytes) lsr c.osize_log2) - 1 in
+  for id = first_full to last_full do
+    Pool.discard c.pool id
+  done
+
+let tfm_realloc t ptr n =
+  if ptr = 0 then tfm_malloc t n
+  else begin
+    let _, c = cls_of_ptr t ptr in
+    let old_req = Region_alloc.requested_size_of c.alloc ptr in
+    let cls_size = Region_alloc.size_of c.alloc ptr in
+    if n <= cls_size then ptr
+    else begin
+      let fresh = tfm_malloc t n in
+      let len = min old_req n in
+      Memstore.blit t.store ~src:ptr ~dst:fresh ~len;
+      (* Copy cost: cache-line granularity moves. *)
+      Clock.tick t.clock (len / 64 * 8);
+      tfm_free t ptr;
+      fresh
+    end
+  end
+
+let state_table_bytes t =
+  (* Entries cover each class's heap span at 8 B per object. *)
+  Array.to_list t.classes
+  |> List.mapi (fun idx (c : size_class) ->
+         let span = Region_alloc.high_watermark c.alloc - Nc_ptr.class_base idx in
+         (span lsr c.osize_log2) * 8)
+  |> List.fold_left ( + ) 0
+
+(* -- guards -------------------------------------------------------------- *)
+
+(* Consult the (modelled) state table entry for an object; charges the
+   cache-miss penalty on a metadata cache miss, and the extra dependent
+   load when the state table optimization is ablated. Class and id are
+   combined so entries from different classes do not alias. *)
+let metadata_lookup t cls_idx id =
+  let key = (id * 4) + cls_idx in
+  let slot = key land (meta_cache_slots - 1) in
+  if t.meta_cache.(slot) <> key then begin
+    t.meta_cache.(slot) <- key;
+    Clock.tick t.clock t.cost.Cost_model.cache_miss_penalty;
+    Clock.count t.clock "tfm.state_table_misses" 1
+  end;
+  if not t.use_state_table then
+    (* Without the table: find the object, then dereference its metadata —
+       one more dependent memory reference on every guard. *)
+    Clock.tick t.clock t.cost.Cost_model.metadata_indirection
+
+let localize_for_access (c : size_class) id ~write =
+  Pool.ensure_local c.pool id;
+  if write then Pool.mark_dirty c.pool id
+
+let guard t ~ptr ~size ~write =
+  if not (Nc_ptr.is_tracked ptr) then begin
+    Clock.tick t.clock t.cost.Cost_model.custody_check;
+    Clock.count t.clock "tfm.custody_skips" 1;
+    log_event t
+      { ptr; object_id = -1; size_class = -1; path = `Custody_skip; write }
+  end
+  else begin
+    let cls_idx, c = cls_of_ptr t ptr in
+    let id = object_id c ptr in
+    metadata_lookup t cls_idx id;
+    if Pool.is_local c.pool id then begin
+      Clock.tick t.clock
+        (if write then t.cost.Cost_model.fast_guard_write
+         else t.cost.Cost_model.fast_guard_read);
+      Clock.count t.clock "tfm.fast_guards" 1;
+      log_event t
+        { ptr; object_id = id; size_class = cls_idx; path = `Fast; write }
+    end
+    else begin
+      Clock.tick t.clock
+        (if write then t.cost.Cost_model.slow_guard_write_local
+         else t.cost.Cost_model.slow_guard_read_local);
+      Clock.count t.clock "tfm.slow_guards" 1;
+      (* The AIFM backend's runtime stride prefetcher watches the miss
+         stream and runs ahead of regular strided access patterns. *)
+      if t.prefetch then Prefetcher.access c.miss_prefetcher id;
+      (* Which AIFM code path the dereference will take: a local
+         materialization or a remote fetch. *)
+      let fetches_before = Clock.get t.clock "net.fetches" in
+      ignore fetches_before;
+      log_event t
+        {
+          ptr;
+          object_id = id;
+          size_class = cls_idx;
+          path = `Slow_local;
+          write;
+        }
+    end;
+    let fetches_before = Clock.get t.clock "net.fetches" in
+    localize_for_access c id ~write;
+    (if t.debug && Clock.get t.clock "net.fetches" > fetches_before then
+       (* upgrade the last event: the slow path went remote *)
+       match
+         List.rev (List.of_seq (Queue.to_seq t.debug_ring))
+       with
+       | last :: _ when last.path = `Slow_local ->
+           (* replace tail event *)
+           let all = List.of_seq (Queue.to_seq t.debug_ring) in
+           Queue.clear t.debug_ring;
+           List.iteri
+             (fun i ev ->
+               if i = List.length all - 1 then
+                 Queue.push { ev with path = `Slow_remote } t.debug_ring
+               else Queue.push ev t.debug_ring)
+             all
+       | _ -> ());
+    (* An access that straddles an object boundary needs both halves. *)
+    let id_last = object_id c (ptr + size - 1) in
+    if id_last <> id then localize_for_access c id_last ~write
+  end
+
+(* -- loop chunking ------------------------------------------------------- *)
+
+let chunk_state t handle =
+  match Hashtbl.find_opt t.chunks handle with
+  | Some s -> s
+  | None ->
+      let s = { cur = None; stride_bytes = 0 } in
+      Hashtbl.replace t.chunks handle s;
+      s
+
+let unpin_cur t = function
+  | Some (cls_idx, old) -> Pool.unpin t.classes.(cls_idx).pool old
+  | None -> ()
+
+let chunk_init t ~handle ~stride_bytes =
+  let s = chunk_state t handle in
+  (* A dangling pin can remain if a previous loop exited via an
+     unstructured edge; release it. *)
+  unpin_cur t s.cur;
+  s.cur <- None;
+  s.stride_bytes <- stride_bytes;
+  (* Loop-entry runtime call; the first access then crosses into its
+     object and pays the locality invariant guard, so the total entry
+     cost is Cost_eq.chunk_entry_cost. *)
+  Clock.tick t.clock 130;
+  Clock.count t.clock "tfm.chunk_inits" 1
+
+let issue_prefetch t (c : size_class) id stride_objects =
+  if t.prefetch && stride_objects <> 0 then
+    for k = 1 to t.prefetch_depth do
+      let next = id + (k * stride_objects) in
+      if next >= 0 then Pool.mark_prefetched c.pool next
+    done
+
+let chunk_access t ~handle ~ptr ~size ~write =
+  if not (Nc_ptr.is_tracked ptr) then begin
+    Clock.tick t.clock t.cost.Cost_model.custody_check;
+    Clock.count t.clock "tfm.custody_skips" 1
+  end
+  else begin
+    let s = chunk_state t handle in
+    let cls_idx, c = cls_of_ptr t ptr in
+    let id = object_id c ptr in
+    Clock.tick t.clock t.cost.Cost_model.boundary_check;
+    Clock.count t.clock "tfm.boundary_checks" 1;
+    (match s.cur with
+    | Some (ci, cur) when ci = cls_idx && cur = id -> ()
+    | prev ->
+        (* Object boundary crossed: the locality invariant guard. Like
+           any guard it resolves the new object's state-table entry, so
+           it shares the metadata-cache model. *)
+        unpin_cur t prev;
+        metadata_lookup t cls_idx id;
+        Clock.tick t.clock t.cost.Cost_model.locality_guard;
+        Clock.count t.clock "tfm.locality_guards" 1;
+        Pool.ensure_local c.pool id;
+        Pool.pin c.pool id;
+        s.cur <- Some (cls_idx, id);
+        let stride_objects =
+          if s.stride_bytes = 0 then 0
+          else if s.stride_bytes > 0 then
+            max 1 (s.stride_bytes asr c.osize_log2)
+          else min (-1) (-(-s.stride_bytes asr c.osize_log2))
+        in
+        issue_prefetch t c id stride_objects);
+    if write then Pool.mark_dirty c.pool id;
+    let id_last = object_id c (ptr + size - 1) in
+    if id_last <> id then localize_for_access c id_last ~write
+  end
+
+let chunk_end t ~handle =
+  match Hashtbl.find_opt t.chunks handle with
+  | Some s ->
+      unpin_cur t s.cur;
+      s.cur <- None
+  | None -> ()
+
+(* -- introspection ------------------------------------------------------- *)
+
+let fast_guards t = Clock.get t.clock "tfm.fast_guards"
+let slow_guards t = Clock.get t.clock "tfm.slow_guards"

@@ -1,0 +1,29 @@
+(** Terminal line charts for the benchmark harness.
+
+    Each reproduced figure prints its data table and, through this module,
+    an ASCII rendering of the series so the shape (crossovers, plateaus,
+    convergence) is visible without exporting CSV to a plotting tool. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** Render series into a [width] x [height] character grid (defaults
+    64 x 16) with axis annotations. Each series is drawn with its own
+    marker character; a legend maps markers to labels. Points sharing a
+    cell show the later series' marker. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  unit

@@ -1,0 +1,35 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  if seed = 0 then { state = 0x9E3779B97F4A7C15L }
+  else { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.state <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

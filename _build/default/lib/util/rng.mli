@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation.
+
+    All simulations in this repository must be reproducible, so every
+    component that needs randomness takes an explicit [Rng.t] seeded by the
+    caller instead of using the global [Random] state. The generator is
+    xorshift64*, which is fast and has good statistical quality for
+    simulation workloads. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. A zero seed is remapped to a
+    fixed non-zero constant since xorshift has an all-zero fixed point. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

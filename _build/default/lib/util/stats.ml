@@ -1,0 +1,53 @@
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let geomean a =
+  assert (Array.length a > 0);
+  let log_sum = Array.fold_left (fun acc x -> acc +. log x) 0.0 a in
+  exp (log_sum /. float_of_int (Array.length a))
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  assert (Array.length a > 0);
+  let b = sorted a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2)
+  else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let percentile a p =
+  assert (Array.length a > 0);
+  assert (p >= 0.0 && p <= 100.0);
+  let b = sorted a in
+  let n = Array.length b in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  b.(idx)
+
+let stddev a =
+  let m = mean a in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+    /. float_of_int (Array.length a)
+  in
+  sqrt var
+
+let minimum a = Array.fold_left min a.(0) a
+let maximum a = Array.fold_left max a.(0) a
+
+let pearson xs ys =
+  assert (Array.length xs = Array.length ys && Array.length xs > 1);
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let a = x -. mx and b = ys.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b))
+    xs;
+  !num /. sqrt (!dx *. !dy)

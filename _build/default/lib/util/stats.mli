@@ -1,0 +1,25 @@
+(** Small statistics helpers used by the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean. Requires a non-empty array of positive values. *)
+
+val median : float array -> float
+(** Median (does not mutate the input). Requires a non-empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0, 100\]], nearest-rank method. *)
+
+val stddev : float array -> float
+(** Population standard deviation. Requires a non-empty array. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length samples; used by
+    the benches to quantify the paper's "event counts strongly correlate
+    with overall performance" claims (Figures 14b/16b). Requires equal
+    non-zero lengths and non-constant inputs. *)

@@ -1,0 +1,49 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.columns);
+  t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Format.kasprintf
+    (fun s -> add_row t (String.split_on_char '|' s |> List.map String.trim))
+    fmt
+
+let widths t =
+  let rows = t.columns :: List.rev t.rows in
+  let ncols = List.length t.columns in
+  let w = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  List.iter measure rows;
+  w
+
+let print t =
+  let w = widths t in
+  let pad i s = s ^ String.make (w.(i) - String.length s) ' ' in
+  let line row =
+    row |> List.mapi pad |> String.concat "  " |> print_endline
+  in
+  Printf.printf "== %s ==\n" t.title;
+  line t.columns;
+  line (List.mapi (fun i _ -> String.make w.(i) '-') t.columns);
+  List.iter line (List.rev t.rows);
+  print_newline ()
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let row_to_string row =
+    String.concat "," (List.map escape_csv row)
+  in
+  String.concat "\n" (row_to_string t.columns :: List.map row_to_string (List.rev t.rows))

@@ -1,0 +1,23 @@
+(** Aligned text tables for benchmark output.
+
+    The bench harness prints one table per reproduced paper table/figure;
+    this module keeps the rendering in one place so every experiment reports
+    in the same format (and can also be dumped as CSV for plotting). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|'] into
+    cells. Convenient for numeric rows. *)
+
+val print : t -> unit
+(** Pretty-print with aligned columns to stdout. *)
+
+val to_csv : t -> string
+(** CSV rendering (header row first). *)

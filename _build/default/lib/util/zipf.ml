@@ -1,0 +1,56 @@
+(* Gray et al. "Quickly generating billion-record synthetic databases"
+   (SIGMOD '94) zipfian generator. zeta(n) is precomputed; sampling uses the
+   closed-form two-branch inversion, so each draw costs one RNG call and a
+   couple of [Float.pow]s. *)
+
+type t = {
+  n : int;
+  skew : float;
+  zetan : float;
+  (* Precomputed constants of the inversion. *)
+  alpha : float;
+  eta : float;
+}
+
+let zeta n skew =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) skew)
+  done;
+  !acc
+
+let create ~n ~skew =
+  assert (n > 0);
+  assert (skew > 0.0);
+  (* The closed-form inversion has a pole at skew = 1; nudge off it (the
+     distribution is continuous in the parameter). *)
+  let skew = if abs_float (skew -. 1.0) < 1e-9 then 1.0 +. 1e-6 else skew in
+  let zetan = zeta n skew in
+  let zeta2 = zeta 2 skew in
+  let alpha = 1.0 /. (1.0 -. skew) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. skew))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; skew; zetan; alpha; eta }
+
+let n t = t.n
+let skew t = t.skew
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.skew then 1
+  else begin
+    let r =
+      float_of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    let k = int_of_float r in
+    if k >= t.n then t.n - 1 else if k < 0 then 0 else k
+  end
+
+let probability t k =
+  assert (k >= 0 && k < t.n);
+  1.0 /. (Float.pow (float_of_int (k + 1)) t.skew *. t.zetan)

@@ -1,0 +1,23 @@
+(** Zipfian key sampling.
+
+    The paper's hashmap and memcached workloads draw keys from a Zipfian
+    distribution with skew parameters between 1.0 and 1.3 (Sections 4.3 and
+    4.5). This module implements the classic Gray et al. incremental
+    generator: O(n) setup to compute the normalization constant, O(1)
+    amortized sampling via the two-region approximation. *)
+
+type t
+
+val create : n:int -> skew:float -> t
+(** [create ~n ~skew] prepares a sampler over ranks [0 .. n-1] where rank 0
+    is the hottest key. Requires [n > 0] and [skew > 0.]. *)
+
+val n : t -> int
+val skew : t -> float
+
+val sample : t -> Rng.t -> int
+(** Draw one rank. Rank [k] has probability proportional to
+    [1 / (k+1)^skew]. *)
+
+val probability : t -> int -> float
+(** [probability t k] is the exact probability of rank [k]. *)

@@ -1,0 +1,1 @@
+lib/workloads/analytics.ml: Aifm Array Builder Clock Cost_model Ir Memstore Verifier

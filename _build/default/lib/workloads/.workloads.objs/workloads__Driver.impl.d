@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Array Backend Bytes Char Clock Cost_model Hashtbl Interp List Memstore Printf Profile Trackfm

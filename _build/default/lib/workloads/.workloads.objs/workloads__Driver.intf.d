@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Bytes Clock Cost_model Ir Profile Trackfm

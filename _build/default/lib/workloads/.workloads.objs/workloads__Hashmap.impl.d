@@ -1,0 +1,1 @@
+lib/workloads/hashmap.ml: Builder Bytes Int32 Ir Tfm_util Verifier

@@ -1,0 +1,1 @@
+lib/workloads/nas.ml: Array Builder Ir Verifier

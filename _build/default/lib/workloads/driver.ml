@@ -1,0 +1,136 @@
+type outcome = { ret : int; cycles : int; instrs : int; clock : Clock.t }
+
+let counter o name = Clock.get o.clock name
+
+type tfm_opts = {
+  object_size : int;
+  local_budget : int;
+  chunk_mode : Trackfm.Chunk_pass.mode;
+  prefetch : bool;
+  use_state_table : bool;
+  profile_gate : bool;
+  size_classes : (int * int * float) list;
+}
+
+let tfm_defaults ~local_budget =
+  {
+    object_size = 4096;
+    local_budget;
+    chunk_mode = `Gated;
+    prefetch = true;
+    use_state_table = true;
+    profile_gate = true;
+    size_classes = [];
+  }
+
+(* Wrap a backend so the [!load_blob ptr id] intrinsic copies registered
+   input data into simulated memory (the moral equivalent of reading a
+   dataset from disk during setup; no cycles are charged). *)
+let with_blobs blobs (backend : Backend.t) =
+  match blobs with
+  | [] -> backend
+  | _ ->
+      let table = Hashtbl.create 4 in
+      List.iter (fun (id, bytes) -> Hashtbl.replace table id bytes) blobs;
+      {
+        backend with
+        Backend.intrinsic =
+          (fun name args ->
+            match name with
+            | "!load_blob" -> begin
+                let dst = args.(0) and id = args.(1) in
+                match Hashtbl.find_opt table id with
+                | Some bytes ->
+                    for k = 0 to Bytes.length bytes - 1 do
+                      Memstore.store backend.Backend.store ~addr:(dst + k)
+                        ~size:1
+                        (Char.code (Bytes.get bytes k))
+                    done;
+                    Some 0
+                | None ->
+                    failwith (Printf.sprintf "unknown blob %d" id)
+              end
+            | _ -> backend.Backend.intrinsic name args);
+      }
+
+let finish (clock : Clock.t) (r : Interp.result) =
+  { ret = r.Interp.ret; cycles = r.Interp.cycles; instrs = r.Interp.instrs_executed; clock }
+
+let run_local ?(cost = Cost_model.default) ?(blobs = []) build =
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let backend = with_blobs blobs (Backend.local cost clock store) in
+  finish clock (Interp.run backend (build ()) ~entry:"main")
+
+let profile_of ?(cost = Cost_model.default) ?(blobs = []) build =
+  let profile = Profile.create () in
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let backend = with_blobs blobs (Backend.local cost clock store) in
+  ignore (Interp.run ~profile backend (build ()) ~entry:"main");
+  profile
+
+let run_trackfm ?(cost = Cost_model.default) ?(blobs = []) build opts =
+  let profile =
+    if opts.profile_gate then Some (profile_of ~cost ~blobs build) else None
+  in
+  let m = build () in
+  let config =
+    {
+      Trackfm.Pipeline.object_size = opts.object_size;
+      chunk_mode = opts.chunk_mode;
+      profile;
+      cost;
+      dump_after = None;
+    }
+  in
+  let report = Trackfm.Pipeline.run config m in
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let rt =
+    Trackfm.Runtime.create ~use_state_table:opts.use_state_table
+      ~prefetch:opts.prefetch
+      ?size_classes:
+        (match opts.size_classes with [] -> None | l -> Some l)
+      cost clock store ~object_size:opts.object_size
+      ~local_budget:opts.local_budget
+  in
+  let backend = with_blobs blobs (Backend.trackfm rt store) in
+  (finish clock (Interp.run backend m ~entry:"main"), report)
+
+let run_fastswap ?(cost = Cost_model.default) ?readahead ?(blobs = [])
+    ~local_budget build =
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let backend =
+    with_blobs blobs (Backend.fastswap ?readahead cost clock store ~local_budget)
+  in
+  finish clock (Interp.run backend (build ()) ~entry:"main")
+
+let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
+    ?(candidates = [ 64; 128; 256; 512; 1024; 2048; 4096 ]) build ~local_budget
+    =
+  let measure object_size =
+    let opts =
+      {
+        object_size;
+        local_budget;
+        chunk_mode = `Gated;
+        prefetch = true;
+        use_state_table = true;
+        profile_gate = false;
+        size_classes = [];
+      }
+    in
+    (fst (run_trackfm ~cost ~blobs build opts)).cycles
+  in
+  let results = List.map (fun osz -> (osz, measure osz)) candidates in
+  let best =
+    List.fold_left
+      (fun (bo, bc) (o, c) -> if c < bc then (o, c) else (bo, bc))
+      (match results with
+      | r :: _ -> r
+      | [] -> invalid_arg "autotune_object_size: no candidates")
+      results
+  in
+  (fst best, results)

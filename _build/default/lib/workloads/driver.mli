@@ -1,0 +1,81 @@
+(** One-call execution of a workload under each of the paper's systems.
+
+    A workload is a thunk producing a fresh IR module (the TrackFM
+    pipeline transforms modules in place, so every run needs its own
+    copy). The driver assembles the backend, optionally runs the TrackFM
+    compiler (with an optional profiling pre-run on the local backend to
+    feed the chunking gate), executes, and returns the clock so callers
+    can read any counter an experiment plots. *)
+
+type outcome = {
+  ret : int;
+  cycles : int;
+  instrs : int;
+  clock : Clock.t;
+}
+
+val counter : outcome -> string -> int
+
+type tfm_opts = {
+  object_size : int;
+  local_budget : int;
+  chunk_mode : Trackfm.Chunk_pass.mode;
+  prefetch : bool;
+  use_state_table : bool;
+  profile_gate : bool;
+      (** run the workload once uninstrumented on the local backend to
+          collect block frequencies for the cost-model gate *)
+  size_classes : (int * int * float) list;
+      (** multi-object-size extension: forwarded to
+          {!Trackfm.Runtime.create}; empty (default) = single class of
+          [object_size] objects *)
+}
+
+val tfm_defaults : local_budget:int -> tfm_opts
+(** 4 KiB objects, gated chunking with profile, prefetch and state table
+    on. *)
+
+val run_local :
+  ?cost:Cost_model.t ->
+  ?blobs:(int * Bytes.t) list ->
+  (unit -> Ir.modul) ->
+  outcome
+
+val run_trackfm :
+  ?cost:Cost_model.t ->
+  ?blobs:(int * Bytes.t) list ->
+  (unit -> Ir.modul) ->
+  tfm_opts ->
+  outcome * Trackfm.Pipeline.report
+
+val run_fastswap :
+  ?cost:Cost_model.t ->
+  ?readahead:int ->
+  ?blobs:(int * Bytes.t) list ->
+  local_budget:int ->
+  (unit -> Ir.modul) ->
+  outcome
+
+val profile_of :
+  ?cost:Cost_model.t ->
+  ?blobs:(int * Bytes.t) list ->
+  (unit -> Ir.modul) ->
+  Profile.t
+(** Block-frequency profile from a local-backend run. *)
+
+(** Workload input data ("datasets read from disk") is passed as [blobs]:
+    the program copies blob [id] into simulated memory with the
+    [!load_blob ptr id] intrinsic during its setup phase. *)
+
+val autotune_object_size :
+  ?cost:Cost_model.t ->
+  ?blobs:(int * Bytes.t) list ->
+  ?candidates:int list ->
+  (unit -> Ir.modul) ->
+  local_budget:int ->
+  int * (int * int) list
+(** The object-size autotuner the paper proposes in Section 3.2: since
+    only the powers of two between the cache-line and the base page size
+    are sensible, exhaustively recompile and short-run the workload at
+    each candidate and keep the fastest. Returns the chosen size and the
+    (size, cycles) measurements. Candidates default to 64..4096. *)

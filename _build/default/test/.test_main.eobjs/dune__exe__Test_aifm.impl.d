@@ -1,0 +1,1 @@
+test/test_aifm.ml: Aifm Alcotest Clock Cost_model Gen List Memstore Net QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Alias Builder Cfg Dataflow Dominators Induction Ir List Loops Profile String Verifier

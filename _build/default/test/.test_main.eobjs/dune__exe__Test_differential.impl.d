@@ -1,0 +1,1 @@
+test/test_differential.ml: Backend Builder Clock Cost_model Interp Ir List Memstore QCheck QCheck_alcotest Tfm_opt Tfm_util Trackfm Verifier

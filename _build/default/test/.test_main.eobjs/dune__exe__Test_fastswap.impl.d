@@ -1,0 +1,1 @@
+test/test_fastswap.ml: Alcotest Clock Cost_model Fastswap Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analytics Clock Driver Hashmap Kmeans Memcached Nas Stream Tfm_opt Trackfm Workloads

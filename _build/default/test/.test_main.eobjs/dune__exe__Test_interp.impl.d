@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Backend Builder Clock Cost_model Interp Ir List Memstore Profile String Tracer Trackfm Workloads

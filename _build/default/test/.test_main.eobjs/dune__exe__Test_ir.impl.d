@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Backend Builder Cfg Clock Cost_model Interp Ir List Memstore Printer String Verifier

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Clock Cost_model List Memstore Net QCheck QCheck_alcotest

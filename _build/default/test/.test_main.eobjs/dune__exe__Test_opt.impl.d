@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Backend Builder Clock Cost_model Interp Ir List Memstore QCheck QCheck_alcotest Tfm_opt Trackfm Verifier Workloads

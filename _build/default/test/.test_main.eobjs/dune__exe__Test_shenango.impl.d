@@ -1,0 +1,1 @@
+test/test_shenango.ml: Alcotest Cost_model List Shenango

@@ -1,0 +1,1 @@
+test/test_trackfm.ml: Aifm Alcotest Array Backend Builder Clock Cost_model Hashtbl Interp Ir List Memstore Tfm_util Trackfm Verifier

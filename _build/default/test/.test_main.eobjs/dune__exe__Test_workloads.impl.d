@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analytics Clock Driver Hashmap Kmeans List Memcached Nas Printf Stream Trackfm Workloads

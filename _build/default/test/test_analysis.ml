@@ -1,0 +1,308 @@
+(* Tests for dominators, loops, induction variables, alias classes and
+   profiles. *)
+
+(* A diamond: entry -> (a | b) -> join -> ret *)
+let diamond () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:1 in
+  let a_l = Builder.add_block b "a" in
+  let b_l = Builder.add_block b "b" in
+  let join = Builder.add_block b "join" in
+  Builder.cbr b (Builder.arg 0) a_l b_l;
+  Builder.set_block b a_l;
+  Builder.br b join;
+  Builder.set_block b b_l;
+  Builder.br b join;
+  Builder.set_block b join;
+  Builder.ret b None;
+  Verifier.check_module m;
+  (m, Ir.find_func m "f", a_l, b_l, join)
+
+let test_dominators_diamond () =
+  let _, f, a_l, b_l, join = diamond () in
+  let cfg = Cfg.build f in
+  let dom = Dominators.compute cfg in
+  Alcotest.(check (option string)) "idom(a)=entry" (Some "entry")
+    (Dominators.idom dom a_l);
+  Alcotest.(check (option string)) "idom(join)=entry" (Some "entry")
+    (Dominators.idom dom join);
+  Alcotest.(check bool) "entry dominates all" true
+    (Dominators.dominates dom "entry" join);
+  Alcotest.(check bool) "a does not dominate join" false
+    (Dominators.dominates dom a_l join);
+  Alcotest.(check bool) "dominates is reflexive" true
+    (Dominators.dominates dom b_l b_l)
+
+let simple_loop_func () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  Builder.for_loop b ~init:(Ir.Const 0) ~bound:(Ir.Const 8) (fun _ _ -> ());
+  Builder.ret b None;
+  Ir.find_func m "f"
+
+let test_loop_detection () =
+  let f = simple_loop_func () in
+  let li = Loops.analyze f in
+  let loops = Loops.loops li in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check int) "depth 1" 1 l.Loops.depth;
+  Alcotest.(check bool) "has preheader" true (l.Loops.preheader <> None);
+  Alcotest.(check int) "one exit" 1 (List.length l.Loops.exits)
+
+let nested_loop_func () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  Builder.for_loop b ~hint:"outer" ~init:(Ir.Const 0) ~bound:(Ir.Const 4)
+    (fun b _ ->
+      Builder.for_loop b ~hint:"inner" ~init:(Ir.Const 0) ~bound:(Ir.Const 4)
+        (fun _ _ -> ()));
+  Builder.ret b None;
+  Ir.find_func m "f"
+
+let test_loop_nesting () =
+  let f = nested_loop_func () in
+  let li = Loops.analyze f in
+  let loops = Loops.loops li in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let inner = List.find (fun l -> l.Loops.depth = 2) loops in
+  let outer = List.find (fun l -> l.Loops.depth = 1) loops in
+  Alcotest.(check (option string)) "inner parented by outer"
+    (Some outer.Loops.header) inner.Loops.parent;
+  Alcotest.(check int) "one innermost" 1 (List.length (Loops.innermost li));
+  Alcotest.(check bool) "outer body contains inner header" true
+    (Loops.contains outer inner.Loops.header)
+
+let test_induction_basic () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 1024 ] in
+  Builder.for_loop b ~init:(Ir.Const 0) ~bound:(Ir.Const 100) ~step:2
+    (fun b iv ->
+      let ptr = Builder.gep b p ~index:iv ~scale:8 () in
+      ignore (Builder.load b ptr));
+  Builder.ret b None;
+  let f = Ir.find_func m "f" in
+  let ind = Induction.analyze f in
+  let li = Loops.analyze f in
+  let loop = List.hd (Loops.loops li) in
+  let ivs = Induction.ivs_of_loop ind loop in
+  Alcotest.(check int) "one IV" 1 (List.length ivs);
+  let iv = List.hd ivs in
+  Alcotest.(check int) "step" 2 iv.Induction.step;
+  Alcotest.(check bool) "bound found" true (iv.Induction.bound <> None);
+  let accesses = Induction.strided_accesses ind loop in
+  Alcotest.(check int) "one strided access" 1 (List.length accesses);
+  let a = List.hd accesses in
+  Alcotest.(check int) "byte stride = step * scale" 16 a.Induction.byte_stride;
+  Alcotest.(check bool) "is load" false a.Induction.is_store
+
+let test_induction_invariant_offset () =
+  (* p[d*n + i] walked over i: stride must still be found though d*n is
+     only loop-invariant, not constant. *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:1 in
+  let p = Builder.call b "malloc" [ Ir.Const 65536 ] in
+  Builder.for_loop b ~hint:"outer" ~init:(Ir.Const 0) ~bound:(Ir.Const 4)
+    (fun b d ->
+      let dbase = Builder.mul b d (Builder.arg 0) in
+      Builder.for_loop b ~hint:"inner" ~init:(Ir.Const 0)
+        ~bound:(Ir.Const 100) (fun b i ->
+          let idx = Builder.add b dbase i in
+          let ptr = Builder.gep b p ~index:idx ~scale:8 () in
+          ignore (Builder.load b ptr)));
+  Builder.ret b None;
+  let f = Ir.find_func m "f" in
+  let ind = Induction.analyze f in
+  let li = Loops.analyze f in
+  let inner = List.find (fun l -> l.Loops.depth = 2) (Loops.loops li) in
+  let accesses = Induction.strided_accesses ind inner in
+  Alcotest.(check int) "strided access found" 1 (List.length accesses);
+  Alcotest.(check int) "stride 8" 8 (List.hd accesses).Induction.byte_stride
+
+let test_induction_rejects_nonaffine () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 65536 ] in
+  Builder.for_loop b ~init:(Ir.Const 0) ~bound:(Ir.Const 50) (fun b iv ->
+      (* index = iv*iv is not affine *)
+      let idx = Builder.mul b iv iv in
+      let ptr = Builder.gep b p ~index:idx ~scale:8 () in
+      ignore (Builder.load b ptr));
+  Builder.ret b None;
+  let f = Ir.find_func m "f" in
+  let ind = Induction.analyze f in
+  let li = Loops.analyze f in
+  let loop = List.hd (Loops.loops li) in
+  Alcotest.(check int) "no strided access" 0
+    (List.length (Induction.strided_accesses ind loop))
+
+let test_induction_while_has_no_governing_iv () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let final =
+    Builder.while_loop_acc b ~accs:[ Ir.Const 1 ]
+      ~cond:(fun b ~accs -> Builder.icmp b Ir.Lt (List.hd accs) (Ir.Const 10))
+      (fun b ~accs -> [ Builder.mul b (List.hd accs) (Ir.Const 3) ])
+  in
+  Builder.ret b (Some (List.hd final));
+  let f = Ir.find_func m "f" in
+  let ind = Induction.analyze f in
+  let li = Loops.analyze f in
+  let loop = List.hd (Loops.loops li) in
+  (* the accumulator triples each iteration: not a constant-step IV *)
+  Alcotest.(check int) "no IVs" 0
+    (List.length (Induction.ivs_of_loop ind loop))
+
+let test_alias_classes () =
+  let m = Ir.create_module () in
+  Ir.add_global m "g" 64;
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let heap = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let stack = Builder.alloca b 16 in
+  let hgep = Builder.gep b heap ~index:(Ir.Const 1) ~scale:8 () in
+  let sgep = Builder.gep b stack ~index:(Ir.Const 0) ~scale:8 () in
+  ignore (Builder.load b hgep);
+  ignore (Builder.load b sgep);
+  ignore (Builder.load b (Ir.Sym "g"));
+  Builder.ret b None;
+  let f = Ir.find_func m "f" in
+  let al = Alias.analyze f in
+  Alcotest.(check bool) "heap needs guard" true (Alias.needs_guard al heap);
+  Alcotest.(check bool) "heap gep needs guard" true (Alias.needs_guard al hgep);
+  Alcotest.(check bool) "stack unguarded" false (Alias.needs_guard al stack);
+  Alcotest.(check bool) "stack gep unguarded" false (Alias.needs_guard al sgep);
+  Alcotest.(check bool) "global unguarded" false
+    (Alias.needs_guard al (Ir.Sym "g"))
+
+let test_alias_phi_join () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let heap = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let stack = Builder.alloca b 16 in
+  let then_l = Builder.add_block b "t" in
+  let else_l = Builder.add_block b "e" in
+  let join = Builder.add_block b "j" in
+  Builder.cbr b (Ir.Const 1) then_l else_l;
+  Builder.set_block b then_l;
+  Builder.br b join;
+  Builder.set_block b else_l;
+  Builder.br b join;
+  Builder.set_block b join;
+  let mixed = Builder.phi b [ (then_l, heap); (else_l, stack) ] in
+  ignore (Builder.load b mixed);
+  Builder.ret b None;
+  Verifier.check_module m;
+  let f = Ir.find_func m "f" in
+  let al = Alias.analyze f in
+  (* heap|stack joins to Unknown, which must be guarded (custody check
+     sorts it out at run time) *)
+  Alcotest.(check bool) "mixed phi guarded" true (Alias.needs_guard al mixed)
+
+let test_profile_trip_counts () =
+  let p = Profile.create () in
+  Profile.add_block p ~func:"f" ~block:"pre" 10;
+  Profile.add_block p ~func:"f" ~block:"hdr" 510;
+  (* 10 entries, 510 header executions -> 50 trips/entry *)
+  match Profile.avg_trip_count p ~func:"f" ~header:"hdr" ~preheader:"pre" with
+  | Some t -> Alcotest.(check (float 1e-9)) "avg trip" 50.0 t
+  | None -> Alcotest.fail "expected Some"
+
+let test_profile_never_entered () =
+  let p = Profile.create () in
+  Alcotest.(check bool) "no entries -> None" true
+    (Profile.avg_trip_count p ~func:"f" ~header:"h" ~preheader:"p" = None)
+
+let test_liveness_simple_loop () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let base = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let accs =
+    Builder.for_loop_acc b ~init:(Ir.Const 0) ~bound:(Ir.Const 4)
+      ~accs:[ Ir.Const 0 ]
+      (fun bb ~iv:_ ~accs ->
+        let v = Builder.load bb base in
+        [ Builder.add bb (List.hd accs) v ])
+  in
+  Builder.ret b (Some (List.hd accs));
+  let f = Ir.find_func m "f" in
+  let lv = Dataflow.liveness f in
+  let base_id = match base with Ir.Reg id -> id | _ -> assert false in
+  (* the malloc result is live into every loop block (used by the load) *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (blk : Ir.block) ->
+      Alcotest.(check bool)
+        ("base live into " ^ blk.label)
+        true
+        (Dataflow.Int_set.mem base_id (Dataflow.live_in lv blk.label)))
+    (List.filter
+       (fun (blk : Ir.block) ->
+         (* base is used inside the loop, so it is live into the header,
+            body and latch - but not the exit *)
+         String.length blk.label > 4
+         && String.sub blk.label 0 4 = "loop"
+         && not (contains blk.label "exit"))
+       f.blocks);
+  Alcotest.(check bool) "pressure positive" true (Dataflow.max_pressure f > 0)
+
+let test_liveness_dead_value_not_live () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let dead = Builder.add b (Ir.Const 1) (Ir.Const 2) in
+  let live = Builder.add b (Ir.Const 3) (Ir.Const 4) in
+  let exit_l = Builder.add_block b "exit" in
+  Builder.br b exit_l;
+  Builder.set_block b exit_l;
+  Builder.ret b (Some live);
+  let f = Ir.find_func m "f" in
+  let lv = Dataflow.liveness f in
+  let live_id = match live with Ir.Reg id -> id | _ -> assert false in
+  let dead_id = match dead with Ir.Reg id -> id | _ -> assert false in
+  Alcotest.(check bool) "live value live out of entry" true
+    (Dataflow.Int_set.mem live_id (Dataflow.live_out lv "entry"));
+  Alcotest.(check bool) "dead value not live" false
+    (Dataflow.Int_set.mem dead_id (Dataflow.live_out lv "entry"))
+
+let test_reaching_definitions () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let x = Builder.add b (Ir.Const 1) (Ir.Const 2) in
+  let exit_l = Builder.add_block b "exit" in
+  Builder.br b exit_l;
+  Builder.set_block b exit_l;
+  let y = Builder.add b x (Ir.Const 1) in
+  Builder.ret b (Some y);
+  let f = Ir.find_func m "f" in
+  let rd = Dataflow.reaching_definitions f in
+  let x_id = match x with Ir.Reg id -> id | _ -> assert false in
+  Alcotest.(check bool) "entry def reaches exit" true
+    (Dataflow.Int_set.mem x_id (Dataflow.reach_in rd exit_l))
+
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+      Alcotest.test_case "loop detection" `Quick test_loop_detection;
+      Alcotest.test_case "loop nesting" `Quick test_loop_nesting;
+      Alcotest.test_case "induction basic" `Quick test_induction_basic;
+      Alcotest.test_case "induction invariant offset" `Quick
+        test_induction_invariant_offset;
+      Alcotest.test_case "induction rejects nonaffine" `Quick
+        test_induction_rejects_nonaffine;
+      Alcotest.test_case "while loop has no IV" `Quick
+        test_induction_while_has_no_governing_iv;
+      Alcotest.test_case "alias classes" `Quick test_alias_classes;
+      Alcotest.test_case "alias phi join" `Quick test_alias_phi_join;
+      Alcotest.test_case "profile trips" `Quick test_profile_trip_counts;
+      Alcotest.test_case "profile empty" `Quick test_profile_never_entered;
+      Alcotest.test_case "liveness loop" `Quick test_liveness_simple_loop;
+      Alcotest.test_case "liveness dead value" `Quick
+        test_liveness_dead_value_not_live;
+      Alcotest.test_case "reaching defs" `Quick test_reaching_definitions;
+    ] )

@@ -1,0 +1,221 @@
+(* Tests for the IR core: builder, verifier, printer, CFG. *)
+
+let build_simple_loop () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let accs =
+    Builder.for_loop_acc b ~init:(Ir.Const 0) ~bound:(Ir.Const 10)
+      ~accs:[ Ir.Const 0 ]
+      (fun b ~iv ~accs ->
+        let acc = match accs with [ a ] -> a | _ -> assert false in
+        [ Builder.add b acc iv ])
+  in
+  Builder.ret b (Some (List.hd accs));
+  m
+
+let test_builder_loop_verifies () =
+  let m = build_simple_loop () in
+  Verifier.check_module m
+
+let test_verifier_duplicate_label () =
+  let f : Ir.func =
+    {
+      fname = "f";
+      nparams = 0;
+      blocks =
+        [
+          { label = "entry"; instrs = []; term = Ir.Ret None };
+          { label = "entry"; instrs = []; term = Ir.Ret None };
+        ];
+      next_id = 0;
+    }
+  in
+  Alcotest.check_raises "duplicate label"
+    (Verifier.Ill_formed "f: duplicate block label entry") (fun () ->
+      Verifier.check_func f)
+
+let test_verifier_undefined_register () =
+  let f : Ir.func =
+    {
+      fname = "f";
+      nparams = 0;
+      blocks =
+        [
+          {
+            label = "entry";
+            instrs =
+              [ { Ir.id = 0; kind = Ir.Binop (Ir.Add, Ir.Reg 42, Ir.Const 1) } ];
+            term = Ir.Ret None;
+          };
+        ];
+      next_id = 1;
+    }
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Verifier.check_func f;
+       false
+     with Verifier.Ill_formed _ -> true)
+
+let test_verifier_bad_branch_target () =
+  let f : Ir.func =
+    {
+      fname = "f";
+      nparams = 0;
+      blocks = [ { label = "entry"; instrs = []; term = Ir.Br "nowhere" } ];
+      next_id = 0;
+    }
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Verifier.check_func f;
+       false
+     with Verifier.Ill_formed _ -> true)
+
+let test_verifier_phi_in_entry () =
+  let f : Ir.func =
+    {
+      fname = "f";
+      nparams = 0;
+      blocks =
+        [
+          {
+            label = "entry";
+            instrs = [ { Ir.id = 0; kind = Ir.Phi [] } ];
+            term = Ir.Ret None;
+          };
+        ];
+      next_id = 1;
+    }
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Verifier.check_func f;
+       false
+     with Verifier.Ill_formed _ -> true)
+
+let test_verifier_bad_access_size () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  ignore (Builder.load b ~size:3 (Ir.Const 0));
+  Builder.ret b None;
+  Alcotest.(check bool) "raises" true
+    (try
+       Verifier.check_module m;
+       false
+     with Verifier.Ill_formed _ -> true)
+
+let test_cfg_edges () =
+  let m = build_simple_loop () in
+  let f = Ir.find_func m "main" in
+  let cfg = Cfg.build f in
+  let header =
+    List.find (fun l -> String.length l > 4 && String.sub l 0 4 = "loop")
+      (Cfg.labels cfg)
+  in
+  (* the header has two predecessors: entry and the latch *)
+  Alcotest.(check int) "header preds" 2
+    (List.length (Cfg.predecessors cfg header))
+
+let test_cfg_postorder_entry_last () =
+  let m = build_simple_loop () in
+  let f = Ir.find_func m "main" in
+  let cfg = Cfg.build f in
+  let po = Cfg.postorder cfg in
+  Alcotest.(check string) "entry is last in postorder" "entry"
+    (List.nth po (List.length po - 1));
+  Alcotest.(check string) "entry first in RPO" "entry"
+    (List.hd (Cfg.reachable cfg))
+
+let test_printer_roundtrip_content () =
+  let m = build_simple_loop () in
+  let s = Printer.module_to_string m in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has define" true (contains s "define @main");
+  Alcotest.(check bool) "has phi" true (contains s "phi");
+  Alcotest.(check bool) "has ret" true (contains s "ret")
+
+let test_instr_count_and_map_operands () =
+  let m = build_simple_loop () in
+  let f = Ir.find_func m "main" in
+  let n = Ir.instr_count f in
+  Alcotest.(check bool) "some instructions" true (n > 3);
+  (* map_operands must preserve structure *)
+  let kind = Ir.Binop (Ir.Add, Ir.Reg 1, Ir.Const 2) in
+  let mapped = Ir.map_operands (fun _ -> Ir.Const 9) kind in
+  match mapped with
+  | Ir.Binop (Ir.Add, Ir.Const 9, Ir.Const 9) -> ()
+  | _ -> Alcotest.fail "map_operands broke structure"
+
+let test_while_loop_acc () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  (* compute 2^5 by doubling while < 32 *)
+  let final =
+    Builder.while_loop_acc b ~accs:[ Ir.Const 1 ]
+      ~cond:(fun b ~accs ->
+        let v = List.hd accs in
+        Builder.icmp b Ir.Lt v (Ir.Const 32))
+      (fun b ~accs ->
+        let v = List.hd accs in
+        [ Builder.mul b v (Ir.Const 2) ])
+  in
+  Builder.ret b (Some (List.hd final));
+  Verifier.check_module m;
+  let clock = Clock.create () in
+  let backend =
+    Backend.local Cost_model.default clock (Memstore.create ())
+  in
+  let r = Interp.run backend m ~entry:"main" in
+  Alcotest.(check int) "while loop result" 32 r.Interp.ret
+
+let test_nested_loops_verify () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  Builder.for_loop b ~init:(Ir.Const 0) ~bound:(Ir.Const 3) (fun b _ ->
+      Builder.for_loop b ~init:(Ir.Const 0) ~bound:(Ir.Const 4) (fun b _ ->
+          Builder.if_then b ~cond:(Ir.Const 1) (fun _ -> ())));
+  Builder.ret b None;
+  Verifier.check_module m
+
+
+let test_printer_golden () =
+  (* Exact textual form of a small function, locked as a golden value so
+     accidental printer changes are visible in review. *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:1 in
+  let p = Builder.call b "malloc" [ Ir.Const 16 ] in
+  let v = Builder.load b ~size:4 p in
+  let w = Builder.add b v (Builder.arg 0) in
+  Builder.store b ~size:4 w ~ptr:p;
+  Builder.ret b (Some w);
+  let expected =
+    "define @f(1 params) {\n" ^ "entry:\n" ^ "  %0 = call @malloc(16)\n"
+    ^ "  %1 = load i32, %0\n" ^ "  %2 = add %1, %arg0\n"
+    ^ "  store i32 %2, %0\n" ^ "  ret %2\n" ^ "}\n"
+  in
+  Alcotest.(check string) "golden IR text" expected
+    (Printer.func_to_string (Ir.find_func m "f"))
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "builder loop verifies" `Quick test_builder_loop_verifies;
+      Alcotest.test_case "duplicate label" `Quick test_verifier_duplicate_label;
+      Alcotest.test_case "undefined register" `Quick test_verifier_undefined_register;
+      Alcotest.test_case "bad branch target" `Quick test_verifier_bad_branch_target;
+      Alcotest.test_case "phi in entry" `Quick test_verifier_phi_in_entry;
+      Alcotest.test_case "bad access size" `Quick test_verifier_bad_access_size;
+      Alcotest.test_case "cfg edges" `Quick test_cfg_edges;
+      Alcotest.test_case "cfg postorder" `Quick test_cfg_postorder_entry_last;
+      Alcotest.test_case "printer content" `Quick test_printer_roundtrip_content;
+      Alcotest.test_case "printer golden" `Quick test_printer_golden;
+      Alcotest.test_case "instr count / map operands" `Quick
+        test_instr_count_and_map_operands;
+      Alcotest.test_case "while loop acc" `Quick test_while_loop_acc;
+      Alcotest.test_case "nested loops verify" `Quick test_nested_loops_verify;
+    ] )

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "trackfm-repro"
+    [
+      Test_util.suite;
+      Test_ir.suite;
+      Test_analysis.suite;
+      Test_memsim.suite;
+      Test_aifm.suite;
+      Test_fastswap.suite;
+      Test_shenango.suite;
+      Test_trackfm.suite;
+      Test_opt.suite;
+      Test_interp.suite;
+      Test_workloads.suite;
+      Test_differential.suite;
+      Test_integration.suite;
+    ]

@@ -1,0 +1,131 @@
+(* Tests for the Shenango-style tasking simulator: the latency-hiding
+   semantics AIFM (and therefore TrackFM's runtime) relies on. *)
+
+let test_serial_work_adds_up () =
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () -> Shenango.Sched.work 100);
+  Shenango.Sched.spawn s (fun () -> Shenango.Sched.work 200);
+  Alcotest.(check int) "one core serializes work" 300 (Shenango.Sched.run s)
+
+let test_blocking_overlaps () =
+  (* Two tasks each blocking 10_000: the waits overlap, total ~10_000. *)
+  let s = Shenango.Sched.create () in
+  for _ = 1 to 2 do
+    Shenango.Sched.spawn s (fun () ->
+        Shenango.Sched.work 50;
+        Shenango.Sched.block 10_000;
+        Shenango.Sched.work 50)
+  done;
+  let t = Shenango.Sched.run s in
+  Alcotest.(check bool) "waits overlap" true (t < 10_400);
+  Alcotest.(check bool) "work still serial" true (t >= 10_150)
+
+let test_single_task_no_overlap () =
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () ->
+      for _ = 1 to 4 do
+        Shenango.Sched.work 100;
+        Shenango.Sched.block 10_000
+      done);
+  Alcotest.(check int) "latency fully exposed" ((4 * 100) + (4 * 10_000))
+    (Shenango.Sched.run s)
+
+let test_concurrency_hides_fetch_latency () =
+  (* The AIFM claim: with enough tasks, throughput is CPU-bound, not
+     fetch-latency-bound. K fetches of 31.8K cycles each with 500 cycles
+     of work per fetch. *)
+  let fetch = Cost_model.default.Cost_model.tcp_latency in
+  let run ntasks =
+    let s = Shenango.Sched.create () in
+    let per_task = 64 / ntasks in
+    for _ = 1 to ntasks do
+      Shenango.Sched.spawn s (fun () ->
+          for _ = 1 to per_task do
+            Shenango.Sched.work 500;
+            Shenango.Sched.block fetch
+          done)
+    done;
+    Shenango.Sched.run s
+  in
+  let serial = run 1 in
+  let concurrent = run 16 in
+  Alcotest.(check bool) "16 tasks are far faster" true
+    (serial > 5 * concurrent);
+  (* with 16 tasks the critical path is ~4 sequential fetches per task *)
+  Alcotest.(check bool) "but not below the per-task critical path" true
+    (concurrent >= 4 * fetch)
+
+let test_yield_interleaves_fifo () =
+  let order = ref [] in
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () ->
+      order := 1 :: !order;
+      Shenango.Sched.yield ();
+      order := 3 :: !order);
+  Shenango.Sched.spawn s (fun () ->
+      order := 2 :: !order;
+      Shenango.Sched.yield ();
+      order := 4 :: !order);
+  ignore (Shenango.Sched.run s);
+  Alcotest.(check (list int)) "round robin" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_now_advances () =
+  let s = Shenango.Sched.create () in
+  let seen = ref (-1) in
+  Shenango.Sched.spawn s (fun () ->
+      Shenango.Sched.work 123;
+      Shenango.Sched.block 77;
+      seen := Shenango.Sched.now ());
+  ignore (Shenango.Sched.run s);
+  Alcotest.(check int) "time observed inside task" 200 !seen
+
+let test_evacuator_convergence_protocol () =
+  (* Section 3.3: the evacuator waits for application tasks to reach an
+     out-of-scope point (yield). Model: an evacuator task repeatedly
+     yields and only proceeds once the app yields too; it must observe
+     the app's scope counter at a consistent (yielded) point. *)
+  let in_scope = ref false in
+  let violations = ref 0 in
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () ->
+      for _ = 1 to 50 do
+        in_scope := true;
+        Shenango.Sched.work 10;
+        (* no yield while in scope: the guard protocol *)
+        in_scope := false;
+        Shenango.Sched.yield ()
+      done);
+  Shenango.Sched.spawn s (fun () ->
+      for _ = 1 to 50 do
+        if !in_scope then incr violations;
+        Shenango.Sched.yield ()
+      done);
+  ignore (Shenango.Sched.run s);
+  Alcotest.(check int) "evacuator never observes an open scope" 0 !violations
+
+let test_empty_scheduler () =
+  let s = Shenango.Sched.create () in
+  Alcotest.(check int) "no tasks, zero time" 0 (Shenango.Sched.run s)
+
+let test_reusable_after_run () =
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () -> Shenango.Sched.work 10);
+  ignore (Shenango.Sched.run s);
+  Shenango.Sched.spawn s (fun () -> Shenango.Sched.work 5);
+  Alcotest.(check int) "continues from prior time" 15 (Shenango.Sched.run s)
+
+let suite =
+  ( "shenango",
+    [
+      Alcotest.test_case "serial work" `Quick test_serial_work_adds_up;
+      Alcotest.test_case "blocking overlaps" `Quick test_blocking_overlaps;
+      Alcotest.test_case "single task exposed" `Quick test_single_task_no_overlap;
+      Alcotest.test_case "concurrency hides latency" `Quick
+        test_concurrency_hides_fetch_latency;
+      Alcotest.test_case "yield fifo" `Quick test_yield_interleaves_fifo;
+      Alcotest.test_case "now" `Quick test_now_advances;
+      Alcotest.test_case "evacuator convergence" `Quick
+        test_evacuator_convergence_protocol;
+      Alcotest.test_case "empty scheduler" `Quick test_empty_scheduler;
+      Alcotest.test_case "reusable scheduler" `Quick test_reusable_after_run;
+    ] )

@@ -1,0 +1,208 @@
+(* Per-workload semantic validation: every workload, every backend, same
+   checksum. These are the correctness proofs that the compiler pipeline
+   preserves program semantics end to end. *)
+
+open Workloads
+
+(* Never shrink below a handful of 4 KiB objects: chunked loops pin one
+   object per stream, so a budget below ~3 objects is unusable (as a real
+   AIFM deployment would also require a minimum local memory). *)
+let budget_frac ws f = max (8 * 4096) (ws * f / 100)
+
+let check_all_backends ?(blobs = []) ~name ~expected ~ws build =
+  let local = Driver.run_local ~blobs build in
+  Alcotest.(check int) (name ^ " local") expected local.Driver.ret;
+  let opts = Driver.tfm_defaults ~local_budget:(budget_frac ws 30) in
+  let tfm, _ = Driver.run_trackfm ~blobs build opts in
+  Alcotest.(check int) (name ^ " trackfm") expected tfm.Driver.ret;
+  let fs = Driver.run_fastswap ~blobs ~local_budget:(budget_frac ws 30) build in
+  Alcotest.(check int) (name ^ " fastswap") expected fs.Driver.ret
+
+let test_stream_kernels () =
+  List.iter
+    (fun kernel ->
+      let n = 3_000 in
+      let expected = Stream.checksum ~n ~kernel () in
+      let ws = Stream.working_set_bytes ~n ~kernel () in
+      check_all_backends
+        ~name:("stream-" ^ Stream.kernel_name kernel)
+        ~expected ~ws
+        (fun () -> Stream.build ~n ~kernel ()))
+    [ Stream.Sum; Stream.Copy; Stream.Scale; Stream.Triad ]
+
+let test_stream_chunk_modes_agree () =
+  let n = 5_000 in
+  let kernel = Stream.Sum in
+  let expected = Stream.checksum ~n ~kernel () in
+  let ws = Stream.working_set_bytes ~n ~kernel () in
+  List.iter
+    (fun mode ->
+      let opts =
+        {
+          (Driver.tfm_defaults ~local_budget:(budget_frac ws 25)) with
+          Driver.chunk_mode = mode;
+        }
+      in
+      let o, _ = Driver.run_trackfm (fun () -> Stream.build ~n ~kernel ()) opts in
+      Alcotest.(check int) "mode-independent result" expected o.Driver.ret)
+    [ `Off; `All; `Gated ]
+
+let test_stream_object_sizes_agree () =
+  let n = 5_000 in
+  let kernel = Stream.Copy in
+  let expected = Stream.checksum ~n ~kernel () in
+  let ws = Stream.working_set_bytes ~n ~kernel () in
+  List.iter
+    (fun osz ->
+      let opts =
+        {
+          (Driver.tfm_defaults ~local_budget:(budget_frac ws 25)) with
+          Driver.object_size = osz;
+        }
+      in
+      let o, _ = Driver.run_trackfm (fun () -> Stream.build ~n ~kernel ()) opts in
+      Alcotest.(check int)
+        (Printf.sprintf "object size %d" osz)
+        expected o.Driver.ret)
+    [ 64; 256; 1024; 4096 ]
+
+let test_kmeans_all_backends () =
+  let p = Kmeans.default_params ~n:2_000 in
+  check_all_backends ~name:"kmeans" ~expected:(Kmeans.checksum p)
+    ~ws:(Kmeans.working_set_bytes p)
+    (fun () -> Kmeans.build p ())
+
+let test_kmeans_chunk_modes_agree () =
+  let p = Kmeans.default_params ~n:1_500 in
+  let expected = Kmeans.checksum p in
+  let ws = Kmeans.working_set_bytes p in
+  List.iter
+    (fun (mode, gate) ->
+      let opts =
+        {
+          (Driver.tfm_defaults ~local_budget:(budget_frac ws 40)) with
+          Driver.chunk_mode = mode;
+          profile_gate = gate;
+        }
+      in
+      let o, _ = Driver.run_trackfm (fun () -> Kmeans.build p ()) opts in
+      Alcotest.(check int) "kmeans result stable" expected o.Driver.ret)
+    [ (`Off, false); (`All, false); (`Gated, false); (`Gated, true) ]
+
+let test_hashmap_all_backends () =
+  let p = Hashmap.default_params ~keys:3_000 ~lookups:5_000 in
+  let blobs = [ (0, Hashmap.trace_blob p) ] in
+  check_all_backends ~blobs ~name:"hashmap" ~expected:(Hashmap.checksum p)
+    ~ws:(Hashmap.working_set_bytes p)
+    (fun () -> Hashmap.build p ())
+
+let test_hashmap_trace_deterministic () =
+  let p = Hashmap.default_params ~keys:1_000 ~lookups:2_000 in
+  Alcotest.(check bytes) "same blob for same seed" (Hashmap.trace_blob p)
+    (Hashmap.trace_blob p)
+
+let test_memcached_all_backends () =
+  let p = Memcached.default_params ~keys:2_000 ~gets:3_000 ~skew:1.1 in
+  let blobs = [ (0, Memcached.trace_blob p) ] in
+  check_all_backends ~blobs ~name:"memcached" ~expected:(Memcached.checksum p)
+    ~ws:(Memcached.working_set_bytes p)
+    (fun () -> Memcached.build p ())
+
+let test_memcached_skews_valid () =
+  List.iter
+    (fun skew ->
+      let p = Memcached.default_params ~keys:1_000 ~gets:1_000 ~skew in
+      let blobs = [ (0, Memcached.trace_blob p) ] in
+      let o = Driver.run_local ~blobs (fun () -> Memcached.build p ()) in
+      Alcotest.(check int)
+        (Printf.sprintf "skew %.2f" skew)
+        (Memcached.checksum p) o.Driver.ret)
+    [ 1.0; 1.05; 1.2; 1.3 ]
+
+let test_analytics_all_backends () =
+  let p = Analytics.default_params ~rows:8_000 in
+  check_all_backends ~name:"analytics" ~expected:(Analytics.checksum p)
+    ~ws:(Analytics.working_set_bytes p)
+    (fun () -> Analytics.build p ())
+
+let test_analytics_aifm_port_matches () =
+  let p = Analytics.default_params ~rows:8_000 in
+  let ws = Analytics.working_set_bytes p in
+  let ck, clock = Analytics.run_aifm ~local_budget:(budget_frac ws 30) p in
+  Alcotest.(check int) "AIFM port same checksum" (Analytics.checksum p) ck;
+  Alcotest.(check bool) "AIFM port moved data" true
+    (Clock.get clock "net.bytes_in" > 0)
+
+let test_nas_kernels_all_backends () =
+  (* Tiny scale-downs run the full pipeline for every kernel. *)
+  List.iter
+    (fun kernel ->
+      let p = { Nas.kernel; scale = 1 } in
+      let tiny =
+        (* shrink each kernel for test speed by rebuilding with scale 1 and
+           reducing via a custom working set fraction *)
+        p
+      in
+      let expected = Nas.checksum tiny in
+      let ws = Nas.working_set_bytes tiny in
+      let build () = Nas.build tiny () in
+      let local = Driver.run_local build in
+      Alcotest.(check int)
+        (Nas.kernel_name kernel ^ " local")
+        expected local.Driver.ret;
+      let tfm, _ =
+        Driver.run_trackfm build
+          (Driver.tfm_defaults ~local_budget:(budget_frac ws 30))
+      in
+      Alcotest.(check int)
+        (Nas.kernel_name kernel ^ " trackfm")
+        expected tfm.Driver.ret)
+    [ Nas.CG; Nas.FT; Nas.MG; Nas.SP ]
+
+let test_nas_table3_metadata () =
+  Alcotest.(check int) "IS paper GB" 34 (Nas.paper_memory_gb Nas.IS);
+  Alcotest.(check int) "SP paper LoC" 2013 (Nas.paper_loc Nas.SP);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Nas.kernel_name k ^ " ws positive")
+        true
+        (Nas.working_set_bytes { Nas.kernel = k; scale = 1 } > 0))
+    Nas.all_kernels
+
+let test_driver_counters_exposed () =
+  let n = 2_000 in
+  let ws = Stream.working_set_bytes ~n ~kernel:Stream.Sum () in
+  let opts = Driver.tfm_defaults ~local_budget:(budget_frac ws 25) in
+  let o, report =
+    Driver.run_trackfm (fun () -> Stream.build ~n ~kernel:Stream.Sum ()) opts
+  in
+  Alcotest.(check bool) "guard or boundary events recorded" true
+    (Driver.counter o "tfm.fast_guards" + Driver.counter o "tfm.boundary_checks"
+    > 0);
+  Alcotest.(check bool) "pipeline saw the libc call" true
+    (report.Trackfm.Pipeline.libc_rewrites >= 1)
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "stream kernels x backends" `Quick test_stream_kernels;
+      Alcotest.test_case "stream chunk modes agree" `Quick
+        test_stream_chunk_modes_agree;
+      Alcotest.test_case "stream object sizes agree" `Quick
+        test_stream_object_sizes_agree;
+      Alcotest.test_case "kmeans x backends" `Quick test_kmeans_all_backends;
+      Alcotest.test_case "kmeans chunk modes agree" `Quick
+        test_kmeans_chunk_modes_agree;
+      Alcotest.test_case "hashmap x backends" `Quick test_hashmap_all_backends;
+      Alcotest.test_case "hashmap trace deterministic" `Quick
+        test_hashmap_trace_deterministic;
+      Alcotest.test_case "memcached x backends" `Quick test_memcached_all_backends;
+      Alcotest.test_case "memcached skews" `Quick test_memcached_skews_valid;
+      Alcotest.test_case "analytics x backends" `Quick test_analytics_all_backends;
+      Alcotest.test_case "analytics AIFM port" `Quick
+        test_analytics_aifm_port_matches;
+      Alcotest.test_case "nas x backends" `Slow test_nas_kernels_all_backends;
+      Alcotest.test_case "nas table3 metadata" `Quick test_nas_table3_metadata;
+      Alcotest.test_case "driver counters" `Quick test_driver_counters_exposed;
+    ] )
