@@ -64,3 +64,64 @@ let local ?blobs build = Driver.run_local ?blobs build
 let gb bytes = float_of_int bytes /. 1e9
 let mops ops cycles = float_of_int ops /. (cycles_to_seconds cycles *. 1e6)
 let kops ops cycles = float_of_int ops /. (cycles_to_seconds cycles *. 1e3)
+
+(* -- JSON metrics export -------------------------------------------------
+
+   With --metrics-dir DIR on the harness command line, every table an
+   experiment prints through [report_table] is also collected and written
+   as DIR/<experiment>.json when the experiment finishes, so figures can
+   be re-plotted without scraping stdout. *)
+
+let metrics_dir : string option ref = ref None
+let pending_tables : Tfm_util.Table.t list ref = ref []
+
+let report_table t =
+  Tfm_util.Table.print t;
+  if !metrics_dir <> None then pending_tables := t :: !pending_tables
+
+let cell_json cell =
+  let open Telemetry.Json in
+  match int_of_string_opt cell with
+  | Some n -> Int n
+  | None -> (
+      match float_of_string_opt cell with
+      | Some f -> Float f
+      | None -> String cell)
+
+let table_json t =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("title", String (Tfm_util.Table.title t));
+      ( "columns",
+        List (List.map (fun c -> String c) (Tfm_util.Table.columns t)) );
+      ( "rows",
+        List
+          (List.map
+             (fun row -> List (List.map cell_json row))
+             (Tfm_util.Table.rows t)) );
+    ]
+
+let flush_metrics ~experiment ~elapsed_s =
+  let tables = List.rev !pending_tables in
+  pending_tables := [];
+  match !metrics_dir with
+  | None -> ()
+  | Some dir ->
+      if tables <> [] then begin
+        let open Telemetry.Json in
+        let j =
+          Obj
+            [
+              ("experiment", String experiment);
+              ("elapsed_s", Float elapsed_s);
+              ("quick", Bool !quick);
+              ("tables", List (List.map table_json tables));
+            ]
+        in
+        let file = Filename.concat dir (experiment ^ ".json") in
+        let oc = open_out file in
+        to_channel oc j;
+        output_char oc '\n';
+        close_out oc
+      end

@@ -28,7 +28,7 @@ let fig13 () =
         (cycles_to_seconds fs.Driver.cycles *. 1e3)
         tb fb)
     short_sweep;
-  Tfm_util.Table.print t;
+  report_table t;
   let tb, fb = !amp in
   let wsgb = gb ws in
   Printf.printf
@@ -90,8 +90,8 @@ let fig14 () =
         (Driver.counter tf "tfm.slow_guards")
         (Driver.counter fs "fastswap.major_faults"))
     [ 5; 10; 25; 50; 75; 100 ];
-  Tfm_util.Table.print t;
-  Tfm_util.Table.print t2;
+  report_table t;
+  report_table t2;
   Tfm_util.Ascii_plot.print ~x_label:"local mem %"
     ~title:"Figure 14a: slowdown vs local-only"
     [
@@ -136,7 +136,7 @@ let fig15 () =
       Tfm_util.Table.add_rowf t "%d | %.2f | %.2f | %.2f" pct (f `Off false)
         (f `All false) (f `Gated true))
     [ 5; 10; 25; 50; 75; 100 ];
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "chunking the low-density aggregation loops hurts; the cost model \
@@ -188,9 +188,9 @@ let fig16 () =
         (gb (Driver.counter tf "net.bytes_in"))
         (gb (Driver.counter fs "net.bytes_in")))
     skews;
-  Tfm_util.Table.print t;
-  Tfm_util.Table.print t2;
-  Tfm_util.Table.print t3;
+  report_table t;
+  report_table t2;
+  report_table t3;
   Tfm_util.Ascii_plot.print ~x_label:"zipf skew"
     ~title:"Figure 16a: memcached throughput (KOps/s)"
     [

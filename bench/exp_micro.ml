@@ -48,7 +48,7 @@ let fig6 () =
       crossings := (d, s) :: !crossings;
       Tfm_util.Table.add_rowf t "%d | %d | %d | %.3f" d naive chunked s)
     [ 4096; 2048; 1024; 512; 256; 128; 64; 32; 16; 8; 4 ];
-  Tfm_util.Table.print t;
+  report_table t;
   let c = Cost_model.default in
   let predicted =
     (* Eq. 3: (d-1) fast guards + one slow guard vs (d-1) boundary checks
@@ -108,7 +108,7 @@ let fig7 () =
           Tfm_util.Table.add_rowf t "%d | %d | %d | %.2f" pct naive chunked
             (speedup naive chunked))
         pct_sweep;
-      Tfm_util.Table.print t)
+      report_table t)
     [ Stream.Sum; Stream.Copy ];
   print_expectation
     ~paper:"1.5-2.0x, rising toward the right (guard costs dominate there)"
@@ -140,7 +140,7 @@ let fig8 () =
       Tfm_util.Table.add_rowf t "%d | %.2f | %.2f" pct (speedup base all)
         (speedup base gated))
     short_sweep;
-  Tfm_util.Table.print t;
+  report_table t;
   (* also report the candidate filtering like the paper's 103 -> 27 *)
   let _, report = tfm_with_report ~chunk_mode:`Gated ~budget:ws build in
   let cands = report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.candidates in

@@ -27,7 +27,7 @@ let fig17 () =
   Tfm_util.Table.add_rowf t "GeoM. | %.2f | %.2f"
     (Tfm_util.Stats.geomean (Array.of_list !fs_slows))
     (Tfm_util.Stats.geomean (Array.of_list !tfm_slows));
-  Tfm_util.Table.print t;
+  report_table t;
   (* 17b: FT and SP with the O1 pre-pass. *)
   let t2 =
     Tfm_util.Table.create
@@ -53,7 +53,7 @@ let fig17 () =
         (f (tfm ~budget build).Driver.cycles)
         (f (tfm ~budget build_o1).Driver.cycles))
     [ Nas.FT; Nas.SP ];
-  Tfm_util.Table.print t2;
+  report_table t2;
   (* guard-count reduction from O1, the paper's 6x/4x observation *)
   List.iter
     (fun kernel ->
@@ -101,7 +101,7 @@ let table3 () =
         (Nas.paper_memory_gb kernel) (Nas.paper_loc kernel)
         (Tfm_util.Units.bytes_to_string (Nas.working_set_bytes p)))
     Nas.all_kernels;
-  Tfm_util.Table.print t
+  report_table t
 
 (* Ablation: the object state table (Section 3.2). Disabling it forces the
    extra dependent metadata reference on every guard. *)
@@ -131,7 +131,7 @@ let ablate_state_table () =
       Tfm_util.Table.add_rowf t "%d | %d | %d | %.1f%%" pct with_t without
         (100.0 *. (float_of_int without /. float_of_int with_t -. 1.0)))
     short_sweep;
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "the state table replaces AIFM's two dependent metadata references \
@@ -177,7 +177,7 @@ let concurrency () =
         (float_of_int c /. 1e6)
         (kops requests c) (speedup base c))
     [ 1; 2; 4; 8; 16; 32; 64 ];
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "AIFM hides TCP fetch latency with Shenango's concurrency; without \
@@ -217,7 +217,7 @@ let ablate_multisize () =
     (tfm ~blobs
        ~size_classes:[ (2048, 64, 0.7); (max_int, 4096, 0.3) ]
        ~budget build);
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "future work: multiple object sizes would avoid choosing one \
@@ -288,7 +288,7 @@ let ablate_eviction () =
         (kops p.Memcached.gets r.Interp.cycles)
         (Clock.get clock "aifm.demand_fetches"))
     [ ("CLOCK (hotness)", Aifm.Pool.Clock_hand); ("FIFO", Aifm.Pool.Fifo) ];
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "AIFM's evacuator tracks hotness so hot objects stay local \

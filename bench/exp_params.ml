@@ -29,7 +29,7 @@ let fig9 () =
       in
       Tfm_util.Table.add_row t (string_of_int pct :: row))
     short_sweep;
-  Tfm_util.Table.print t;
+  report_table t;
   (* 9b: the fixed 25% bar chart *)
   let t2 =
     Tfm_util.Table.create ~title:"Figure 9b: hashmap at 25% local memory"
@@ -41,7 +41,7 @@ let fig9 () =
       Tfm_util.Table.add_rowf t2 "%dB | %.2f" osz
         (mops p.Hashmap.lookups o.Driver.cycles))
     object_sizes;
-  Tfm_util.Table.print t2;
+  report_table t2;
   print_expectation
     ~paper:"fine-grained, low-spatial-locality access: smaller objects win"
     ~ours:"throughput increases monotonically toward 256B"
@@ -73,7 +73,7 @@ let fig10 () =
       in
       Tfm_util.Table.add_row t (string_of_int pct :: row))
     short_sweep;
-  Tfm_util.Table.print t;
+  report_table t;
   let t2 =
     Tfm_util.Table.create ~title:"Figure 10b: STREAM copy at 25% local memory"
       ~columns:[ "object size"; "MB/s" ]
@@ -84,7 +84,7 @@ let fig10 () =
       Tfm_util.Table.add_rowf t2 "%dB | %.0f" osz
         (float_of_int bytes_processed /. cycles_to_seconds o.Driver.cycles /. 1e6))
     object_sizes;
-  Tfm_util.Table.print t2;
+  report_table t2;
   print_expectation
     ~paper:"high spatial locality: larger (4KB) objects win"
     ~ours:"bandwidth increases monotonically toward 4KB"
@@ -111,7 +111,7 @@ let fig11 () =
           Tfm_util.Table.add_rowf t "%d | %d | %d | %.2f" pct off on
             (speedup off on))
         pct_sweep;
-      Tfm_util.Table.print t)
+      report_table t)
     [ Stream.Sum; Stream.Copy ];
   print_expectation
     ~paper:"up to ~5x at the left (remote-bound); impact fades to the right"
@@ -144,7 +144,7 @@ let fig12 () =
               (float_of_int pct, speedup fs tf))
             pct_sweep
         in
-        Tfm_util.Table.print t;
+        report_table t;
         { Tfm_util.Ascii_plot.label = Stream.kernel_name kernel; points = pts })
       [ Stream.Sum; Stream.Copy ]
   in

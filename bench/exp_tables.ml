@@ -81,7 +81,7 @@ let table1 () =
     (sl_r - Cost_model.default.cache_miss_penalty - mat) (sl_r - mat);
   Tfm_util.Table.add_rowf t "slow-path write guard | %d | %d | 159 | 432"
     (sl_w - Cost_model.default.cache_miss_penalty - mat) (sl_w - mat);
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:"fast 21 cyc cached / ~300 uncached; slow 144-159 / ~430-450"
     ~ours:"calibrated constants re-emerge from the runtime measurement path"
@@ -139,7 +139,7 @@ let table2 () =
     tfm_local tfm_remote;
   Tfm_util.Table.add_rowf t "TrackFM slow-path write guard | %d | %d | 432 | 35K"
     tfm_local_w tfm_remote;
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "kernel fault costs ~2.9x a local slow-path guard; remote costs \
@@ -192,7 +192,7 @@ let compile_costs () =
         g)
       cases
   in
-  Tfm_util.Table.print t;
+  report_table t;
   Printf.printf "mean lowered code growth: %.2fx (paper: 2.4x average)\n\n"
     (Tfm_util.Stats.mean (Array.of_list growths))
 
@@ -216,7 +216,7 @@ let table4 () =
       [ "DiLOS"; "yes"; "yes"; "yes"; "no"; "bench related_dilos" ];
       [ "TrackFM"; "yes"; "yes"; "yes"; "yes"; "lib/trackfm" ];
     ];
-  Tfm_util.Table.print t
+  report_table t
 
 (* Related work: a DiLOS-style LibOS baseline. DiLOS keeps page
    granularity but replaces the kernel swap path with a custom unified
@@ -259,7 +259,7 @@ let related_dilos () =
         /. float_of_int fs_base)
         (float_of_int (dilos budget).Driver.cycles /. float_of_int dl_base))
     [ 5; 10; 25; 50; 75; 100 ];
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "Section 6: DiLOS reduces paging software overheads enough that \
@@ -356,7 +356,7 @@ let hw_kona () =
       Tfm_util.Table.add_rowf t "%s | %d | %d | %s" name tf hw
         (if tf < hw then "TrackFM" else "Kona-style"))
     cases;
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "hardware interposition removes guard costs but 'forgoes the \
@@ -438,7 +438,7 @@ let limits_pointer_chase () =
       Tfm_util.Table.add_rowf t "%d | %d | %d | %.2f" pct tf fs
         (float_of_int tf /. float_of_int fs))
     short_sweep;
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:
       "Section 5: recursive data structure semantics are lost at the IR \
@@ -473,7 +473,7 @@ let robustness_scale () =
         (Tfm_util.Units.bytes_to_string ws)
         (speedup fs tf))
     [ 50_000; 100_000; 200_000; 400_000; 800_000 ];
-  Tfm_util.Table.print t;
+  report_table t;
   print_expectation
     ~paper:"(methodology) sweeps are in percent-of-working-set so shapes \
             should be scale-invariant"

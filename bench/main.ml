@@ -43,6 +43,28 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let bechamel = List.mem "--bechamel" args in
+  (* --metrics-dir DIR: also write each experiment's tables as JSON. *)
+  let rec extract_metrics_dir = function
+    | "--metrics-dir" :: dir :: rest ->
+        let rest, found = extract_metrics_dir rest in
+        (rest, Some dir :: found)
+    | a :: rest ->
+        let rest, found = extract_metrics_dir rest in
+        (a :: rest, found)
+    | [] -> ([], [])
+  in
+  let args, dirs = extract_metrics_dir args in
+  (match List.filter_map Fun.id dirs with
+  | dir :: _ ->
+      let rec mkdir_p d =
+        if not (Sys.file_exists d) then begin
+          mkdir_p (Filename.dirname d);
+          Sys.mkdir d 0o755
+        end
+      in
+      mkdir_p dir;
+      Bench_common.metrics_dir := Some dir
+  | [] -> ());
   let named =
     List.filter (fun a -> a <> "--quick" && a <> "--bechamel") args
   in
@@ -69,6 +91,8 @@ let () =
       Printf.printf "### %s — %s\n" name title;
       let t0 = Unix.gettimeofday () in
       f ();
-      Printf.printf "[%s done in %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0))
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Bench_common.flush_metrics ~experiment:name ~elapsed_s:elapsed;
+      Printf.printf "[%s done in %.1fs]\n\n%!" name elapsed)
     selected;
   if bechamel then Bech.run ()

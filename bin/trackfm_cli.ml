@@ -111,12 +111,122 @@ let print_outcome w (o : Driver.outcome) =
     List.iter (fun (k, v) -> Printf.printf "  %-28s %d\n" k v) counters
   end
 
-let run_cmd workload_name system local_pct object_size chunk prefetch o1 =
+let chunk_mode_of = function "off" -> `Off | "all" -> `All | _ -> `Gated
+
+let build_of w o1 =
+  if o1 then fun () ->
+    let m = w.build () in
+    ignore (Tfm_opt.O1.run m);
+    m
+  else w.build
+
+(* One workload execution under a named system, returning the outcome and
+   (for trackfm) the compile report. The telemetry factory is applied to
+   the run's fresh clock inside the driver. *)
+let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~telemetry
+    build =
+  match system with
+  | "local" -> Ok (Driver.run_local ~blobs:w.blobs ~telemetry build, None)
+  | "fastswap" ->
+      Ok
+        ( Driver.run_fastswap ~blobs:w.blobs ~telemetry ~local_budget:budget
+            build,
+          None )
+  | "trackfm" ->
+      let opts =
+        {
+          Driver.object_size;
+          local_budget = budget;
+          chunk_mode;
+          prefetch;
+          use_state_table = true;
+          profile_gate = true;
+          size_classes = [];
+        }
+      in
+      let o, report = Driver.run_trackfm ~blobs:w.blobs ~telemetry build opts in
+      Ok (o, Some report)
+  | other ->
+      Error (Printf.sprintf "unknown system %s (local|trackfm|fastswap)" other)
+
+let print_compile_report = function
+  | None -> ()
+  | Some report ->
+      Printf.printf
+        "compile: %d guards, %d chunk sites, growth %.2fx, %.1f ms\n\n"
+        (report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_loads
+        + report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_stores)
+        report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.chunk_sites
+        (Trackfm.Pipeline.code_growth report)
+        (report.Trackfm.Pipeline.compile_time_s *. 1e3)
+
+(* -- telemetry plumbing -- *)
+
+(* The drivers create their clocks internally, so the sink is captured
+   from inside the factory for post-run reporting. *)
+let capture_sink ~want_trace ~sample_interval =
+  let sink = ref Telemetry.Sink.nop in
+  let factory clock =
+    let s =
+      Telemetry.Sink.recording ~trace:want_trace
+        ~series_interval:sample_interval clock
+    in
+    sink := s;
+    s
+  in
+  (sink, factory)
+
+let write_trace_file file (r : Telemetry.Sink.recorder) =
+  match r.Telemetry.Sink.trace with
+  | None -> ()
+  | Some tr ->
+      let oc = open_out file in
+      Telemetry.Trace.to_channel oc tr;
+      close_out oc;
+      Printf.printf "trace:    %s (%d events%s; open in chrome://tracing)\n"
+        file (Telemetry.Trace.length tr)
+        (match Telemetry.Trace.dropped tr with
+        | 0 -> ""
+        | d -> Printf.sprintf ", %d dropped" d)
+
+let write_metrics_file file (r : Telemetry.Sink.recorder) =
+  match r.Telemetry.Sink.series with
+  | None ->
+      Printf.eprintf
+        "warning: --metrics %s requested but counter sampling is disabled \
+         (--sample-interval <= 0); no CSV written\n"
+        file
+  | Some s ->
+      let oc = open_out file in
+      Telemetry.Series.to_channel oc s;
+      close_out oc;
+      Printf.printf "metrics:  %s (%d samples, every %s)\n" file
+        (Telemetry.Series.length s)
+        (Tfm_util.Units.cycles_to_string (Telemetry.Series.interval s))
+
+(* Returns an exit code so an unwritable output path reads as a clean
+   file error, not an uncaught exception (the run itself already
+   printed). *)
+let export_telemetry sink trace_file metrics_file =
+  Telemetry.Sink.final_sample sink;
+  match Telemetry.Sink.recorder sink with
+  | None -> 0
+  | Some r -> (
+      try
+        Option.iter (fun f -> write_trace_file f r) trace_file;
+        Option.iter (fun f -> write_metrics_file f r) metrics_file;
+        0
+      with Sys_error msg ->
+        Printf.eprintf "cannot write telemetry output: %s\n" msg;
+        1)
+
+let run_cmd workload_name system local_pct object_size chunk prefetch o1
+    trace_file metrics_file sample_interval =
   match find_workload workload_name with
   | Error e ->
       prerr_endline e;
       1
-  | Ok w ->
+  | Ok w -> (
       let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
       Printf.printf
         "workload %s (%s), working set %s, local budget %s (%d%%), system %s\n\n"
@@ -124,45 +234,142 @@ let run_cmd workload_name system local_pct object_size chunk prefetch o1 =
         (Tfm_util.Units.bytes_to_string w.working_set)
         (Tfm_util.Units.bytes_to_string budget)
         local_pct system;
-      let build =
-        if o1 then fun () ->
-          let m = w.build () in
-          ignore (Tfm_opt.O1.run m);
-          m
-        else w.build
+      let sink, telemetry =
+        if trace_file = None && metrics_file = None then
+          (ref Telemetry.Sink.nop, Driver.no_telemetry)
+        else capture_sink ~want_trace:(trace_file <> None) ~sample_interval
       in
-      let chunk_mode =
-        match chunk with "off" -> `Off | "all" -> `All | _ -> `Gated
+      match
+        exec_system w system ~budget ~object_size
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~telemetry
+          (build_of w o1)
+      with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok (o, report) ->
+          print_compile_report report;
+          print_outcome w o;
+          export_telemetry !sink trace_file metrics_file)
+
+(* -- report: run with a recording sink, print the hotspot table -- *)
+
+let print_hotspots (o : Driver.outcome) (r : Telemetry.Sink.recorder) =
+  let open Telemetry in
+  let rows = Site.rows r.Sink.sites in
+  if rows = [] then
+    print_endline
+      "no guard activity recorded in the measured region (local system, or \
+       nothing survived !bench_begin)"
+  else begin
+    let t =
+      Tfm_util.Table.create ~title:"guard-site hotspots (measured region)"
+        ~columns:
+          [
+            "site"; "fast"; "slow"; "locality"; "custody"; "bytes in";
+            "bytes out"; "guard cyc";
+          ]
+    in
+    let limit = 20 in
+    List.iteri
+      (fun i (k, s) ->
+        if i < limit then
+          Tfm_util.Table.add_rowf t "%s | %d | %d | %d | %d | %s | %s | %s"
+            (Site.key_to_string k) s.Site.fast s.Site.slow s.Site.locality
+            s.Site.custody
+            (Tfm_util.Units.bytes_to_string s.Site.bytes_in)
+            (Tfm_util.Units.bytes_to_string s.Site.bytes_out)
+            (Tfm_util.Units.cycles_to_string s.Site.guard_cycles))
+      rows;
+    let tot = Site.totals r.Sink.sites in
+    Tfm_util.Table.add_rowf t
+      "TOTAL (%d sites) | %d | %d | %d | %d | %s | %s | %s" (List.length rows)
+      tot.Site.fast tot.Site.slow tot.Site.locality tot.Site.custody
+      (Tfm_util.Units.bytes_to_string tot.Site.bytes_in)
+      (Tfm_util.Units.bytes_to_string tot.Site.bytes_out)
+      (Tfm_util.Units.cycles_to_string tot.Site.guard_cycles);
+    Tfm_util.Table.print t;
+    if List.length rows > limit then
+      Printf.printf "(hottest %d of %d sites shown)\n" limit
+        (List.length rows);
+    print_endline "attribution cross-check (site totals vs clock counters):";
+    let check name site_v counter_name =
+      let cv = Driver.counter o counter_name in
+      Printf.printf "  %-16s sites %10d   %-20s %10d   %s\n" name site_v
+        counter_name cv
+        (if site_v = cv then "OK" else "MISMATCH")
+    in
+    check "fast guards" tot.Site.fast "tfm.fast_guards";
+    check "slow guards" tot.Site.slow "tfm.slow_guards";
+    check "locality guards" tot.Site.locality "tfm.locality_guards";
+    check "custody skips" tot.Site.custody "tfm.custody_skips"
+  end
+
+let print_histograms (r : Telemetry.Sink.recorder) =
+  let open Telemetry in
+  Printf.printf "slow-guard latency:  %s\n"
+    (Histogram.summary_string ~unit_name:"cyc" r.Sink.guard_cycles);
+  Printf.printf "fetch size:          %s\n"
+    (Histogram.summary_string ~unit_name:"B" r.Sink.fetch_bytes)
+
+let print_sparklines (r : Telemetry.Sink.recorder) =
+  let open Telemetry in
+  match r.Sink.series with
+  | None -> ()
+  | Some s ->
+      let names = Series.names s in
+      if names <> [] && Series.length s > 1 then begin
+        Printf.printf
+          "\ncounter activity over the run (per-%s deltas, %d samples):\n"
+          (Tfm_util.Units.cycles_to_string (Series.interval s))
+          (Series.length s);
+        List.iter
+          (fun name ->
+            let vals = List.map snd (Series.deltas s name) in
+            let peak = List.fold_left max 0.0 vals in
+            if peak > 0.0 then
+              Printf.printf "  %-22s %s  peak %.0f\n" name
+                (Tfm_util.Ascii_plot.sparkline ~width:50 vals)
+                peak)
+          names
+      end
+
+let report_cmd workload_name system local_pct object_size chunk prefetch o1
+    trace_file metrics_file sample_interval =
+  match find_workload workload_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok w -> (
+      let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
+      Printf.printf "telemetry report: %s under %s, local budget %s (%d%%)\n\n"
+        w.wname system
+        (Tfm_util.Units.bytes_to_string budget)
+        local_pct;
+      let sink, telemetry =
+        capture_sink ~want_trace:(trace_file <> None) ~sample_interval
       in
-      (match system with
-      | "local" -> print_outcome w (Driver.run_local ~blobs:w.blobs build)
-      | "fastswap" ->
-          print_outcome w
-            (Driver.run_fastswap ~blobs:w.blobs ~local_budget:budget build)
-      | "trackfm" ->
-          let opts =
-            {
-              Driver.object_size;
-              local_budget = budget;
-              chunk_mode;
-              prefetch;
-              use_state_table = true;
-              profile_gate = true;
-              size_classes = [];
-            }
-          in
-          let o, report = Driver.run_trackfm ~blobs:w.blobs build opts in
-          Printf.printf
-            "compile: %d guards, %d chunk sites, growth %.2fx, %.1f ms\n\n"
-            (report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_loads
-            + report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_stores)
-            report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.chunk_sites
-            (Trackfm.Pipeline.code_growth report)
-            (report.Trackfm.Pipeline.compile_time_s *. 1e3);
-          print_outcome w o
-      | other ->
-          Printf.eprintf "unknown system %s (local|trackfm|fastswap)\n" other);
-      0
+      match
+        exec_system w system ~budget ~object_size
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~telemetry
+          (build_of w o1)
+      with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok (o, report) ->
+          Telemetry.Sink.final_sample !sink;
+          print_compile_report report;
+          print_outcome w o;
+          print_newline ();
+          (match Telemetry.Sink.recorder !sink with
+          | None -> () (* unreachable: capture_sink always records *)
+          | Some r ->
+              print_hotspots o r;
+              print_newline ();
+              print_histograms r;
+              print_sparklines r);
+          export_telemetry !sink trace_file metrics_file)
 
 let sweep_cmd workload_name object_size =
   match find_workload workload_name with
@@ -287,13 +494,50 @@ let o1_arg =
     value & flag
     & info [ "o1" ] ~doc:"Run the O1 pre-optimization pipeline first.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace_event JSON to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the sampled counter time-series as CSV to $(docv).")
+
+let sample_interval_arg =
+  Arg.(
+    value & opt int 250_000
+    & info [ "sample-interval" ] ~docv:"CYCLES"
+        ~doc:"Simulated cycles between counter snapshots.")
+
 let run_term =
   Term.(
-    const (fun w s m o c np o1 -> run_cmd w s m o c (not np) o1)
+    const (fun w s m o c np o1 tr me si ->
+        run_cmd w s m o c (not np) o1 tr me si)
     $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ o1_arg)
+    $ prefetch_arg $ o1_arg $ trace_arg $ metrics_arg $ sample_interval_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
+
+let report_term =
+  Term.(
+    const (fun w s m o c np o1 tr me si ->
+        report_cmd w s m o c (not np) o1 tr me si)
+    $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
+    $ prefetch_arg $ o1_arg $ trace_arg $ metrics_arg $ sample_interval_arg)
+
+let report_info =
+  Cmd.info "report"
+    ~doc:
+      "Run a workload with telemetry and print guard-site hotspots, latency \
+       histograms and counter sparklines"
+
 let list_info = Cmd.info "list" ~doc:"List available workloads"
 
 let sweep_term =
@@ -314,6 +558,7 @@ let main =
        ~doc:"TrackFM far-memory reproduction driver")
     [
       Cmd.v run_info run_term;
+      Cmd.v report_info report_term;
       Cmd.v list_info Term.(const list_cmd $ const ());
       Cmd.v sweep_info sweep_term;
       Cmd.v autotune_info autotune_term;

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI entry point: build, (optionally) check formatting, run the tests.
+# Mirrors what the driver runs on every PR; keep it green.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build @all
+
+# Formatting is advisory: the check only runs where ocamlformat is
+# installed (the pinned build image does not ship it).
+if command -v ocamlformat >/dev/null 2>&1; then
+    echo "== dune build @fmt =="
+    dune build @fmt
+else
+    echo "== fmt check skipped (ocamlformat not installed) =="
+fi
+
+echo "== dune runtest =="
+dune runtest
+
+echo "CI OK"

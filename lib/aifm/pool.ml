@@ -23,11 +23,13 @@ type t = {
   mutable nlocal : int;
   clock_queue : int Queue.t; (* CLOCK second-chance candidate ring *)
   pins : (int, int) Hashtbl.t;
+  mutable telemetry : Telemetry.Sink.t;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let create ?(policy = Clock_hand) cost clock ~net ~object_size ~local_budget =
+let create ?(policy = Clock_hand) ?(telemetry = Telemetry.Sink.nop) cost clock
+    ~net ~object_size ~local_budget =
   if not (is_pow2 object_size && object_size >= 16 && object_size <= 65536)
   then invalid_arg "Pool.create: object_size";
   {
@@ -42,7 +44,11 @@ let create ?(policy = Clock_hand) cost clock ~net ~object_size ~local_budget =
     nlocal = 0;
     clock_queue = Queue.create ();
     pins = Hashtbl.create 16;
+    telemetry;
   }
+
+let telemetry t = t.telemetry
+let set_telemetry t sink = t.telemetry <- sink
 
 let object_size t = t.osize
 let local_budget t = t.budget
@@ -106,6 +112,7 @@ let evict_one t =
           if m land bit_dirty <> 0 then begin
             Net.writeback t.net ~bytes:t.osize;
             Clock.count t.clock "aifm.writebacks" 1;
+            Telemetry.Sink.writeback_event t.telemetry ~bytes:t.osize;
             bit_swapped
           end
           else m land bit_swapped
@@ -115,6 +122,7 @@ let evict_one t =
         t.nlocal <- t.nlocal - 1;
         Clock.tick t.clock t.cost.Cost_model.evict_object;
         Clock.count t.clock "aifm.evictions" 1;
+        Telemetry.Sink.evict_event t.telemetry;
         true
       end
     end
@@ -155,12 +163,15 @@ let ensure_local t id =
     make_local t id (m land lnot bit_prefetched)
   end
   else begin
-    if m land bit_prefetched <> 0 then
-      Net.fetch_prefetched t.net ~bytes:t.osize
-    else begin
-      Net.fetch t.net ~bytes:t.osize;
-      Clock.count t.clock "aifm.demand_fetches" 1
-    end;
+    (if m land bit_prefetched <> 0 then begin
+       Net.fetch_prefetched t.net ~bytes:t.osize;
+       Telemetry.Sink.fetch_event t.telemetry ~bytes:t.osize ~prefetched:true
+     end
+     else begin
+       Net.fetch t.net ~bytes:t.osize;
+       Clock.count t.clock "aifm.demand_fetches" 1;
+       Telemetry.Sink.fetch_event t.telemetry ~bytes:t.osize ~prefetched:false
+     end);
     make_local t id (m land lnot bit_prefetched)
   end
 

@@ -24,6 +24,7 @@ type policy = Clock_hand | Fifo
 
 val create :
   ?policy:policy ->
+  ?telemetry:Telemetry.Sink.t ->
   Cost_model.t ->
   Clock.t ->
   net:Net.t ->
@@ -31,7 +32,12 @@ val create :
   local_budget:int ->
   t
 (** [object_size] must be a power of two between 16 and 65536 bytes.
-    [local_budget] is in bytes. *)
+    [local_budget] is in bytes. [telemetry] (default
+    {!Telemetry.Sink.nop}) receives fetch/writeback/eviction events; it
+    never charges simulated cycles. *)
+
+val telemetry : t -> Telemetry.Sink.t
+val set_telemetry : t -> Telemetry.Sink.t -> unit
 
 val object_size : t -> int
 val local_budget : t -> int

@@ -23,6 +23,8 @@ let create pool ?(streams = 8) ?(depth = 8) () =
   }
 
 let issue t ~from ~stride =
+  Telemetry.Sink.prefetch_event (Pool.telemetry t.pool) ~from ~stride
+    ~depth:t.depth;
   for k = 1 to t.depth do
     let id = from + (k * stride) in
     if id >= 0 then Pool.mark_prefetched t.pool id

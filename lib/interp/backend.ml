@@ -3,6 +3,7 @@ type t = {
   store : Memstore.t;
   clock : Clock.t;
   cost : Cost_model.t;
+  telemetry : Telemetry.Sink.t;
   malloc : int -> int;
   free : int -> unit;
   realloc : int -> int -> int;
@@ -14,12 +15,16 @@ let heap_base = 1 lsl 44
 
 let plain_alloc_cost = 60
 
-let base_intrinsics clock name (args : int array) =
+let base_intrinsics ?(telemetry = Telemetry.Sink.nop) clock name
+    (args : int array) =
   match name with
   | "!tfm_init" -> Some 0 (* runtime already initialized host-side *)
   | "!bench_begin" ->
       (* Start of the measured region: discard setup-phase cycles and
-         counters (memory-system state stays warm). *)
+         counters (memory-system state stays warm). The telemetry trace
+         timestamp stays monotone across the reset. *)
+      Telemetry.Sink.phase_mark telemetry "bench_begin";
+      Telemetry.Sink.note_reset telemetry;
       Memsim.Clock.reset clock;
       Some 0
   | "!cpu_work" ->
@@ -30,13 +35,14 @@ let base_intrinsics clock name (args : int array) =
       Some 0
   | _ -> None
 
-let local cost clock store =
+let local ?(telemetry = Telemetry.Sink.nop) cost clock store =
   let alloc = Aifm.Region_alloc.create ~base:heap_base in
   {
     name = "local";
     store;
     clock;
     cost;
+    telemetry;
     malloc =
       (fun n ->
         Clock.tick clock plain_alloc_cost;
@@ -60,10 +66,11 @@ let local cost clock store =
           end
         end);
     on_access = (fun ~addr:_ ~size:_ ~write:_ -> ());
-    intrinsic = (fun name args -> base_intrinsics clock name args);
+    intrinsic = (fun name args -> base_intrinsics ~telemetry clock name args);
   }
 
-let fastswap ?readahead cost clock store ~local_budget =
+let fastswap ?readahead ?(telemetry = Telemetry.Sink.nop) cost clock store
+    ~local_budget =
   let alloc = Aifm.Region_alloc.create ~base:heap_base in
   let swap = Fastswap.Swap.create ?readahead cost clock ~local_budget in
   {
@@ -71,6 +78,7 @@ let fastswap ?readahead cost clock store ~local_budget =
     store;
     clock;
     cost;
+    telemetry;
     malloc =
       (fun n ->
         Clock.tick clock plain_alloc_cost;
@@ -96,7 +104,7 @@ let fastswap ?readahead cost clock store ~local_budget =
     on_access =
       (fun ~addr ~size ~write ->
         if addr >= heap_base then Fastswap.Swap.access swap ~addr ~size ~write);
-    intrinsic = (fun name args -> base_intrinsics clock name args);
+    intrinsic = (fun name args -> base_intrinsics ~telemetry clock name args);
   }
 
 let trackfm rt store =
@@ -126,6 +134,7 @@ let trackfm rt store =
     store;
     clock;
     cost = R.cost rt;
+    telemetry = R.telemetry rt;
     malloc = (fun _ -> untransformed "malloc");
     free = (fun _ -> untransformed "free");
     realloc = (fun _ _ -> untransformed "realloc");
@@ -136,7 +145,8 @@ let trackfm rt store =
         | "!tfm_init" ->
             initialized := true;
             Some 0
-        | "!bench_begin" | "!cpu_work" -> base_intrinsics clock name args
+        | "!bench_begin" | "!cpu_work" ->
+            base_intrinsics ~telemetry:(R.telemetry rt) clock name args
         | "tfm_malloc" ->
             require_init name;
             Some (R.tfm_malloc rt args.(0))

@@ -17,6 +17,11 @@ type t = {
   store : Memstore.t;
   clock : Clock.t;
   cost : Cost_model.t;
+  telemetry : Telemetry.Sink.t;
+      (** The interpreter tags this sink with the IR site of each
+          load/store/call before executing it, and emits phase marks and
+          top-level call spans into it. {!Telemetry.Sink.nop} unless the
+          caller opted into recording; never affects simulated cycles. *)
   malloc : int -> int;
   free : int -> unit;
   realloc : int -> int -> int;
@@ -25,10 +30,12 @@ type t = {
       (** Handle a runtime call; [None] means unknown intrinsic. *)
 }
 
-val local : Cost_model.t -> Clock.t -> Memstore.t -> t
+val local :
+  ?telemetry:Telemetry.Sink.t -> Cost_model.t -> Clock.t -> Memstore.t -> t
 
 val fastswap :
   ?readahead:int ->
+  ?telemetry:Telemetry.Sink.t ->
   Cost_model.t ->
   Clock.t ->
   Memstore.t ->
@@ -36,8 +43,8 @@ val fastswap :
   t
 
 val trackfm : Trackfm.Runtime.t -> Memstore.t -> t
-(** Wraps an existing TrackFM runtime (whose clock/cost the result
-    shares). *)
+(** Wraps an existing TrackFM runtime (whose clock/cost/telemetry sink
+    the result shares). *)
 
 val heap_base : int
 (** Base address of the untracked (local/fastswap) heap segment. *)

@@ -140,9 +140,16 @@ and call_function st fname (actuals : v array) =
       (Array.length actuals);
   st.depth <- st.depth + 1;
   if st.depth > max_call_depth then trap "call depth exceeded (recursion?)";
+  (* Top-of-stack calls become phase spans in the telemetry trace: the
+     entry function and its direct callees are the "interpreter phases"
+     (setup, kernels, teardown) without per-helper event blowup. *)
+  let tel = st.backend.Backend.telemetry in
+  let span_it = st.depth <= 2 && Telemetry.Sink.is_active tel in
+  let t0 = if span_it then Telemetry.Sink.timestamp tel else 0 in
   let env = Array.make f.next_id (I 0) in
   let saved_sp = st.stack_ptr in
   let ret = exec_blocks st p env actuals in
+  if span_it then Telemetry.Sink.span tel ~name:fname ~cat:"call" ~start:t0 ();
   st.stack_ptr <- saved_sp;
   st.depth <- st.depth - 1;
   ret
@@ -179,6 +186,7 @@ and exec_blocks st p env args =
   let cost = st.backend.Backend.cost in
   let clock = st.backend.Backend.clock in
   let store = st.backend.Backend.store in
+  let tel = st.backend.Backend.telemetry in
   let fname = p.src.fname in
   (* Iterative block dispatch: loops run for millions of iterations, so
      branch handling must not grow the OCaml stack. *)
@@ -221,12 +229,14 @@ and exec_blocks st p env args =
         | Ir.Fp_to_si a -> I (int_of_float (eval_float st env args a))
         | Ir.Load { ptr; size; is_float } ->
             let addr = eval_int st env args ptr in
+            Telemetry.Sink.set_site tel ~func:fname ~instr:i.id;
             st.backend.Backend.on_access ~addr ~size ~write:false;
             Memsim.Clock.tick clock cost.Memsim.Cost_model.local_access;
             if is_float then F (Memsim.Memstore.load_float store ~addr)
             else I (Memsim.Memstore.load store ~addr ~size)
         | Ir.Store { ptr; size; is_float; v } ->
             let addr = eval_int st env args ptr in
+            Telemetry.Sink.set_site tel ~func:fname ~instr:i.id;
             st.backend.Backend.on_access ~addr ~size ~write:true;
             Memsim.Clock.tick clock cost.Memsim.Cost_model.local_access;
             (if is_float then
@@ -249,6 +259,10 @@ and exec_blocks st p env args =
             let actuals =
               Array.of_list (List.map (eval st env args) call_args)
             in
+            (* Guard/chunk intrinsics executed by the runtime are
+               attributed to this call site (function + instruction id)
+               via the sink — the guard-site hotspot table's key. *)
+            Telemetry.Sink.set_site tel ~func:fname ~instr:i.id;
             exec_call st env args callee actuals
         | Ir.Phi incoming -> begin
             match

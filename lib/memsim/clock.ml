@@ -1,13 +1,36 @@
 type t = {
   mutable cycles : int;
   table : (string, int ref) Hashtbl.t;
+  (* Sampling hook: [sampler] fires every [sample_interval] cycles (from
+     the moment it is installed). [next_sample] is [max_int] when no
+     sampler is installed, so the common-case cost in [tick] is a single
+     integer compare. *)
+  mutable sample_interval : int;
+  mutable next_sample : int;
+  mutable sampler : (t -> unit) option;
 }
 
-let create () = { cycles = 0; table = Hashtbl.create 16 }
+let create () =
+  {
+    cycles = 0;
+    table = Hashtbl.create 16;
+    sample_interval = 0;
+    next_sample = max_int;
+    sampler = None;
+  }
+
+let rec fire t =
+  match t.sampler with
+  | None -> t.next_sample <- max_int
+  | Some f ->
+      f t;
+      t.next_sample <- t.next_sample + t.sample_interval;
+      if t.cycles >= t.next_sample then fire t
 
 let tick t n =
   assert (n >= 0);
-  t.cycles <- t.cycles + n
+  t.cycles <- t.cycles + n;
+  if t.cycles >= t.next_sample then fire t
 
 let cycles t = t.cycles
 
@@ -23,6 +46,20 @@ let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.table []
   |> List.sort compare
 
+let set_sampler t ~interval f =
+  if interval <= 0 then invalid_arg "Clock.set_sampler: interval must be > 0";
+  t.sample_interval <- interval;
+  t.next_sample <- t.cycles + interval;
+  t.sampler <- Some f
+
+let clear_sampler t =
+  t.sampler <- None;
+  t.sample_interval <- 0;
+  t.next_sample <- max_int
+
 let reset t =
   t.cycles <- 0;
-  Hashtbl.reset t.table
+  Hashtbl.reset t.table;
+  match t.sampler with
+  | Some _ -> t.next_sample <- t.sample_interval
+  | None -> t.next_sample <- max_int

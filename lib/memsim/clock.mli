@@ -24,4 +24,15 @@ val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
 val reset : t -> unit
-(** Zero the clock and all counters. *)
+(** Zero the clock and all counters. An installed sampler stays
+    installed; its next firing is one interval after the reset. *)
+
+val set_sampler : t -> interval:int -> (t -> unit) -> unit
+(** Install a periodic hook: [f] is called from inside {!tick} every
+    [interval] simulated cycles (a tick that crosses several interval
+    boundaries fires once per boundary). The telemetry layer uses this to
+    snapshot counters into a time-series; with no sampler installed the
+    per-tick cost is a single integer compare. The hook must not tick the
+    clock. *)
+
+val clear_sampler : t -> unit

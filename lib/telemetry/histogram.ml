@@ -1,0 +1,135 @@
+(* HDR-style log-bucketed histogram over non-negative ints.
+
+   Values 0..15 get exact buckets; each higher octave [2^m, 2^(m+1)) is
+   split into 16 linear sub-buckets, bounding the relative quantile error
+   at 1/16. The bucket array is fixed-size and [record] touches one slot,
+   so recording never allocates — cheap enough to sit on the guard slow
+   path of every run. *)
+
+let sub_bits = 4
+let linear_max = 1 lsl sub_bits (* 16 *)
+let max_octave = 61
+let nbuckets = linear_max + ((max_octave - sub_bits + 1) * linear_max)
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    counts = Array.make nbuckets 0;
+    count = 0;
+    total = 0;
+    min_v = max_int;
+    max_v = 0;
+  }
+
+let clear t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.count <- 0;
+  t.total <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+let msb v =
+  let r = ref 0 and x = ref v in
+  while !x > 1 do
+    incr r;
+    x := !x lsr 1
+  done;
+  !r
+
+let index v =
+  if v < linear_max then v
+  else
+    let m = msb v in
+    let sub = (v lsr (m - sub_bits)) land (linear_max - 1) in
+    linear_max + ((m - sub_bits) * linear_max) + sub
+
+(* Inclusive lower bound of bucket [i]. *)
+let bucket_low i =
+  if i < linear_max then i
+  else
+    let oct = ((i - linear_max) / linear_max) + sub_bits in
+    let sub = (i - linear_max) mod linear_max in
+    (1 lsl oct) + (sub lsl (oct - sub_bits))
+
+let bucket_width i =
+  if i < 2 * linear_max then 1
+  else
+    let oct = ((i - linear_max) / linear_max) + sub_bits in
+    1 lsl (oct - sub_bits)
+
+let record_n t v n =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    t.counts.(index v) <- t.counts.(index v) + n;
+    t.count <- t.count + n;
+    t.total <- t.total + (v * n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v 1
+
+let count t = t.count
+let total t = t.total
+let is_empty t = t.count = 0
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+
+let mean t =
+  if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Histogram.quantile: q outside [0, 1]";
+  if q = 0.0 then t.min_v
+  else if q = 1.0 then t.max_v
+  else begin
+    (* Nearest-rank over the bucket counts; report the bucket midpoint,
+       clamped to the exact observed range. *)
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < nbuckets do
+      seen := !seen + t.counts.(!i);
+      if !seen < rank then incr i
+    done;
+    let mid = bucket_low !i + ((bucket_width !i - 1) / 2) in
+    max t.min_v (min t.max_v mid)
+  end
+
+let percentile t p = quantile t (p /. 100.0)
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun i n -> if n > 0 then dst.counts.(i) <- dst.counts.(i) + n)
+    src.counts;
+  dst.count <- dst.count + src.count;
+  dst.total <- dst.total + src.total;
+  if src.count > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      acc := (bucket_low i, bucket_low i + bucket_width i - 1, t.counts.(i))
+             :: !acc
+  done;
+  !acc
+
+let summary_string ?(unit_name = "") t =
+  if t.count = 0 then "(empty)"
+  else
+    Printf.sprintf
+      "n=%d mean=%.1f%s min=%d p50=%d p90=%d p99=%d max=%d%s" t.count
+      (mean t) unit_name (min_value t) (percentile t 50.0)
+      (percentile t 90.0) (percentile t 99.0) (max_value t) unit_name

@@ -1,0 +1,47 @@
+(** Log-bucketed (HDR-style) histogram of non-negative integers.
+
+    Fixed bucket array — 16 exact buckets for 0..15, then 16 linear
+    sub-buckets per power-of-two octave — so {!record} is allocation-free
+    and quantiles carry at most 1/16 relative error. Used for guard
+    latencies (cycles) and fetch sizes (bytes). Negative values are
+    clamped to 0. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val record : t -> int -> unit
+val record_n : t -> int -> int -> unit
+(** [record_n t v n] records [n] occurrences of value [v] ([n <= 0] is a
+    no-op). *)
+
+val count : t -> int
+val total : t -> int
+val is_empty : t -> bool
+
+val min_value : t -> int
+(** Exact smallest recorded value (0 when empty). *)
+
+val max_value : t -> int
+(** Exact largest recorded value (0 when empty). *)
+
+val mean : t -> float
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0, 1]: nearest-rank over the buckets,
+    reported as the bucket midpoint clamped to the observed min/max (so
+    [quantile t 0.0 = min_value t] and [quantile t 1.0 = max_value t]
+    exactly). Raises [Invalid_argument] on an empty histogram or [q]
+    outside [0, 1]. *)
+
+val percentile : t -> float -> int
+(** [percentile t p = quantile t (p /. 100.)]. *)
+
+val merge_into : dst:t -> t -> unit
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(low, high_inclusive, count)], ascending. *)
+
+val summary_string : ?unit_name:string -> t -> string
+(** One-line [n/mean/min/p50/p90/p99/max] rendering for reports. *)

@@ -1,0 +1,17 @@
+(** Minimal JSON value type and serializer (no external dependency).
+
+    Used by the Chrome-trace exporter and the benchmark harness's metrics
+    emission; deliberately write-only — nothing in the repo parses JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit

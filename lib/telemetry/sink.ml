@@ -1,0 +1,220 @@
+type path = [ `Fast | `Slow | `Locality | `Custody ]
+
+let unknown_site = { Site.func = "<unknown>"; instr = -1 }
+
+type recorder = {
+  clock : Memsim.Clock.t;
+  sites : Site.t;
+  guard_cycles : Histogram.t;
+  fetch_bytes : Histogram.t;
+  series : Series.t option;
+  trace : Trace.t option;
+  mutable cur : Site.key;
+  mutable ts_base : int;
+  mutable last_sample_at : int;
+}
+
+type t = Nop | Rec of recorder
+
+let nop = Nop
+let is_active = function Nop -> false | Rec _ -> true
+let recorder = function Nop -> None | Rec r -> Some r
+
+let now r = r.ts_base + Memsim.Clock.cycles r.clock
+
+let counter_value counters name =
+  match List.assoc_opt name counters with Some v -> v | None -> 0
+
+(* The counter tracks surfaced in the trace viewer; the CSV export keeps
+   every counter regardless. *)
+let trace_counter_groups =
+  [
+    ("tfm.guards", [ "tfm.fast_guards"; "tfm.slow_guards"; "tfm.locality_guards" ]);
+    ("net.bytes", [ "net.bytes_in"; "net.bytes_out" ]);
+    ("memory", [ "net.fetches"; "aifm.evictions"; "aifm.writebacks" ]);
+  ]
+
+(* Idempotent per simulated instant, so an extra [final_sample] (e.g.
+   report printing and then file export) does not duplicate counter
+   events in the trace. *)
+let take_sample r =
+  let at = now r in
+  if at = r.last_sample_at then ()
+  else begin
+  r.last_sample_at <- at;
+  let counters = Memsim.Clock.counters r.clock in
+  (match r.series with
+  | Some s -> Series.record s ~at counters
+  | None -> ());
+  match r.trace with
+  | None -> ()
+  | Some tr ->
+      List.iter
+        (fun (group, names) ->
+          let values =
+            List.filter_map
+              (fun n ->
+                match counter_value counters n with
+                | 0 -> None
+                | v -> Some (n, v))
+              names
+          in
+          if values <> [] then Trace.counter tr ~name:group ~ts:at values)
+        trace_counter_groups
+  end
+
+let recording ?(trace = true) ?(trace_limit = 1_000_000)
+    ?(series_interval = 250_000) clock =
+  let r =
+    {
+      clock;
+      sites = Site.create ();
+      guard_cycles = Histogram.create ();
+      fetch_bytes = Histogram.create ();
+      series =
+        (if series_interval > 0 then Some (Series.create ~interval:series_interval)
+         else None);
+      trace = (if trace then Some (Trace.create ~limit:trace_limit ()) else None);
+      cur = unknown_site;
+      ts_base = 0;
+      last_sample_at = -1;
+    }
+  in
+  let wants_sampler =
+    match (r.series, r.trace) with None, None -> false | _ -> true
+  in
+  if wants_sampler then
+    Memsim.Clock.set_sampler clock
+      ~interval:(if series_interval > 0 then series_interval else 250_000)
+      (fun _ -> take_sample r);
+  Rec r
+
+let timestamp = function Nop -> 0 | Rec r -> now r
+
+let detach = function
+  | Nop -> ()
+  | Rec r -> Memsim.Clock.clear_sampler r.clock
+
+let final_sample = function Nop -> () | Rec r -> take_sample r
+
+let set_site t ~func ~instr =
+  match t with Nop -> () | Rec r -> r.cur <- { Site.func; instr }
+
+let current_site = function Nop -> unknown_site | Rec r -> r.cur
+
+let note_reset = function
+  | Nop -> ()
+  | Rec r ->
+      r.ts_base <- r.ts_base + Memsim.Clock.cycles r.clock;
+      (* The clock reset that follows wipes its counters, so the final
+         counters cover only the measured region. Drop the aggregates
+         too — the hotspot totals must keep matching the clock — while
+         the trace and time-series keep the whole run. *)
+      Site.clear r.sites;
+      Histogram.clear r.guard_cycles;
+      Histogram.clear r.fetch_bytes
+
+(* -- events -------------------------------------------------------------- *)
+
+let guard_event t ~path ~write ~cycles ~bytes_in ~bytes_out =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      let s = Site.stat r.sites r.cur in
+      (match path with
+      | `Fast -> s.Site.fast <- s.Site.fast + 1
+      | `Slow ->
+          s.Site.slow <- s.Site.slow + 1;
+          Histogram.record r.guard_cycles cycles
+      | `Locality ->
+          s.Site.locality <- s.Site.locality + 1;
+          Histogram.record r.guard_cycles cycles
+      | `Custody -> s.Site.custody <- s.Site.custody + 1);
+      if write then s.Site.writes <- s.Site.writes + 1;
+      s.Site.bytes_in <- s.Site.bytes_in + bytes_in;
+      s.Site.bytes_out <- s.Site.bytes_out + bytes_out;
+      s.Site.guard_cycles <- s.Site.guard_cycles + cycles;
+      match (path, r.trace) with
+      | (`Slow | `Locality), Some tr ->
+          let name =
+            match path with `Slow -> "guard.slow" | _ -> "guard.locality"
+          in
+          let args =
+            [
+              ("site", Json.String (Site.key_to_string r.cur));
+              ("write", Json.Bool write);
+            ]
+            @ (if bytes_in > 0 then [ ("bytes_in", Json.Int bytes_in) ] else [])
+          in
+          Trace.complete tr ~name ~cat:"guard" ~ts:(now r - cycles)
+            ~dur:cycles ~args ()
+      | _ -> ())
+
+let fetch_event t ~bytes ~prefetched =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      Histogram.record r.fetch_bytes bytes;
+      match r.trace with
+      | None -> ()
+      | Some tr ->
+          Trace.instant tr ~name:"fetch" ~cat:"net" ~ts:(now r)
+            ~args:
+              [
+                ("bytes", Json.Int bytes);
+                ("prefetched", Json.Bool prefetched);
+                ("site", Json.String (Site.key_to_string r.cur));
+              ]
+            ())
+
+let writeback_event t ~bytes =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match r.trace with
+      | None -> ()
+      | Some tr ->
+          Trace.instant tr ~name:"writeback" ~cat:"net" ~ts:(now r)
+            ~args:[ ("bytes", Json.Int bytes) ] ())
+
+let evict_event t =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match r.trace with
+      | None -> ()
+      | Some tr -> Trace.instant tr ~name:"evict" ~cat:"aifm" ~ts:(now r) ())
+
+let prefetch_event t ~from ~stride ~depth =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match r.trace with
+      | None -> ()
+      | Some tr ->
+          Trace.instant tr ~name:"prefetch.issue" ~cat:"aifm" ~ts:(now r)
+            ~args:
+              [
+                ("from", Json.Int from);
+                ("stride", Json.Int stride);
+                ("depth", Json.Int depth);
+              ]
+            ())
+
+let span t ~name ?(cat = "interp") ~start () =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match r.trace with
+      | None -> ()
+      | Some tr ->
+          let stop = now r in
+          Trace.complete tr ~name ~cat ~ts:start ~dur:(stop - start) ())
+
+let phase_mark t name =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match r.trace with
+      | None -> ()
+      | Some tr -> Trace.instant tr ~name ~cat:"phase" ~ts:(now r) ())

@@ -1,0 +1,100 @@
+(** The telemetry sink every instrumented component holds.
+
+    A sink is either {!nop} — a constructor carrying no state, so the
+    instrumentation check compiles to one pattern match and disabled runs
+    pay nothing (and charge no simulated cycles either way: telemetry is
+    tooling, not workload) — or a recorder aggregating four views of a
+    run:
+
+    - a per-IR-site hotspot table ({!Site});
+    - log-bucketed histograms of slow-guard latency and fetch sizes
+      ({!Histogram});
+    - a counter time-series sampled every N simulated cycles ({!Series});
+    - a Chrome-trace span/event log ({!Trace}).
+
+    The interpreter calls {!set_site} before each load/store/call, so
+    runtime events that follow are attributed to the IR location that
+    caused them. *)
+
+type path = [ `Fast | `Slow | `Locality | `Custody ]
+
+type recorder = {
+  clock : Memsim.Clock.t;
+  sites : Site.t;
+  guard_cycles : Histogram.t;  (** slow/locality guard latency, cycles *)
+  fetch_bytes : Histogram.t;   (** network fetch sizes, bytes *)
+  series : Series.t option;
+  trace : Trace.t option;
+  mutable cur : Site.key;      (** site of the instruction executing now *)
+  mutable ts_base : int;
+      (** cycles folded in from clock resets, so trace time is monotone
+          across [!bench_begin] *)
+  mutable last_sample_at : int;
+      (** dedup guard: one counter snapshot per simulated instant *)
+}
+
+type t = Nop | Rec of recorder
+
+val nop : t
+
+val recording :
+  ?trace:bool ->
+  ?trace_limit:int ->
+  ?series_interval:int ->
+  Memsim.Clock.t ->
+  t
+(** A live recorder on [clock]. [series_interval] (simulated cycles,
+    default 250k; [<= 0] disables the series) installs the clock sampler
+    that snapshots counters — call {!detach} before reusing the clock
+    with another sink. [trace] (default true) enables the Chrome-trace
+    event log. *)
+
+val is_active : t -> bool
+val recorder : t -> recorder option
+val detach : t -> unit
+
+val timestamp : t -> int
+(** Monotone trace timestamp (cycles, reset-corrected); 0 for {!nop}. *)
+
+val final_sample : t -> unit
+(** Force one last counter snapshot (call after the run finishes, since
+    the end rarely lands on a sampling boundary). *)
+
+val unknown_site : Site.key
+
+val set_site : t -> func:string -> instr:int -> unit
+val current_site : t -> Site.key
+
+val note_reset : t -> unit
+(** Call immediately {e before} a [Clock.reset] so elapsed cycles fold
+    into the trace timestamp base. Also drops the hotspot table and the
+    histograms: the reset wipes the clock's counters, and the aggregate
+    views must keep matching them (the trace and time-series retain the
+    whole run). *)
+
+(** {1 Events} (every one is a no-op on {!nop}) *)
+
+val guard_event :
+  t ->
+  path:path ->
+  write:bool ->
+  cycles:int ->
+  bytes_in:int ->
+  bytes_out:int ->
+  unit
+(** One guard outcome at the current site: updates the hotspot table,
+    records slow/locality latency in the histogram, and emits a trace
+    slice for slow paths. [cycles]/[bytes_*] are the deltas the guard
+    caused. *)
+
+val fetch_event : t -> bytes:int -> prefetched:bool -> unit
+val writeback_event : t -> bytes:int -> unit
+val evict_event : t -> unit
+val prefetch_event : t -> from:int -> stride:int -> depth:int -> unit
+
+val span : t -> name:string -> ?cat:string -> start:int -> unit -> unit
+(** Close a duration slice opened at [start] (a {!timestamp} taken
+    earlier) and ending now. *)
+
+val phase_mark : t -> string -> unit
+(** Instant marker on the phase track (e.g. ["bench_begin"]). *)

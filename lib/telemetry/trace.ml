@@ -1,0 +1,93 @@
+(* Chrome trace_event recorder.
+
+   Events are kept as records and serialized once at export. Timestamps
+   are simulated cycles; export converts to microseconds at the modelled
+   2.4 GHz so absolute times in the UI line up with the CLI's ms
+   figures. A hard event limit keeps pathological runs bounded: past it,
+   events are counted as dropped instead of stored. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char; (* 'X' complete, 'i' instant, 'C' counter *)
+  ts : int; (* simulated cycles *)
+  dur : int; (* 'X' only *)
+  args : (string * Json.t) list;
+}
+
+type t = {
+  limit : int;
+  mutable rev : event list;
+  mutable n : int;
+  mutable dropped : int;
+}
+
+let default_limit = 1_000_000
+
+let create ?(limit = default_limit) () = { limit; rev = []; n = 0; dropped = 0 }
+
+let length t = t.n
+let dropped t = t.dropped
+
+let push t ev =
+  if t.n >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.rev <- ev :: t.rev;
+    t.n <- t.n + 1
+  end
+
+let complete t ~name ?(cat = "run") ~ts ~dur ?(args = []) () =
+  push t { name; cat; ph = 'X'; ts; dur = max 0 dur; args }
+
+let instant t ~name ?(cat = "run") ~ts ?(args = []) () =
+  push t { name; cat; ph = 'i'; ts; dur = 0; args }
+
+let counter t ~name ~ts values =
+  push t
+    {
+      name;
+      cat = "counter";
+      ph = 'C';
+      ts;
+      dur = 0;
+      args = List.map (fun (k, v) -> (k, Json.Int v)) values;
+    }
+
+let cycles_per_us = 2400.0 (* the modelled 2.4 GHz core *)
+
+let event_to_json ev =
+  let base =
+    [
+      ("name", Json.String ev.name);
+      ("cat", Json.String ev.cat);
+      ("ph", Json.String (String.make 1 ev.ph));
+      ("ts", Json.Float (float_of_int ev.ts /. cycles_per_us));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let dur =
+    if ev.ph = 'X' then
+      [ ("dur", Json.Float (float_of_int ev.dur /. cycles_per_us)) ]
+    else []
+  in
+  let scope = if ev.ph = 'i' then [ ("s", Json.String "t") ] else [] in
+  let args = if ev.args = [] then [] else [ ("args", Json.Obj ev.args) ] in
+  Json.Obj (base @ dur @ scope @ args)
+
+let to_json t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev_map event_to_json t.rev));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.String "trackfm_repro telemetry");
+            ("clock", Json.String "simulated cycles at 2.4 GHz");
+            ("droppedEvents", Json.Int t.dropped);
+          ] );
+    ]
+
+let to_string t = Json.to_string (to_json t)
+let to_channel oc t = Json.to_channel oc (to_json t)

@@ -1,0 +1,48 @@
+(** Span/event recorder with Chrome [trace_event] JSON export.
+
+    The produced file loads in [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}: interpreter phases and slow
+    guards appear as duration ('X') slices, fetches/writebacks/evictions
+    as instants, and sampled counters as 'C' counter tracks. Timestamps
+    are simulated cycles, exported as microseconds at the modelled
+    2.4 GHz clock. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [limit] (default 1e6) bounds stored events; once reached, further
+    events are counted in {!dropped} rather than stored. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Events discarded past the limit (reported in the export's
+    [otherData]). *)
+
+val complete :
+  t ->
+  name:string ->
+  ?cat:string ->
+  ts:int ->
+  dur:int ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+(** A duration slice: [ts] and [dur] in simulated cycles. *)
+
+val instant :
+  t ->
+  name:string ->
+  ?cat:string ->
+  ts:int ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+
+val counter : t -> name:string -> ts:int -> (string * int) list -> unit
+(** A counter ('C') event: each value becomes a stacked track in the
+    trace viewer. *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit

@@ -43,13 +43,15 @@ type t = {
   chunks : (int, chunk_state) Hashtbl.t;
   mutable debug : bool;
   debug_ring : guard_event Queue.t;
+  mutable telemetry : Telemetry.Sink.t;
 }
 
-let make_class ?policy cost clock backend idx ~max_alloc ~object_size ~budget
-    =
+let make_class ?policy ?telemetry cost clock backend idx ~max_alloc
+    ~object_size ~budget =
   let net = Net.create cost clock backend in
   let pool =
-    Pool.create ?policy cost clock ~net ~object_size ~local_budget:budget
+    Pool.create ?policy ?telemetry cost clock ~net ~object_size
+      ~local_budget:budget
   in
   {
     max_alloc;
@@ -60,7 +62,8 @@ let make_class ?policy cost clock backend idx ~max_alloc ~object_size ~budget
   }
 
 let create ?(backend = Net.Tcp) ?(use_state_table = true) ?(prefetch = true)
-    ?size_classes ?policy cost clock store ~object_size ~local_budget =
+    ?size_classes ?policy ?(telemetry = Telemetry.Sink.nop) cost clock store
+    ~object_size ~local_budget =
   let specs =
     match size_classes with
     | None | Some [] -> [ (max_int, object_size, 1.0) ]
@@ -82,7 +85,7 @@ let create ?(backend = Net.Tcp) ?(use_state_table = true) ?(prefetch = true)
     Array.of_list
       (List.mapi
          (fun idx (max_alloc, osize, share) ->
-           make_class ?policy cost clock backend idx ~max_alloc
+           make_class ?policy ~telemetry cost clock backend idx ~max_alloc
              ~object_size:osize
              ~budget:(max osize (int_of_float (float_of_int local_budget *. share))))
          specs)
@@ -99,6 +102,7 @@ let create ?(backend = Net.Tcp) ?(use_state_table = true) ?(prefetch = true)
     chunks = Hashtbl.create 16;
     debug = false;
     debug_ring = Queue.create ();
+    telemetry;
   }
 
 let debug_ring_capacity = 4096
@@ -113,6 +117,12 @@ let log_event t ev =
       ignore (Queue.pop t.debug_ring);
     Queue.push ev t.debug_ring
   end
+
+let telemetry t = t.telemetry
+
+let set_telemetry t sink =
+  t.telemetry <- sink;
+  Array.iter (fun c -> Pool.set_telemetry c.pool sink) t.classes
 
 let pool t = t.classes.(0).pool
 let pools t = Array.to_list (Array.map (fun c -> c.pool) t.classes)
@@ -221,17 +231,26 @@ let localize_for_access (c : size_class) id ~write =
   if write then Pool.mark_dirty c.pool id
 
 let guard t ~ptr ~size ~write =
+  let tel = t.telemetry in
+  let active = Telemetry.Sink.is_active tel in
+  let c0 = Clock.cycles t.clock in
+  let bin0 = if active then Clock.get t.clock "net.bytes_in" else 0 in
+  let bout0 = if active then Clock.get t.clock "net.bytes_out" else 0 in
   if not (Nc_ptr.is_tracked ptr) then begin
     Clock.tick t.clock t.cost.Cost_model.custody_check;
     Clock.count t.clock "tfm.custody_skips" 1;
     log_event t
-      { ptr; object_id = -1; size_class = -1; path = `Custody_skip; write }
+      { ptr; object_id = -1; size_class = -1; path = `Custody_skip; write };
+    if active then
+      Telemetry.Sink.guard_event tel ~path:`Custody ~write
+        ~cycles:(Clock.cycles t.clock - c0) ~bytes_in:0 ~bytes_out:0
   end
   else begin
     let cls_idx, c = cls_of_ptr t ptr in
     let id = object_id c ptr in
     metadata_lookup t cls_idx id;
-    if Pool.is_local c.pool id then begin
+    let fast = Pool.is_local c.pool id in
+    if fast then begin
       Clock.tick t.clock
         (if write then t.cost.Cost_model.fast_guard_write
          else t.cost.Cost_model.fast_guard_read);
@@ -247,10 +266,6 @@ let guard t ~ptr ~size ~write =
       (* The AIFM backend's runtime stride prefetcher watches the miss
          stream and runs ahead of regular strided access patterns. *)
       if t.prefetch then Prefetcher.access c.miss_prefetcher id;
-      (* Which AIFM code path the dereference will take: a local
-         materialization or a remote fetch. *)
-      let fetches_before = Clock.get t.clock "net.fetches" in
-      ignore fetches_before;
       log_event t
         {
           ptr;
@@ -280,7 +295,14 @@ let guard t ~ptr ~size ~write =
        | _ -> ());
     (* An access that straddles an object boundary needs both halves. *)
     let id_last = object_id c (ptr + size - 1) in
-    if id_last <> id then localize_for_access c id_last ~write
+    if id_last <> id then localize_for_access c id_last ~write;
+    if active then
+      Telemetry.Sink.guard_event tel
+        ~path:(if fast then `Fast else `Slow)
+        ~write
+        ~cycles:(Clock.cycles t.clock - c0)
+        ~bytes_in:(Clock.get t.clock "net.bytes_in" - bin0)
+        ~bytes_out:(Clock.get t.clock "net.bytes_out" - bout0)
   end
 
 (* -- loop chunking ------------------------------------------------------- *)
@@ -320,7 +342,10 @@ let issue_prefetch t (c : size_class) id stride_objects =
 let chunk_access t ~handle ~ptr ~size ~write =
   if not (Nc_ptr.is_tracked ptr) then begin
     Clock.tick t.clock t.cost.Cost_model.custody_check;
-    Clock.count t.clock "tfm.custody_skips" 1
+    Clock.count t.clock "tfm.custody_skips" 1;
+    if Telemetry.Sink.is_active t.telemetry then
+      Telemetry.Sink.guard_event t.telemetry ~path:`Custody ~write
+        ~cycles:t.cost.Cost_model.custody_check ~bytes_in:0 ~bytes_out:0
   end
   else begin
     let s = chunk_state t handle in
@@ -334,6 +359,11 @@ let chunk_access t ~handle ~ptr ~size ~write =
         (* Object boundary crossed: the locality invariant guard. Like
            any guard it resolves the new object's state-table entry, so
            it shares the metadata-cache model. *)
+        let tel = t.telemetry in
+        let active = Telemetry.Sink.is_active tel in
+        let c0 = Clock.cycles t.clock in
+        let bin0 = if active then Clock.get t.clock "net.bytes_in" else 0 in
+        let bout0 = if active then Clock.get t.clock "net.bytes_out" else 0 in
         unpin_cur t prev;
         metadata_lookup t cls_idx id;
         Clock.tick t.clock t.cost.Cost_model.locality_guard;
@@ -347,7 +377,12 @@ let chunk_access t ~handle ~ptr ~size ~write =
             max 1 (s.stride_bytes asr c.osize_log2)
           else min (-1) (-(-s.stride_bytes asr c.osize_log2))
         in
-        issue_prefetch t c id stride_objects);
+        issue_prefetch t c id stride_objects;
+        if active then
+          Telemetry.Sink.guard_event tel ~path:`Locality ~write
+            ~cycles:(Clock.cycles t.clock - c0)
+            ~bytes_in:(Clock.get t.clock "net.bytes_in" - bin0)
+            ~bytes_out:(Clock.get t.clock "net.bytes_out" - bout0));
     if write then Pool.mark_dirty c.pool id;
     let id_last = object_id c (ptr + size - 1) in
     if id_last <> id then localize_for_access c id_last ~write

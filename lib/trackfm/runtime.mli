@@ -26,6 +26,7 @@ val create :
   ?prefetch:bool ->
   ?size_classes:(int * int * float) list ->
   ?policy:Pool.policy ->
+  ?telemetry:Telemetry.Sink.t ->
   Cost_model.t ->
   Clock.t ->
   Memstore.t ->
@@ -47,6 +48,16 @@ val create :
     most 4 classes; the last must have [max_alloc_bytes = max_int]. When
     omitted, one class of [object_size] objects is used (the paper's
     configuration). *)
+
+val telemetry : t -> Telemetry.Sink.t
+(** The runtime's telemetry sink ({!Telemetry.Sink.nop} by default).
+    Guards report each outcome to it with the cycle and network-byte
+    deltas they caused, attributed to the current IR site the
+    interpreter tagged; the pools report fetches/writebacks/evictions.
+    Recording never charges simulated cycles. *)
+
+val set_telemetry : t -> Telemetry.Sink.t -> unit
+(** Swap the sink (also on every size class's pool). *)
 
 val pool : t -> Pool.t
 (** The first size class's pool (the only one by default). *)

@@ -77,3 +77,37 @@ let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "")
 let print ?width ?height ?x_label ?y_label ~title series =
   print_string (render ?width ?height ?x_label ?y_label ~title series);
   print_newline ()
+
+let spark_levels =
+  [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 60) values =
+  let n = List.length values in
+  if n = 0 then ""
+  else begin
+    let v = Array.of_list values in
+    (* Downsample by bucket-max so short spikes survive compression. *)
+    let cells = min width n in
+    let bucketed =
+      Array.init cells (fun c ->
+        let lo = c * n / cells and hi = ((c + 1) * n / cells) - 1 in
+        let m = ref v.(lo) in
+        for k = lo + 1 to max lo hi do
+          if v.(k) > !m then m := v.(k)
+        done;
+        !m)
+    in
+    let vmin = Array.fold_left min bucketed.(0) bucketed in
+    let vmax = Array.fold_left max bucketed.(0) bucketed in
+    let span = if vmax = vmin then 1.0 else vmax -. vmin in
+    let buf = Buffer.create (cells * 3) in
+    Array.iter
+      (fun x ->
+        let lvl =
+          int_of_float ((x -. vmin) /. span *. 7.0 +. 0.5)
+        in
+        Buffer.add_string buf spark_levels.(max 0 (min 7 lvl)))
+      bucketed;
+    Buffer.contents buf
+  end

@@ -27,3 +27,9 @@ val print :
   title:string ->
   series list ->
   unit
+
+val sparkline : ?width:int -> float list -> string
+(** One-line unicode sparkline (block characters U+2581..U+2588),
+    normalised to the series range. Series longer than [width]
+    (default 60) are downsampled by bucket maximum so short spikes stay
+    visible. Empty input yields the empty string. *)

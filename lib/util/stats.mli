@@ -10,7 +10,10 @@ val median : float array -> float
 (** Median (does not mutate the input). Requires a non-empty array. *)
 
 val percentile : float array -> float -> float
-(** [percentile a p] for [p] in [\[0, 100\]], nearest-rank method. *)
+(** [percentile a p] for [p] in [\[0, 100\]], nearest-rank method.
+    [p = 0] yields the sample minimum and [p = 100] the maximum; a
+    single-element sample returns that element for every [p]. Raises
+    [Invalid_argument] on an empty sample or [p] outside the range. *)
 
 val stddev : float array -> float
 (** Population standard deviation. Requires a non-empty array. *)
@@ -21,5 +24,7 @@ val maximum : float array -> float
 val pearson : float array -> float array -> float
 (** Pearson correlation coefficient of two equal-length samples; used by
     the benches to quantify the paper's "event counts strongly correlate
-    with overall performance" claims (Figures 14b/16b). Requires equal
-    non-zero lengths and non-constant inputs. *)
+    with overall performance" claims (Figures 14b/16b). Raises
+    [Invalid_argument] on mismatched lengths, fewer than two
+    observations, or a constant sample (zero variance leaves the
+    coefficient undefined). *)

@@ -5,6 +5,9 @@ type t = {
 }
 
 let create ~title ~columns = { title; columns; rows = [] }
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
 
 let add_row t row =
   assert (List.length row = List.length t.columns);

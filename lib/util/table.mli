@@ -9,6 +9,12 @@ type t
 val create : title:string -> columns:string list -> t
 (** A table with a caption and column headers. *)
 
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order (used by the bench harness's JSON export). *)
+
 val add_row : t -> string list -> unit
 (** Append a row; must have as many cells as there are columns. *)
 

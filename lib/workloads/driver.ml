@@ -56,10 +56,18 @@ let with_blobs blobs (backend : Backend.t) =
 let finish (clock : Clock.t) (r : Interp.result) =
   { ret = r.Interp.ret; cycles = r.Interp.cycles; instrs = r.Interp.instrs_executed; clock }
 
-let run_local ?(cost = Cost_model.default) ?(blobs = []) build =
+(* The driver creates the clock, so telemetry is requested as a factory:
+   the caller gets a sink bound to the run's clock and keeps a reference
+   for reporting. *)
+let no_telemetry : Clock.t -> Telemetry.Sink.t = fun _ -> Telemetry.Sink.nop
+
+let run_local ?(cost = Cost_model.default) ?(blobs = [])
+    ?(telemetry = no_telemetry) build =
   let clock = Clock.create () in
   let store = Memstore.create () in
-  let backend = with_blobs blobs (Backend.local cost clock store) in
+  let backend =
+    with_blobs blobs (Backend.local ~telemetry:(telemetry clock) cost clock store)
+  in
   finish clock (Interp.run backend (build ()) ~entry:"main")
 
 let profile_of ?(cost = Cost_model.default) ?(blobs = []) build =
@@ -70,7 +78,8 @@ let profile_of ?(cost = Cost_model.default) ?(blobs = []) build =
   ignore (Interp.run ~profile backend (build ()) ~entry:"main");
   profile
 
-let run_trackfm ?(cost = Cost_model.default) ?(blobs = []) build opts =
+let run_trackfm ?(cost = Cost_model.default) ?(blobs = [])
+    ?(telemetry = no_telemetry) build opts =
   let profile =
     if opts.profile_gate then Some (profile_of ~cost ~blobs build) else None
   in
@@ -92,18 +101,20 @@ let run_trackfm ?(cost = Cost_model.default) ?(blobs = []) build opts =
       ~prefetch:opts.prefetch
       ?size_classes:
         (match opts.size_classes with [] -> None | l -> Some l)
-      cost clock store ~object_size:opts.object_size
-      ~local_budget:opts.local_budget
+      ~telemetry:(telemetry clock) cost clock store
+      ~object_size:opts.object_size ~local_budget:opts.local_budget
   in
   let backend = with_blobs blobs (Backend.trackfm rt store) in
   (finish clock (Interp.run backend m ~entry:"main"), report)
 
 let run_fastswap ?(cost = Cost_model.default) ?readahead ?(blobs = [])
-    ~local_budget build =
+    ?(telemetry = no_telemetry) ~local_budget build =
   let clock = Clock.create () in
   let store = Memstore.create () in
   let backend =
-    with_blobs blobs (Backend.fastswap ?readahead cost clock store ~local_budget)
+    with_blobs blobs
+      (Backend.fastswap ?readahead ~telemetry:(telemetry clock) cost clock
+         store ~local_budget)
   in
   finish clock (Interp.run backend (build ()) ~entry:"main")
 

@@ -35,15 +35,24 @@ val tfm_defaults : local_budget:int -> tfm_opts
 (** 4 KiB objects, gated chunking with profile, prefetch and state table
     on. *)
 
+val no_telemetry : Clock.t -> Telemetry.Sink.t
+(** The default [telemetry] factory: always {!Telemetry.Sink.nop}. The
+    runners create their own clock, so observability is requested as a
+    factory — it is applied to the run's fresh clock and the resulting
+    sink is threaded through backend, runtime and pools. Stash the sink
+    from inside the factory to read the recordings afterwards. *)
+
 val run_local :
   ?cost:Cost_model.t ->
   ?blobs:(int * Bytes.t) list ->
+  ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
   (unit -> Ir.modul) ->
   outcome
 
 val run_trackfm :
   ?cost:Cost_model.t ->
   ?blobs:(int * Bytes.t) list ->
+  ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
   (unit -> Ir.modul) ->
   tfm_opts ->
   outcome * Trackfm.Pipeline.report
@@ -52,6 +61,7 @@ val run_fastswap :
   ?cost:Cost_model.t ->
   ?readahead:int ->
   ?blobs:(int * Bytes.t) list ->
+  ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
   local_budget:int ->
   (unit -> Ir.modul) ->
   outcome

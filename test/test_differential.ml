@@ -204,6 +204,52 @@ let prop_differential_o1 =
       ignore (Tfm_opt.Opt.run_o1 m);
       run_local m = reference)
 
+(* Telemetry round-trip: record the access trace of a live fastswap run
+   (telemetry off), then replay it through a fresh fastswap backend whose
+   sink is recording. The memory system must behave identically — every
+   counter total matches the live run — and the recording sink's final
+   time-series sample must agree with those totals. *)
+let prop_tracer_telemetry_roundtrip =
+  QCheck.Test.make ~name:"trace replay under telemetry = live counters"
+    ~count:10
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Tfm_util.Rng.create seed in
+      let m, ws = random_program rng in
+      let budget = max 16384 (ws / 4) in
+      let live_clock = Clock.create () in
+      let trace = Tracer.create () in
+      let live_backend =
+        Tracer.recording trace
+          (Backend.fastswap Cost_model.default live_clock (Memstore.create ())
+             ~local_budget:budget)
+      in
+      ignore (Interp.run live_backend m ~entry:"main");
+      let replay_clock = Clock.create () in
+      let sink =
+        Telemetry.Sink.recording ~series_interval:100_000 replay_clock
+      in
+      let replay_backend =
+        Backend.fastswap ~telemetry:sink Cost_model.default replay_clock
+          (Memstore.create ()) ~local_budget:budget
+      in
+      Tracer.replay trace replay_backend;
+      Telemetry.Sink.final_sample sink;
+      let live = Clock.counters live_clock in
+      let replayed = Clock.counters replay_clock in
+      let last_sample_ok =
+        match Telemetry.Sink.recorder sink with
+        | None -> false
+        | Some r -> (
+            match r.Telemetry.Sink.series with
+            | None -> false
+            | Some s -> (
+                match List.rev (Telemetry.Series.samples s) with
+                | last :: _ -> last.Telemetry.Series.counters = replayed
+                | [] -> false))
+      in
+      live = replayed && last_sample_ok)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   ( "differential",
@@ -211,4 +257,5 @@ let suite =
       q prop_differential;
       q prop_differential_fastswap;
       q prop_differential_o1;
+      q prop_tracer_telemetry_roundtrip;
     ] )

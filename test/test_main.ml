@@ -12,6 +12,7 @@ let () =
       Test_opt.suite;
       Test_interp.suite;
       Test_workloads.suite;
+      Test_telemetry.suite;
       Test_differential.suite;
       Test_integration.suite;
     ]

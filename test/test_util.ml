@@ -124,6 +124,32 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p99" 99.0 (Tfm_util.Stats.percentile a 99.0);
   Alcotest.(check (float 1e-9)) "p100" 100.0 (Tfm_util.Stats.percentile a 100.0)
 
+let test_stats_percentile_edges () =
+  let a = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p0 is minimum" 1.0
+    (Tfm_util.Stats.percentile a 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is maximum" 100.0
+    (Tfm_util.Stats.percentile a 100.0);
+  let single = [| 42.0 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single element at p=%g" p)
+        42.0
+        (Tfm_util.Stats.percentile single p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ];
+  Alcotest.check_raises "empty sample rejected"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Tfm_util.Stats.percentile [||] 50.0));
+  (try
+     ignore (Tfm_util.Stats.percentile a 101.0);
+     Alcotest.fail "p>100 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Tfm_util.Stats.percentile a (-1.0));
+    Alcotest.fail "p<0 accepted"
+  with Invalid_argument _ -> ()
+
 let test_units () =
   Alcotest.(check int) "kib" 2048 (Tfm_util.Units.kib 2);
   Alcotest.(check int) "mib" (1 lsl 20) (Tfm_util.Units.mib 1);
@@ -139,6 +165,42 @@ let test_pearson () =
     (Tfm_util.Stats.pearson xs [| 8.0; 6.0; 4.0; 2.0 |]);
   let r = Tfm_util.Stats.pearson xs [| 1.0; 3.0; 2.0; 4.0 |] in
   Alcotest.(check bool) "positive but imperfect" true (r > 0.5 && r < 1.0)
+
+let test_pearson_constant_input () =
+  (* Zero variance leaves the coefficient undefined: 0/0. The old code
+     silently returned nan; now it must refuse. *)
+  let const = [| 3.0; 3.0; 3.0 |] and vary = [| 1.0; 2.0; 3.0 |] in
+  List.iter
+    (fun (xs, ys) ->
+      try
+        ignore (Tfm_util.Stats.pearson xs ys);
+        Alcotest.fail "constant sample accepted"
+      with Invalid_argument _ -> ())
+    [ (const, vary); (vary, const); (const, const) ];
+  try
+    ignore (Tfm_util.Stats.pearson vary [| 1.0; 2.0 |]);
+    Alcotest.fail "length mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Tfm_util.Ascii_plot.sparkline []);
+  let flat = Tfm_util.Ascii_plot.sparkline [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check int) "flat series renders one glyph per point" 3
+    (String.length flat / 3);
+  let ramp = Tfm_util.Ascii_plot.sparkline [ 0.0; 1.0; 2.0; 3.0 ] in
+  Alcotest.(check bool) "ramp starts at the lowest block" true
+    (String.length ramp = 12 && String.sub ramp 0 3 = "\xe2\x96\x81");
+  Alcotest.(check string) "ramp ends at the full block" "\xe2\x96\x88"
+    (String.sub ramp 9 3);
+  (* Downsampling keeps the spike: 100 points, one of them huge. *)
+  let vals = List.init 100 (fun i -> if i = 57 then 100.0 else 1.0) in
+  let spark = Tfm_util.Ascii_plot.sparkline ~width:10 vals in
+  Alcotest.(check int) "downsampled to width" 10 (String.length spark / 3);
+  let has_full = ref false in
+  for i = 0 to 9 do
+    if String.sub spark (i * 3) 3 = "\xe2\x96\x88" then has_full := true
+  done;
+  Alcotest.(check bool) "spike survives bucket-max downsampling" true !has_full
 
 let test_ascii_plot_empty () =
   let out = Tfm_util.Ascii_plot.render ~title:"t" [] in
@@ -181,8 +243,13 @@ let suite =
       Alcotest.test_case "stats basics" `Quick test_stats_basics;
       Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
       Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+      Alcotest.test_case "stats percentile edges" `Quick
+        test_stats_percentile_edges;
       Alcotest.test_case "units" `Quick test_units;
       Alcotest.test_case "pearson" `Quick test_pearson;
+      Alcotest.test_case "pearson constant input" `Quick
+        test_pearson_constant_input;
+      Alcotest.test_case "sparkline" `Quick test_sparkline;
       Alcotest.test_case "ascii plot" `Quick test_ascii_plot_renders;
       Alcotest.test_case "ascii plot empty" `Quick test_ascii_plot_empty;
       Alcotest.test_case "table csv" `Quick test_table_render_and_csv;
