@@ -7,6 +7,15 @@ let quick = ref false
    with --quick. *)
 let scaled n = if !quick then max 1 (n / 4) else n
 
+(* --faults SPEC / --fault-seed N: fabric fault injection applied to every
+   far-memory run the harness performs. Each run builds a fresh injector
+   from (config, seed) so the fault schedule is identical across runs and
+   across repeated invocations — byte-identical metrics for a fixed
+   seed. *)
+let fault_cfg = ref Faults.off
+let fault_seed = ref 1
+let active_faults () = Faults.create ~seed:!fault_seed !fault_cfg
+
 let pct_sweep = [ 10; 20; 30; 40; 50; 60; 75; 90; 100 ]
 let short_sweep = [ 10; 25; 50; 75; 100 ]
 
@@ -27,7 +36,10 @@ let print_expectation ~paper ~ours =
 (* Run a workload under TrackFM with given options; returns outcome. *)
 let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
     ?(use_state_table = true) ?(profile_gate = true) ?(size_classes = [])
-    ~budget build =
+    ?faults ~budget build =
+  let faults =
+    match faults with Some f -> f | None -> active_faults ()
+  in
   let opts =
     {
       Driver.object_size;
@@ -37,6 +49,7 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
       use_state_table;
       profile_gate;
       size_classes;
+      faults;
     }
   in
   fst (Driver.run_trackfm ?blobs build opts)
@@ -52,12 +65,16 @@ let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
       use_state_table = true;
       profile_gate;
       size_classes = [];
+      faults = active_faults ();
     }
   in
   Driver.run_trackfm ?blobs build opts
 
-let fastswap ?blobs ~budget build =
-  Driver.run_fastswap ?blobs ~local_budget:budget build
+let fastswap ?blobs ?faults ~budget build =
+  let faults =
+    match faults with Some f -> f | None -> active_faults ()
+  in
+  Driver.run_fastswap ?blobs ~faults ~local_budget:budget build
 
 let local ?blobs build = Driver.run_local ?blobs build
 

@@ -319,6 +319,7 @@ let hw_kona () =
                 use_state_table = true;
                 profile_gate = false;
                 size_classes = [];
+                faults = active_faults ();
               }
             in
             (fst (Driver.run_trackfm ~cost:kona_cost ~blobs build opts))
@@ -343,6 +344,7 @@ let hw_kona () =
                 use_state_table = true;
                 profile_gate = false;
                 size_classes = [];
+                faults = active_faults ();
               }
             in
             (fst (Driver.run_trackfm ~cost:kona_cost build opts)).Driver.cycles

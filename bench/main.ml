@@ -37,6 +37,8 @@ let experiments =
       Exp_tables.limits_pointer_chase);
     ("robustness_scale", "Methodology: scale invariance of the shapes",
       Exp_tables.robustness_scale);
+    ("faults_goodput", "Robustness: goodput under fabric faults",
+      Exp_faults.faults_goodput);
   ]
 
 let () =
@@ -53,6 +55,35 @@ let () =
         (a :: rest, found)
     | [] -> ([], [])
   in
+  (* --faults SPEC / --fault-seed N: fault injection for every far-memory
+     run (see Faults.parse for the SPEC grammar). *)
+  let rec extract_opt name = function
+    | flag :: v :: rest when flag = name ->
+        let rest, found = extract_opt name rest in
+        (rest, Some v :: found)
+    | a :: rest ->
+        let rest, found = extract_opt name rest in
+        (a :: rest, found)
+    | [] -> ([], [])
+  in
+  let args, fault_specs = extract_opt "--faults" args in
+  (match List.filter_map Fun.id fault_specs with
+  | spec :: _ -> (
+      match Faults.parse spec with
+      | Ok cfg -> Bench_common.fault_cfg := cfg
+      | Error e ->
+          Printf.eprintf "bad --faults spec: %s\n" e;
+          exit 1)
+  | [] -> ());
+  let args, fault_seeds = extract_opt "--fault-seed" args in
+  (match List.filter_map Fun.id fault_seeds with
+  | s :: _ -> (
+      match int_of_string_opt s with
+      | Some n -> Bench_common.fault_seed := n
+      | None ->
+          Printf.eprintf "bad --fault-seed %s (integer expected)\n" s;
+          exit 1)
+  | [] -> ());
   let args, dirs = extract_metrics_dir args in
   (match List.filter_map Fun.id dirs with
   | dir :: _ ->

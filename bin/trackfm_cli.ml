@@ -122,15 +122,16 @@ let build_of w o1 =
 
 (* One workload execution under a named system, returning the outcome and
    (for trackfm) the compile report. The telemetry factory is applied to
-   the run's fresh clock inside the driver. *)
-let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~telemetry
-    build =
+   the run's fresh clock inside the driver. [faults] is the injector for
+   this run (fresh per run: its random stream is stateful). *)
+let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~faults
+    ~telemetry build =
   match system with
   | "local" -> Ok (Driver.run_local ~blobs:w.blobs ~telemetry build, None)
   | "fastswap" ->
       Ok
-        ( Driver.run_fastswap ~blobs:w.blobs ~telemetry ~local_budget:budget
-            build,
+        ( Driver.run_fastswap ~blobs:w.blobs ~faults ~telemetry
+            ~local_budget:budget build,
           None )
   | "trackfm" ->
       let opts =
@@ -142,6 +143,7 @@ let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~telemetry
           use_state_table = true;
           profile_gate = true;
           size_classes = [];
+          faults;
         }
       in
       let o, report = Driver.run_trackfm ~blobs:w.blobs ~telemetry build opts in
@@ -159,6 +161,39 @@ let print_compile_report = function
         report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.chunk_sites
         (Trackfm.Pipeline.code_growth report)
         (report.Trackfm.Pipeline.compile_time_s *. 1e3)
+
+(* -- fault plumbing -- *)
+
+(* A deterministic record of one run: inputs (workload, system, fault
+   spec, seed) and outputs (checksum, cycles, instrs, every clock
+   counter, sorted by name). The CI fault matrix diffs this file against
+   checked-in goldens — any nondeterminism or counter drift shows up as a
+   byte difference. *)
+let write_counters_json file ~workload ~system ~fault_cfg ~fault_seed
+    (o : Driver.outcome) =
+  let open Telemetry.Json in
+  let counters =
+    List.sort
+      (fun (a, _) (b, _) -> compare (a : string) b)
+      (Clock.counters o.Driver.clock)
+  in
+  let j =
+    Obj
+      [
+        ("workload", String workload);
+        ("system", String system);
+        ("faults", String (Faults.to_string fault_cfg));
+        ("fault_seed", Int fault_seed);
+        ("checksum", Int o.Driver.ret);
+        ("cycles", Int o.Driver.cycles);
+        ("instrs", Int o.Driver.instrs);
+        ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) counters));
+      ]
+  in
+  let oc = open_out file in
+  to_channel oc j;
+  output_char oc '\n';
+  close_out oc
 
 (* -- telemetry plumbing -- *)
 
@@ -221,19 +256,25 @@ let export_telemetry sink trace_file metrics_file =
         1)
 
 let run_cmd workload_name system local_pct object_size chunk prefetch o1
-    trace_file metrics_file sample_interval =
-  match find_workload workload_name with
-  | Error e ->
+    fault_spec fault_seed counters_json trace_file metrics_file
+    sample_interval =
+  match (find_workload workload_name, Faults.parse fault_spec) with
+  | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-  | Ok w -> (
+  | Ok w, Ok fault_cfg -> (
+      let faults = Faults.create ~seed:fault_seed fault_cfg in
       let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
       Printf.printf
-        "workload %s (%s), working set %s, local budget %s (%d%%), system %s\n\n"
+        "workload %s (%s), working set %s, local budget %s (%d%%), system %s\n"
         w.wname w.describe
         (Tfm_util.Units.bytes_to_string w.working_set)
         (Tfm_util.Units.bytes_to_string budget)
         local_pct system;
+      if Faults.enabled faults then
+        Printf.printf "faults %s, seed %d\n" (Faults.to_string fault_cfg)
+          fault_seed;
+      print_newline ();
       let sink, telemetry =
         if trace_file = None && metrics_file = None then
           (ref Telemetry.Sink.nop, Driver.no_telemetry)
@@ -241,16 +282,26 @@ let run_cmd workload_name system local_pct object_size chunk prefetch o1
       in
       match
         exec_system w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~telemetry
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~telemetry
           (build_of w o1)
       with
       | Error e ->
           prerr_endline e;
           1
-      | Ok (o, report) ->
+      | Ok (o, report) -> (
           print_compile_report report;
           print_outcome w o;
-          export_telemetry !sink trace_file metrics_file)
+          match
+            Option.iter
+              (fun f ->
+                write_counters_json f ~workload:w.wname ~system ~fault_cfg
+                  ~fault_seed o)
+              counters_json
+          with
+          | () -> export_telemetry !sink trace_file metrics_file
+          | exception Sys_error msg ->
+              Printf.eprintf "cannot write counters JSON: %s\n" msg;
+              1))
 
 (* -- report: run with a recording sink, print the hotspot table -- *)
 
@@ -310,7 +361,9 @@ let print_histograms (r : Telemetry.Sink.recorder) =
   Printf.printf "slow-guard latency:  %s\n"
     (Histogram.summary_string ~unit_name:"cyc" r.Sink.guard_cycles);
   Printf.printf "fetch size:          %s\n"
-    (Histogram.summary_string ~unit_name:"B" r.Sink.fetch_bytes)
+    (Histogram.summary_string ~unit_name:"B" r.Sink.fetch_bytes);
+  Printf.printf "retry backoff:       %s\n"
+    (Histogram.summary_string ~unit_name:"cyc" r.Sink.retry_backoff)
 
 let print_sparklines (r : Telemetry.Sink.recorder) =
   let open Telemetry in
@@ -335,23 +388,28 @@ let print_sparklines (r : Telemetry.Sink.recorder) =
       end
 
 let report_cmd workload_name system local_pct object_size chunk prefetch o1
-    trace_file metrics_file sample_interval =
-  match find_workload workload_name with
-  | Error e ->
+    fault_spec fault_seed trace_file metrics_file sample_interval =
+  match (find_workload workload_name, Faults.parse fault_spec) with
+  | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-  | Ok w -> (
+  | Ok w, Ok fault_cfg -> (
+      let faults = Faults.create ~seed:fault_seed fault_cfg in
       let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
-      Printf.printf "telemetry report: %s under %s, local budget %s (%d%%)\n\n"
+      Printf.printf "telemetry report: %s under %s, local budget %s (%d%%)%s\n\n"
         w.wname system
         (Tfm_util.Units.bytes_to_string budget)
-        local_pct;
+        local_pct
+        (if Faults.enabled faults then
+           Printf.sprintf ", faults %s seed %d" (Faults.to_string fault_cfg)
+             fault_seed
+         else "");
       let sink, telemetry =
         capture_sink ~want_trace:(trace_file <> None) ~sample_interval
       in
       match
         exec_system w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~telemetry
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~telemetry
           (build_of w o1)
       with
       | Error e ->
@@ -400,6 +458,7 @@ let sweep_cmd workload_name object_size =
               use_state_table = true;
               profile_gate = true;
               size_classes = [];
+              faults = Faults.disabled;
             }
           in
           let tfm, _ = Driver.run_trackfm ~blobs:w.blobs w.build opts in
@@ -494,6 +553,33 @@ let o1_arg =
     value & flag
     & info [ "o1" ] ~doc:"Run the O1 pre-optimization pipeline first.")
 
+let faults_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fabric fault injection: none, light, medium, heavy, or a \
+           comma-separated spec of drop=P, timeout=P, spike=P:CYC[:ALPHA], \
+           outage=PERIOD:LEN.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the fault injector's random stream; a fixed seed makes \
+           the whole fault schedule (and every counter) reproducible.")
+
+let counters_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "counters-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a deterministic JSON record of the run (inputs, checksum, \
+           cycles, all counters sorted by name) to $(docv); the CI fault \
+           matrix diffs these against golden files.")
+
 let trace_arg =
   Arg.(
     value
@@ -518,19 +604,21 @@ let sample_interval_arg =
 
 let run_term =
   Term.(
-    const (fun w s m o c np o1 tr me si ->
-        run_cmd w s m o c (not np) o1 tr me si)
+    const (fun w s m o c np o1 fs fseed cj tr me si ->
+        run_cmd w s m o c (not np) o1 fs fseed cj tr me si)
     $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ o1_arg $ trace_arg $ metrics_arg $ sample_interval_arg)
+    $ prefetch_arg $ o1_arg $ faults_arg $ fault_seed_arg $ counters_json_arg
+    $ trace_arg $ metrics_arg $ sample_interval_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
 
 let report_term =
   Term.(
-    const (fun w s m o c np o1 tr me si ->
-        report_cmd w s m o c (not np) o1 tr me si)
+    const (fun w s m o c np o1 fs fseed tr me si ->
+        report_cmd w s m o c (not np) o1 fs fseed tr me si)
     $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ o1_arg $ trace_arg $ metrics_arg $ sample_interval_arg)
+    $ prefetch_arg $ o1_arg $ faults_arg $ fault_seed_arg $ trace_arg
+    $ metrics_arg $ sample_interval_arg)
 
 let report_info =
   Cmd.info "report"

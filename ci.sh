@@ -1,23 +1,110 @@
 #!/bin/sh
-# CI entry point: build, (optionally) check formatting, run the tests.
-# Mirrors what the driver runs on every PR; keep it green.
+# Staged CI pipeline. Mirrors what the driver runs on every PR; keep it
+# green.
+#
+#   ./ci.sh                 # all stages: build fmt test smoke faults
+#   ./ci.sh build test      # just those stages
+#
+# Stages:
+#   build  - dune build @all
+#   fmt    - dune build @fmt (skipped when ocamlformat is not installed)
+#   test   - dune runtest (tier-1 unit/property/integration suites)
+#   smoke  - quick bench-harness run; writes metrics JSON to _ci/metrics
+#   faults - fault-injection determinism matrix: fixed workloads x seeds,
+#            each run twice (byte-identical counters required) and diffed
+#            against the checked-in goldens in ci/golden/
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== dune build =="
-dune build @all
+CLI=_build/default/bin/trackfm_cli.exe
+FAULT_WORKLOADS="stream-sum hashmap"
+FAULT_SEEDS="1 2 3"
+FAULT_SPEC=medium
 
-# Formatting is advisory: the check only runs where ocamlformat is
-# installed (the pinned build image does not ship it).
-if command -v ocamlformat >/dev/null 2>&1; then
-    echo "== dune build @fmt =="
-    dune build @fmt
-else
-    echo "== fmt check skipped (ocamlformat not installed) =="
-fi
+stage_build() {
+    echo "== stage build: dune build @all =="
+    dune build @all
+}
 
-echo "== dune runtest =="
-dune runtest
+stage_fmt() {
+    # Formatting is advisory: the check only runs where ocamlformat is
+    # installed (the pinned build image does not ship it).
+    if command -v ocamlformat >/dev/null 2>&1; then
+        echo "== stage fmt: dune build @fmt =="
+        dune build @fmt
+    else
+        echo "== stage fmt: skipped (ocamlformat not installed) =="
+    fi
+}
+
+stage_test() {
+    echo "== stage test: dune runtest =="
+    dune runtest
+}
+
+stage_smoke() {
+    echo "== stage smoke: bench harness (quick) =="
+    mkdir -p _ci/metrics
+    dune exec bench/main.exe -- table1 fig6 --quick --metrics-dir _ci/metrics
+    for f in table1 fig6; do
+        if [ ! -s "_ci/metrics/$f.json" ]; then
+            echo "smoke: missing metrics JSON _ci/metrics/$f.json" >&2
+            exit 1
+        fi
+    done
+}
+
+stage_faults() {
+    echo "== stage faults: determinism matrix ($FAULT_SPEC; seeds $FAULT_SEEDS) =="
+    dune build bin/trackfm_cli.exe
+    mkdir -p _ci/faults
+    fail=0
+    for w in $FAULT_WORKLOADS; do
+        for seed in $FAULT_SEEDS; do
+            out="_ci/faults/$w-seed$seed.json"
+            "$CLI" run -w "$w" -s trackfm -m 25 \
+                --faults "$FAULT_SPEC" --fault-seed "$seed" \
+                --counters-json "$out" >/dev/null
+            "$CLI" run -w "$w" -s trackfm -m 25 \
+                --faults "$FAULT_SPEC" --fault-seed "$seed" \
+                --counters-json "$out.rerun" >/dev/null
+            if ! cmp -s "$out" "$out.rerun"; then
+                echo "faults: NONDETERMINISTIC: $w seed $seed differs between two runs" >&2
+                diff "$out" "$out.rerun" >&2 || true
+                fail=1
+            fi
+            golden="ci/golden/$w-seed$seed.json"
+            if [ ! -f "$golden" ]; then
+                echo "faults: missing golden $golden (regenerate with: cp $out $golden)" >&2
+                fail=1
+            elif ! cmp -s "$golden" "$out"; then
+                echo "faults: DRIFT: $w seed $seed differs from $golden" >&2
+                diff "$golden" "$out" >&2 || true
+                fail=1
+            fi
+        done
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "faults stage failed" >&2
+        exit 1
+    fi
+}
+
+STAGES="${*:-build fmt test smoke faults}"
+
+for s in $STAGES; do
+    case "$s" in
+        build)  stage_build ;;
+        fmt)    stage_fmt ;;
+        test)   stage_test ;;
+        smoke)  stage_smoke ;;
+        faults) stage_faults ;;
+        *)
+            echo "unknown stage '$s' (build fmt test smoke faults)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "CI OK"

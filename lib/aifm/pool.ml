@@ -32,6 +32,7 @@ let create ?(policy = Clock_hand) ?(telemetry = Telemetry.Sink.nop) cost clock
     ~net ~object_size ~local_budget =
   if not (is_pow2 object_size && object_size >= 16 && object_size <= 65536)
   then invalid_arg "Pool.create: object_size";
+  Telemetry.Sink.attach_net telemetry net;
   {
     cost;
     clock;
@@ -48,7 +49,10 @@ let create ?(policy = Clock_hand) ?(telemetry = Telemetry.Sink.nop) cost clock
   }
 
 let telemetry t = t.telemetry
-let set_telemetry t sink = t.telemetry <- sink
+
+let set_telemetry t sink =
+  t.telemetry <- sink;
+  Telemetry.Sink.attach_net sink t.net
 
 let object_size t = t.osize
 let local_budget t = t.budget
@@ -88,8 +92,11 @@ let is_local t id = get_meta t id land bit_local <> 0
 
 (* One sweep step of the CLOCK hand. Returns true if something was
    evicted. Hot objects get a second chance; pinned objects are skipped
-   (requeued) — this is the evacuator barrier of Section 3.3. *)
-let evict_one t =
+   (requeued) — this is the evacuator barrier of Section 3.3. With
+   [allow_writeback:false] (remote unreachable: circuit breaker open)
+   dirty objects are also skipped: their only copy cannot be pushed out,
+   so the evacuator degrades to dropping clean objects. *)
+let evict_one_with ~allow_writeback t =
   let attempts = ref (2 * Queue.length t.clock_queue) in
   let rec go () =
     if Queue.is_empty t.clock_queue || !attempts = 0 then false
@@ -104,6 +111,10 @@ let evict_one t =
       end
       else if t.policy = Clock_hand && m land bit_hot <> 0 then begin
         set_meta t id (m land lnot bit_hot);
+        Queue.push id t.clock_queue;
+        go ()
+      end
+      else if (not allow_writeback) && m land bit_dirty <> 0 then begin
         Queue.push id t.clock_queue;
         go ()
       end
@@ -129,9 +140,24 @@ let evict_one t =
   in
   go ()
 
+let evict_one t = evict_one_with ~allow_writeback:true t
+
+(* The evacuator's degraded mode: while the remote is unreachable it
+   sheds clean objects only, and if even that fails it defers — local
+   memory absorbs the overshoot, and the next pressure event after
+   recovery drains it back under budget (the [while] re-checks from the
+   top). Only a pinned-everything state with a reachable remote is a
+   genuine OOM. *)
 let evict_until_fits t =
-  while t.used > t.budget do
-    if not (evict_one t) then raise Out_of_local_memory
+  let deferred = ref false in
+  while (not !deferred) && t.used > t.budget do
+    let allow_writeback = Net.remote_available t.net in
+    if evict_one_with ~allow_writeback t then ()
+    else if allow_writeback then raise Out_of_local_memory
+    else begin
+      Clock.count t.clock "aifm.evictions_deferred" 1;
+      deferred := true
+    end
   done
 
 let make_local t id m =

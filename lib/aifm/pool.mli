@@ -44,7 +44,12 @@ val local_budget : t -> int
 val local_used : t -> int
 
 exception Out_of_local_memory
-(** Raised when the budget is exceeded and every local object is pinned. *)
+(** Raised when the budget is exceeded and every local object is pinned
+    — with the remote reachable. While the circuit breaker is open
+    (remote outage) the evacuator instead degrades: dirty objects cannot
+    be written back, so it sheds clean objects only and, failing that,
+    defers eviction entirely (counter [aifm.evictions_deferred]) letting
+    local memory absorb the overshoot until recovery. *)
 
 val materialize : t -> int -> unit
 (** [materialize t id] creates the object directly in local memory (fresh
@@ -88,4 +93,5 @@ val local_count : t -> int
 (** Number of objects currently local. *)
 
 (** Counters on the shared clock: [aifm.demand_fetches],
-    [aifm.evictions], [aifm.writebacks], [aifm.materialized]. *)
+    [aifm.evictions], [aifm.writebacks], [aifm.materialized],
+    [aifm.evictions_deferred] (fault path only). *)

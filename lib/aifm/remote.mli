@@ -15,13 +15,18 @@ type ctx
 
 val create_ctx :
   ?backend:Net.backend ->
+  ?faults:Faults.t ->
   Cost_model.t ->
   Clock.t ->
   Memstore.t ->
   object_size:int ->
   local_budget:int ->
   ctx
-(** Default backend is [Tcp] (AIFM runs on Shenango's TCP stack). *)
+(** Default backend is [Tcp] (AIFM runs on Shenango's TCP stack).
+    [faults] (default {!Faults.disabled}) makes the fabric adversarial;
+    dereferences then retry with backoff, stalls block-with-yield when
+    inside a Shenango task, and the evacuator defers dirty evictions
+    during outages. *)
 
 val ctx_pool : ctx -> Pool.t
 val ctx_clock : ctx -> Clock.t

@@ -18,11 +18,19 @@ type t = {
   mutable present : int;
 }
 
-let create ?(readahead = 0) cost clock ~local_budget =
+let create ?(readahead = 0) ?(faults = Faults.disabled)
+    ?(telemetry = Telemetry.Sink.nop) cost clock ~local_budget =
+  let net = Net.create ~faults cost clock Net.Rdma in
+  Telemetry.Sink.attach_net telemetry net;
+  (* The kernel swap path has no green threads to yield to, but retry
+     backoff and outage waits still release the (simulated) core when a
+     scheduler happens to be present. *)
+  Net.set_stall_handler net (fun ~cycles ->
+      ignore (Shenango.Sched.try_block cycles));
   {
     cost;
     clock;
-    net = Net.create cost clock Net.Rdma;
+    net;
     budget_pages = max 1 (local_budget / page_size);
     readahead;
     state = Hashtbl.create 4096;
@@ -30,14 +38,19 @@ let create ?(readahead = 0) cost clock ~local_budget =
     present = 0;
   }
 
+let net t = t.net
 let get_state t p = try Hashtbl.find t.state p with Not_found -> 0
 let set_state t p s = Hashtbl.replace t.state p s
 
 let is_present t ~addr = get_state t (addr lsr page_bits) land bit_present <> 0
 let present_pages t = t.present
 
-(* Second-chance reclaim, the kernel's approximated LRU. *)
-let reclaim_one t =
+(* Second-chance reclaim, the kernel's approximated LRU. With
+   [allow_writeback:false] (remote unreachable) dirty pages are skipped:
+   their only copy cannot be pushed out, so reclaim degrades to dropping
+   clean pages — the same backpressure absorption as the AIFM
+   evacuator's. *)
+let reclaim_one_with ~allow_writeback t =
   let attempts = ref (2 * Queue.length t.lru) in
   let rec go () =
     if Queue.is_empty t.lru || !attempts = 0 then false
@@ -48,6 +61,10 @@ let reclaim_one t =
       if s land bit_present = 0 then go ()
       else if s land bit_hot <> 0 then begin
         set_state t p (s land lnot bit_hot);
+        Queue.push p t.lru;
+        go ()
+      end
+      else if (not allow_writeback) && s land bit_dirty <> 0 then begin
         Queue.push p t.lru;
         go ()
       end
@@ -67,35 +84,53 @@ let reclaim_one t =
   go ()
 
 let reclaim_until_fits t =
-  while t.present > t.budget_pages do
-    if not (reclaim_one t) then
+  let deferred = ref false in
+  while (not !deferred) && t.present > t.budget_pages do
+    let allow_writeback = Net.remote_available t.net in
+    if reclaim_one_with ~allow_writeback t then ()
+    else if allow_writeback then
       (* Nothing reclaimable: a kernel would OOM; surface it. *)
       failwith "Fastswap: local memory exhausted with nothing reclaimable"
+    else begin
+      (* Outage: every reclaimable page is dirty and the writeback path
+         is down. Defer — present pages overshoot the budget until the
+         remote recovers and the next reclaim drains the excess. *)
+      Clock.count t.clock "fastswap.reclaim_deferred" 1;
+      deferred := true
+    end
   done
 
-let map_page t p ~hot =
+(* A write fault maps the PTE dirty immediately (as the kernel does), so
+   the map-time reclaim pass already sees the new page as unevictable
+   without a writeback. Read faults and readahead map clean. *)
+let map_page t p ~hot ~dirty =
   let s = get_state t p in
-  set_state t p (s lor bit_present lor if hot then bit_hot else 0);
+  set_state t p
+    (s lor bit_present
+    lor (if hot then bit_hot else 0)
+    lor if dirty then bit_dirty else 0);
   t.present <- t.present + 1;
   Queue.push p t.lru;
   reclaim_until_fits t
 
-let fault_page t p =
+let fault_page t p ~write =
   let s = get_state t p in
   if s land bit_swapped <> 0 then begin
     (* Major fault: kernel software path plus the RDMA page read. *)
     Clock.tick t.clock t.cost.Cost_model.fastswap_fault_base;
     Net.fetch t.net ~bytes:page_size;
     Clock.count t.clock "fastswap.major_faults" 1;
-    map_page t p ~hot:true;
-    (* Optional cluster readahead of subsequent swapped-out pages. *)
-    for k = 1 to t.readahead do
+    map_page t p ~hot:true ~dirty:write;
+    (* Optional cluster readahead of subsequent swapped-out pages.
+       Suppressed while the breaker is open: speculative traffic is the
+       first thing a degraded kernel sheds. *)
+    for k = 1 to (if Net.remote_available t.net then t.readahead else 0) do
       let q = p + k in
       let sq = get_state t q in
       if sq land bit_swapped <> 0 && sq land bit_present = 0 then begin
         Net.fetch_prefetched t.net ~bytes:page_size;
         Clock.count t.clock "fastswap.readahead_pages" 1;
-        map_page t q ~hot:false
+        map_page t q ~hot:false ~dirty:false
       end
     done
   end
@@ -103,12 +138,12 @@ let fault_page t p =
     (* First touch: anonymous page allocation (minor fault). *)
     Clock.tick t.clock t.cost.Cost_model.fastswap_fault_local;
     Clock.count t.clock "fastswap.minor_faults" 1;
-    map_page t p ~hot:true
+    map_page t p ~hot:true ~dirty:write
   end
 
 let touch t p ~write =
   let s = get_state t p in
-  if s land bit_present = 0 then fault_page t p;
+  if s land bit_present = 0 then fault_page t p ~write;
   let s = get_state t p in
   set_state t p (s lor bit_hot lor if write then bit_dirty else 0)
 

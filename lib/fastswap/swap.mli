@@ -20,15 +20,26 @@ type t
 
 val create :
   ?readahead:int ->
+  ?faults:Faults.t ->
+  ?telemetry:Telemetry.Sink.t ->
   Cost_model.t ->
   Clock.t ->
   local_budget:int ->
   t
 (** [local_budget] bytes of local DRAM (rounded down to whole pages, with
     a one-page minimum). [readahead] pages are fetched alongside each
-    major fault (default 0). *)
+    major fault (default 0). [faults] (default {!Faults.disabled})
+    attaches a fabric fault injector: page-ins then ride {!Net}'s
+    retry/backoff/circuit-breaker machinery — the kernel analogue of a
+    swap device that can time out — readahead is suppressed while the
+    breaker is open, and reclaim of dirty pages is deferred during
+    outages (counter [fastswap.reclaim_deferred]). [telemetry] receives
+    the transport's retry/outage events. *)
 
 val page_size : int
+
+val net : t -> Net.t
+(** The swap device's transport (exposed for tests and telemetry). *)
 
 val access : t -> addr:int -> size:int -> write:bool -> unit
 (** Account one program access. Present pages cost nothing beyond the
@@ -42,4 +53,5 @@ val present_pages : t -> int
 
 (** Counters on the shared clock: [fastswap.major_faults],
     [fastswap.minor_faults], [fastswap.evictions],
-    [fastswap.writebacks]. *)
+    [fastswap.writebacks], [fastswap.reclaim_deferred] (fault path
+    only). *)

@@ -35,12 +35,16 @@ val local :
 
 val fastswap :
   ?readahead:int ->
+  ?faults:Memsim.Faults.t ->
   ?telemetry:Telemetry.Sink.t ->
   Cost_model.t ->
   Clock.t ->
   Memstore.t ->
   local_budget:int ->
   t
+(** [faults] (default {!Memsim.Faults.disabled}) attaches a fabric fault
+    injector to the swap transport; page-ins then retry with backoff and
+    respect the circuit breaker. *)
 
 val trackfm : Trackfm.Runtime.t -> Memstore.t -> t
 (** Wraps an existing TrackFM runtime (whose clock/cost/telemetry sink

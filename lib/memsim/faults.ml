@@ -1,0 +1,245 @@
+type config = {
+  drop : float;
+  timeout : float;
+  spike : float;
+  spike_cycles : int;
+  spike_alpha : float;
+  outage_period : int;
+  outage_len : int;
+}
+
+let off =
+  {
+    drop = 0.0;
+    timeout = 0.0;
+    spike = 0.0;
+    spike_cycles = 0;
+    spike_alpha = 1.5;
+    outage_period = 0;
+    outage_len = 0;
+  }
+
+type live = { cfg : config; rng : Tfm_util.Rng.t; seed : int }
+type t = Disabled | On of live
+
+let disabled = Disabled
+
+let validate cfg =
+  if cfg.drop < 0.0 || cfg.timeout < 0.0 || cfg.spike < 0.0 then
+    invalid_arg "Faults.create: negative rate";
+  if cfg.drop +. cfg.timeout >= 1.0 then
+    invalid_arg "Faults.create: drop + timeout must be < 1 (ops must be able \
+                 to complete)";
+  if cfg.spike > 1.0 then invalid_arg "Faults.create: spike rate > 1";
+  if cfg.spike > 0.0 && cfg.spike_cycles <= 0 then
+    invalid_arg "Faults.create: spike_cycles must be > 0";
+  if cfg.spike > 0.0 && cfg.spike_alpha <= 0.0 then
+    invalid_arg "Faults.create: spike_alpha must be > 0";
+  if cfg.outage_period < 0 || cfg.outage_len < 0 then
+    invalid_arg "Faults.create: negative outage parameter";
+  if cfg.outage_period > 0 && cfg.outage_len >= cfg.outage_period then
+    invalid_arg "Faults.create: outage_len must be < outage_period"
+
+let create ?(seed = 1) cfg =
+  validate cfg;
+  if cfg = off then Disabled
+  else On { cfg; rng = Tfm_util.Rng.create (max 1 seed); seed = max 1 seed }
+
+let enabled = function Disabled -> false | On _ -> true
+let config = function Disabled -> off | On l -> l.cfg
+let seed = function Disabled -> 0 | On l -> l.seed
+
+type verdict = Deliver of int | Nack | Timeout
+
+(* Pareto-style spike: scale * ((1-u)^(-1/alpha) - 1), capped at 64x the
+   scale so a single unlucky draw cannot dwarf a whole run. *)
+let spike_cycles l =
+  let u = Tfm_util.Rng.float l.rng 1.0 in
+  let x =
+    float_of_int l.cfg.spike_cycles
+    *. (((1.0 -. u) ** (-1.0 /. l.cfg.spike_alpha)) -. 1.0)
+  in
+  let cap = 64 * l.cfg.spike_cycles in
+  max 1 (min cap (int_of_float x))
+
+let attempt = function
+  | Disabled -> Deliver 0
+  | On l ->
+      let u = Tfm_util.Rng.float l.rng 1.0 in
+      if u < l.cfg.drop then Nack
+      else if u < l.cfg.drop +. l.cfg.timeout then Timeout
+      else if l.cfg.spike > 0.0 && Tfm_util.Rng.float l.rng 1.0 < l.cfg.spike
+      then Deliver (spike_cycles l)
+      else Deliver 0
+
+(* -- outage windows ------------------------------------------------------
+
+   Window i is anchored at (i+1) * period with a deterministic jitter of
+   up to +/- period/8 derived by hashing (seed, i), so windows are a pure
+   function of the configuration: no mutable cursor that a clock reset
+   (!bench_begin) could desynchronize. *)
+
+(* splitmix64-style finalizer over the 63-bit native int *)
+let hash2 seed i =
+  let x = (seed * 0x9E3779B9) + (i * 0x85EBCA6B) + 0x94D049BB in
+  let x = x lxor (x lsr 30) in
+  let x = x * 0xBF58476D land max_int in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x94D049BB land max_int in
+  x lxor (x lsr 31)
+
+let window l i =
+  let p = l.cfg.outage_period in
+  let jitter_span = max 1 (p / 4) in
+  let jitter = (hash2 l.seed i mod jitter_span) - (jitter_span / 2) in
+  let start = ((i + 1) * p) + jitter in
+  (start, start + l.cfg.outage_len)
+
+let outage_window t i =
+  match t with
+  | Disabled -> None
+  | On l when l.cfg.outage_period <= 0 || l.cfg.outage_len <= 0 -> None
+  | On l -> Some (window l i)
+
+let find_window l ~now =
+  if l.cfg.outage_period <= 0 || l.cfg.outage_len <= 0 then None
+  else begin
+    (* [now] can only fall inside a window anchored within one period of
+       it; check the two candidates. *)
+    let i = now / l.cfg.outage_period in
+    let check i =
+      if i < 0 then None
+      else
+        let start, stop = window l i in
+        if now >= start && now < stop then Some (start, stop) else None
+    in
+    match check (i - 1) with Some w -> Some w | None -> check i
+  end
+
+let in_outage t ~now =
+  match t with Disabled -> false | On l -> find_window l ~now <> None
+
+let outage_end t ~now =
+  match t with
+  | Disabled -> None
+  | On l -> Option.map snd (find_window l ~now)
+
+(* -- spec grammar -------------------------------------------------------- *)
+
+let presets =
+  [
+    ("none", off);
+    ( "light",
+      {
+        off with
+        drop = 0.005;
+        timeout = 0.002;
+        spike = 0.01;
+        spike_cycles = 20_000;
+        spike_alpha = 1.5;
+      } );
+    ( "medium",
+      {
+        drop = 0.02;
+        timeout = 0.01;
+        spike = 0.05;
+        spike_cycles = 40_000;
+        spike_alpha = 1.5;
+        outage_period = 8_000_000;
+        outage_len = 400_000;
+      } );
+    ( "heavy",
+      {
+        drop = 0.05;
+        timeout = 0.03;
+        spike = 0.10;
+        spike_cycles = 80_000;
+        spike_alpha = 1.2;
+        outage_period = 3_000_000;
+        outage_len = 600_000;
+      } );
+  ]
+
+let parse_field cfg field =
+  match String.index_opt field '=' with
+  | None -> Error (Printf.sprintf "fault field %S is not key=value" field)
+  | Some eq -> (
+      let key = String.sub field 0 eq in
+      let v = String.sub field (eq + 1) (String.length field - eq - 1) in
+      let parts = String.split_on_char ':' v in
+      let floatv s =
+        match float_of_string_opt s with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad float %S in %s" s key)
+      in
+      let intv s =
+        match int_of_string_opt s with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "bad integer %S in %s" s key)
+      in
+      match (key, parts) with
+      | "drop", [ p ] -> Result.map (fun p -> { cfg with drop = p }) (floatv p)
+      | "timeout", [ p ] ->
+          Result.map (fun p -> { cfg with timeout = p }) (floatv p)
+      | "spike", p :: cyc :: rest -> (
+          match (floatv p, intv cyc) with
+          | Ok p, Ok cyc -> (
+              match rest with
+              | [] -> Ok { cfg with spike = p; spike_cycles = cyc }
+              | [ a ] ->
+                  Result.map
+                    (fun a ->
+                      { cfg with spike = p; spike_cycles = cyc; spike_alpha = a })
+                    (floatv a)
+              | _ -> Error "spike takes at most PROB:CYCLES:ALPHA")
+          | (Error _ as e), _ -> e |> Result.map (fun _ -> cfg)
+          | _, (Error _ as e) -> e |> Result.map (fun _ -> cfg))
+      | "spike", _ -> Error "spike needs PROB:CYCLES[:ALPHA]"
+      | "outage", [ period; len ] -> (
+          match (intv period, intv len) with
+          | Ok p, Ok l -> Ok { cfg with outage_period = p; outage_len = l }
+          | (Error _ as e), _ -> e |> Result.map (fun _ -> cfg)
+          | _, (Error _ as e) -> e |> Result.map (fun _ -> cfg))
+      | "outage", _ -> Error "outage needs PERIOD:LEN"
+      | k, _ ->
+          Error
+            (Printf.sprintf
+               "unknown fault field %S (drop, timeout, spike, outage)" k))
+
+let parse spec =
+  let spec = String.trim spec in
+  match List.assoc_opt spec presets with
+  | Some cfg -> Ok cfg
+  | None -> (
+      let rec go cfg = function
+        | [] -> Ok cfg
+        | f :: rest -> (
+            match parse_field cfg (String.trim f) with
+            | Ok cfg -> go cfg rest
+            | Error _ as e -> e)
+      in
+      match go off (String.split_on_char ',' spec) with
+      | Error _ as e -> e
+      | Ok cfg -> (
+          match validate cfg with
+          | () -> Ok cfg
+          | exception Invalid_argument m -> Error m))
+
+let to_string cfg =
+  if cfg = off then "none"
+  else begin
+    let fields = ref [] in
+    if cfg.outage_period > 0 then
+      fields :=
+        Printf.sprintf "outage=%d:%d" cfg.outage_period cfg.outage_len
+        :: !fields;
+    if cfg.spike > 0.0 then
+      fields :=
+        Printf.sprintf "spike=%g:%d:%g" cfg.spike cfg.spike_cycles
+          cfg.spike_alpha
+        :: !fields;
+    if cfg.timeout > 0.0 then
+      fields := Printf.sprintf "timeout=%g" cfg.timeout :: !fields;
+    if cfg.drop > 0.0 then fields := Printf.sprintf "drop=%g" cfg.drop :: !fields;
+    String.concat "," !fields
+  end

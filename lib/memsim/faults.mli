@@ -1,0 +1,92 @@
+(** Seeded, deterministic fault injection for the simulated fabric.
+
+    The paper's fabric (and AIFM's/Fastswap's) is perfectly cooperative:
+    every fetch lands after exactly [latency + size/bandwidth] cycles.
+    This module makes it adversarial. Four injectors, all driven by the
+    simulated clock and a fixed seed so that two runs of the same
+    workload produce byte-identical metrics:
+
+    - {b transient drops} (NACKs): an attempt fails after one round trip
+      and must be retried;
+    - {b timeouts}: an attempt silently disappears and the sender only
+      learns after its attempt timeout fires;
+    - {b latency spikes}: an attempt is delivered but pays extra cycles
+      drawn from a Pareto-style tail distribution;
+    - {b outage windows}: the remote memory server is unreachable for a
+      fixed-length window roughly once per configured period. Windows
+      are a pure function of (seed, index), so [in_outage] needs no
+      mutable scanning state and tolerates the clock reset at
+      [!bench_begin].
+
+    Per-attempt randomness comes from a private xorshift stream
+    ({!Tfm_util.Rng}); attempts are made in deterministic order by the
+    single-threaded simulation, so the whole fault schedule is
+    reproducible from [(config, seed)]. *)
+
+type config = {
+  drop : float;  (** P(attempt is NACKed), [0 <= p], [drop + timeout < 1] *)
+  timeout : float;  (** P(attempt times out) *)
+  spike : float;  (** P(delivered attempt pays a latency spike) *)
+  spike_cycles : int;  (** Pareto scale of the spike tail, cycles *)
+  spike_alpha : float;  (** Pareto tail exponent (smaller = heavier) *)
+  outage_period : int;  (** approx cycles between outages; 0 disables *)
+  outage_len : int;  (** outage window length, cycles *)
+}
+
+val off : config
+(** All rates zero: no faults. *)
+
+type t
+
+val disabled : t
+(** The no-faults injector; {!enabled} is [false] and every attempt is
+    delivered with no extra latency. The fabric takes the exact pre-fault
+    code path, so disabled runs reproduce fault-free counters bit for
+    bit. *)
+
+val create : ?seed:int -> config -> t
+(** [create ~seed cfg] is {!disabled} when [cfg] = {!off}, otherwise a
+    live injector. @raise Invalid_argument on out-of-range rates or
+    [outage_len >= outage_period]. *)
+
+val enabled : t -> bool
+val config : t -> config
+val seed : t -> int
+
+type verdict =
+  | Deliver of int  (** delivered; the payload is the extra spike cycles *)
+  | Nack  (** transient drop: the remote refused, retry after backoff *)
+  | Timeout  (** the attempt vanished; sender pays its attempt timeout *)
+
+val attempt : t -> verdict
+(** Fate of one network attempt. Consumes the injector's random stream;
+    [Deliver 0] always when disabled. *)
+
+val in_outage : t -> now:int -> bool
+(** Is the remote server inside an outage window at simulated time
+    [now]? Pure in [now] (no stream consumed). *)
+
+val outage_end : t -> now:int -> int option
+(** End cycle of the outage window covering [now], if any. *)
+
+val outage_window : t -> int -> (int * int) option
+(** [outage_window t i] is the [i]-th (0-based) outage window as
+    [(start, stop)]; [None] when outages are disabled. Exposed for tests
+    and the CI fault matrix. *)
+
+val parse : string -> (config, string) result
+(** Parse a [--faults] spec. Grammar:
+
+    {v
+    SPEC    ::= "none" | "light" | "medium" | "heavy" | FIELDS
+    FIELDS  ::= FIELD ("," FIELD)*
+    FIELD   ::= "drop=" FLOAT
+              | "timeout=" FLOAT
+              | "spike=" FLOAT ":" CYCLES [":" ALPHA]
+              | "outage=" PERIOD ":" LEN
+    v}
+
+    e.g. ["drop=0.02,timeout=0.01,spike=0.05:40000:1.5,outage=2000000:150000"]. *)
+
+val to_string : config -> string
+(** Canonical spec string ([parse (to_string c) = Ok c] for valid [c]). *)

@@ -1,31 +1,253 @@
 type backend = Tcp | Rdma
 
+type retry_policy = {
+  max_attempts : int;
+  attempt_timeout : int;
+  op_deadline : int;
+  backoff_base : int;
+  backoff_cap : int;
+  fail_fast_cycles : int;
+  probe_interval : int;
+}
+
+(* Scaled off the ~32 Kcycle wire round trip: a 4-RTT attempt timeout,
+   1-RTT base backoff capped at 16 RTT, and a 64-RTT per-op deadline. *)
+let default_policy =
+  {
+    max_attempts = 5;
+    attempt_timeout = 128_000;
+    op_deadline = 2_048_000;
+    backoff_base = 32_000;
+    backoff_cap = 512_000;
+    fail_fast_cycles = 40;
+    probe_interval = 1_024_000;
+  }
+
+type error =
+  | Unreachable of { probe_at : int }
+  | Budget_exhausted of { attempts : int }
+
+type event =
+  | Retry of { attempt : int; backoff : int; reason : [ `Nack | `Timeout ] }
+  | Breaker_opened of { at : int; probe_at : int }
+  | Breaker_closed of { opened_at : int; at : int }
+  | Fetch_failed of { attempts : int }
+
+type breaker = Closed | Open of { opened_at : int; probe_at : int }
+
 type t = {
   cost : Cost_model.t;
   clock : Clock.t;
   latency : int;
+  faults : Faults.t;
+  policy : retry_policy;
+  jitter : Tfm_util.Rng.t;
+  mutable breaker : breaker;
+  mutable stall_handler : cycles:int -> unit;
+  mutable on_event : event -> unit;
 }
 
-let create cost clock backend =
+let create ?(faults = Faults.disabled) ?(policy = default_policy) cost clock
+    backend =
   let latency =
     match backend with
     | Tcp -> cost.Cost_model.tcp_latency
     | Rdma -> cost.Cost_model.rdma_latency
   in
-  { cost; clock; latency }
+  {
+    cost;
+    clock;
+    latency;
+    faults;
+    policy;
+    (* Jitter draws come from a stream independent of the fault verdicts
+       so policy tweaks do not shift which attempts fail. *)
+    jitter = Tfm_util.Rng.create (Faults.seed faults + 0x5bd1e995);
+    breaker = Closed;
+    stall_handler = (fun ~cycles:_ -> ());
+    on_event = (fun _ -> ());
+  }
 
-let fetch t ~bytes =
-  Clock.tick t.clock
-    (Cost_model.transfer_cycles t.cost ~latency:t.latency ~bytes);
-  Clock.count t.clock "net.bytes_in" bytes;
-  Clock.count t.clock "net.fetches" 1
+let faults t = t.faults
+let set_stall_handler t f = t.stall_handler <- f
+let on_event t f = t.on_event <- f
+let remote_available t = t.breaker = Closed
 
-let fetch_prefetched t ~bytes =
-  Clock.tick t.clock
-    (t.cost.Cost_model.prefetch_hit + (bytes * 1000 / t.cost.Cost_model.bytes_per_kcycle));
+(* Sleeping (backoff, waiting out an open breaker) charges the simulated
+   clock here; the handler only adds scheduler integration on top. *)
+let stall t cycles =
+  if cycles > 0 then begin
+    Clock.tick t.clock cycles;
+    Clock.count t.clock "net.stall_cycles" cycles;
+    t.stall_handler ~cycles
+  end
+
+(* Success-side accounting shared by demand and prefetched fetches. *)
+let account_success t ~bytes ~prefetched =
   Clock.count t.clock "net.bytes_in" bytes;
   Clock.count t.clock "net.fetches" 1;
-  Clock.count t.clock "net.prefetched_fetches" 1
+  if prefetched then Clock.count t.clock "net.prefetched_fetches" 1
+
+(* -- fault-free path (bit-identical to the pre-fault model) -------------- *)
+
+let plain_fetch t ~bytes ~latency ~prefetched =
+  Clock.tick t.clock (Cost_model.transfer_cycles t.cost ~latency ~bytes);
+  account_success t ~bytes ~prefetched
+
+(* -- fault path ---------------------------------------------------------- *)
+
+let open_breaker t =
+  let now = Clock.cycles t.clock in
+  let probe_at = now + t.policy.probe_interval in
+  (match t.breaker with
+  | Open _ -> ()
+  | Closed ->
+      Clock.count t.clock "net.breaker_opens" 1;
+      t.on_event (Breaker_opened { at = now; probe_at }));
+  (match t.breaker with
+  | Open { opened_at; _ } -> t.breaker <- Open { opened_at; probe_at }
+  | Closed -> t.breaker <- Open { opened_at = now; probe_at })
+
+let close_breaker t =
+  match t.breaker with
+  | Closed -> ()
+  | Open { opened_at; _ } ->
+      t.breaker <- Closed;
+      t.on_event (Breaker_closed { opened_at; at = Clock.cycles t.clock })
+
+(* One wire attempt: charges its own cost and reports the outcome. An
+   attempt made inside an outage window never arrives — the sender only
+   learns via its attempt timeout. Failed "prefetched" attempts lost
+   their overlap, so every failure costs wire-level cycles. *)
+let wire_attempt t ~bytes ~success_latency ~prefetched =
+  let now = Clock.cycles t.clock in
+  if Faults.in_outage t.faults ~now then begin
+    Clock.tick t.clock t.policy.attempt_timeout;
+    Clock.count t.clock "net.timeouts" 1;
+    `Failed `Timeout
+  end
+  else
+    match Faults.attempt t.faults with
+    | Faults.Deliver extra ->
+        Clock.tick t.clock
+          (Cost_model.transfer_cycles t.cost ~latency:success_latency ~bytes
+          + extra);
+        if extra > 0 then begin
+          Clock.count t.clock "net.latency_spikes" 1;
+          Clock.count t.clock "net.spike_cycles" extra
+        end;
+        account_success t ~bytes ~prefetched;
+        `Delivered
+    | Faults.Nack ->
+        (* The remote answered with a refusal: one round trip burned. *)
+        Clock.tick t.clock t.latency;
+        Clock.count t.clock "net.nacks" 1;
+        `Failed `Nack
+    | Faults.Timeout ->
+        Clock.tick t.clock t.policy.attempt_timeout;
+        Clock.count t.clock "net.timeouts" 1;
+        `Failed `Timeout
+
+(* Exponential backoff with deterministic decorrelating jitter: sleep in
+   [backoff/2, backoff], doubling per retry up to the cap. *)
+let backoff_cycles t ~attempt =
+  let base =
+    min t.policy.backoff_cap (t.policy.backoff_base lsl min 20 (attempt - 1))
+  in
+  let half = max 1 (base / 2) in
+  half + Tfm_util.Rng.int t.jitter half
+
+let try_fetch_faulted t ~bytes ~success_latency ~prefetched =
+  let now = Clock.cycles t.clock in
+  match t.breaker with
+  | Open { probe_at; _ } when now < probe_at ->
+      (* Fail fast: no wire traffic while the breaker is open. *)
+      Clock.tick t.clock t.policy.fail_fast_cycles;
+      Clock.count t.clock "net.fail_fast" 1;
+      Error (Unreachable { probe_at })
+  | Open _ -> (
+      (* Half-open: one probe attempt, no retry ladder. *)
+      Clock.count t.clock "net.breaker_probes" 1;
+      match wire_attempt t ~bytes ~success_latency ~prefetched with
+      | `Delivered ->
+          close_breaker t;
+          Ok ()
+      | `Failed _ ->
+          open_breaker t;
+          let probe_at =
+            match t.breaker with
+            | Open { probe_at; _ } -> probe_at
+            | Closed -> assert false
+          in
+          Error (Unreachable { probe_at }))
+  | Closed ->
+      let start = Clock.cycles t.clock in
+      let rec attempt_loop attempt =
+        match wire_attempt t ~bytes ~success_latency ~prefetched with
+        | `Delivered -> Ok ()
+        | `Failed reason ->
+            let spent = Clock.cycles t.clock - start in
+            if attempt >= t.policy.max_attempts
+               || spent >= t.policy.op_deadline
+            then begin
+              Clock.count t.clock "net.fetch_failures" 1;
+              t.on_event (Fetch_failed { attempts = attempt });
+              (* A fully exhausted ladder is the breaker's trip signal:
+                 flip to fail-fast and probe for recovery. *)
+              open_breaker t;
+              let probe_at =
+                match t.breaker with
+                | Open { probe_at; _ } -> probe_at
+                | Closed -> assert false
+              in
+              if Faults.in_outage t.faults ~now:(Clock.cycles t.clock) then
+                Error (Unreachable { probe_at })
+              else Error (Budget_exhausted { attempts = attempt })
+            end
+            else begin
+              let backoff = backoff_cycles t ~attempt in
+              Clock.count t.clock "net.retries" 1;
+              Clock.count t.clock "net.backoff_cycles" backoff;
+              t.on_event (Retry { attempt; backoff; reason });
+              stall t backoff;
+              attempt_loop (attempt + 1)
+            end
+      in
+      attempt_loop 1
+
+let try_fetch_with t ~bytes ~success_latency ~prefetched =
+  if not (Faults.enabled t.faults) then begin
+    plain_fetch t ~bytes ~latency:success_latency ~prefetched;
+    Ok ()
+  end
+  else try_fetch_faulted t ~bytes ~success_latency ~prefetched
+
+let try_fetch t ~bytes =
+  try_fetch_with t ~bytes ~success_latency:t.latency ~prefetched:false
+
+(* Blocking fetch: the application cannot make progress without the
+   data, so ride out failures — stall to the breaker's probe time (or
+   one backoff cap after an exhausted ladder) and go again. Every cycle
+   lands on the simulated clock, so finite outage windows always end. *)
+let rec fetch_blocking t ~bytes ~success_latency ~prefetched =
+  match try_fetch_with t ~bytes ~success_latency ~prefetched with
+  | Ok () -> ()
+  | Error e ->
+      (match e with
+      | Unreachable { probe_at } ->
+          stall t (probe_at - Clock.cycles t.clock)
+      | Budget_exhausted _ -> stall t t.policy.backoff_cap);
+      (* After the first failed op the overlap window is long gone. *)
+      fetch_blocking t ~bytes ~success_latency:t.latency ~prefetched
+
+let fetch t ~bytes =
+  fetch_blocking t ~bytes ~success_latency:t.latency ~prefetched:false
+
+let fetch_prefetched t ~bytes =
+  (* Same cost/counter path as [fetch]; the hidden latency shows up as
+     the residual [prefetch_hit] charge on success. *)
+  fetch_blocking t ~bytes ~success_latency:t.cost.Cost_model.prefetch_hit
+    ~prefetched:true
 
 (* Dirty data is pushed back by the asynchronous reclaim path (Fastswap's
    dedicated reclaim core, AIFM's evacuator threads), so the application

@@ -5,19 +5,85 @@
     fetch or writeback charges [latency + size/bandwidth] cycles to the
     clock and maintains the transfer counters the I/O-amplification
     figures report. Prefetched fetches overlap their latency with
-    application progress and charge only the residual cost. *)
+    application progress and charge only the residual cost.
+
+    With a {!Faults} injector attached the fabric turns adversarial and
+    the transport grows the recovery machinery of a real far-memory
+    stack:
+
+    - a {b retry ladder} with exponential backoff and deterministic
+      jitter (budgeted attempts, per-op deadline, every cost ticked on
+      the simulated clock);
+    - a {b circuit breaker}: after an op exhausts its retry budget the
+      breaker opens and subsequent ops fail fast at a few cycles each,
+      with periodic half-open probes until the remote answers again.
+
+    All fault-path costs and counters are strictly additive: with
+    {!Faults.disabled} (the default) the code path, cycle charges and
+    counters are bit-identical to the fault-free model. *)
 
 type backend = Tcp | Rdma
 
 type t
 
-val create : Cost_model.t -> Clock.t -> backend -> t
+type retry_policy = {
+  max_attempts : int;  (** attempts per op before giving up, >= 1 *)
+  attempt_timeout : int;  (** cycles burned by a timed-out attempt *)
+  op_deadline : int;  (** cycle budget for one op, incl. backoff *)
+  backoff_base : int;  (** backoff before the first retry *)
+  backoff_cap : int;  (** backoff ceiling *)
+  fail_fast_cycles : int;  (** cost of a breaker-rejected op *)
+  probe_interval : int;  (** open-breaker probe cadence *)
+}
+
+val default_policy : retry_policy
+(** Tuned relative to the wire round trip (~32 Kcycles): 5 attempts,
+    4-RTT attempt timeout, 1-RTT base backoff capped at 16 RTT, 64-RTT
+    op deadline, 32-RTT probe interval. *)
+
+type error =
+  | Unreachable of { probe_at : int }
+      (** breaker open: op failed fast; retry no earlier than [probe_at] *)
+  | Budget_exhausted of { attempts : int }
+      (** every attempt failed (or the op deadline passed) with the
+          breaker still closed *)
+
+type event =
+  | Retry of { attempt : int; backoff : int; reason : [ `Nack | `Timeout ] }
+      (** attempt [attempt] failed; retrying after [backoff] cycles *)
+  | Breaker_opened of { at : int; probe_at : int }
+  | Breaker_closed of { opened_at : int; at : int }
+      (** recovery: [opened_at .. at] is the observed outage span *)
+  | Fetch_failed of { attempts : int }  (** an op gave up *)
+
+val create : ?faults:Faults.t -> ?policy:retry_policy -> Cost_model.t ->
+  Clock.t -> backend -> t
+(** [faults] defaults to {!Faults.disabled}; [policy] to
+    {!default_policy}. *)
+
+val faults : t -> Faults.t
 
 val fetch : t -> bytes:int -> unit
-(** Demand fetch: blocks the application for the full transfer cost. *)
+(** Demand fetch: blocks the application for the full transfer cost.
+    Under faults this retries — and, when the breaker is open, stalls
+    until the next probe — until the transfer succeeds, charging every
+    retry, backoff and stall cycle to the simulated clock. *)
 
 val fetch_prefetched : t -> bytes:int -> unit
-(** Fetch whose latency was hidden by an earlier asynchronous prefetch. *)
+(** Fetch whose latency was hidden by an earlier asynchronous prefetch:
+    charges only the residual overlap cost on success. Routed through
+    the same cost/counter/fault path as {!fetch} (a faulted "prefetched"
+    fetch lost its overlap and retries at full wire latency). *)
+
+val try_fetch : t -> bytes:int -> (unit, error) result
+(** One bounded fetch op: at most [policy.max_attempts] attempts within
+    [policy.op_deadline] cycles, then an error. This is the primitive
+    {!fetch} loops over; runtimes that can degrade (defer eviction,
+    fail-fast a request) use it directly. *)
+
+val remote_available : t -> bool
+(** [false] while the circuit breaker is open (fail-fast regime). Always
+    [true] without faults. *)
 
 val writeback : t -> bytes:int -> unit
 (** Dirty data pushed to the remote node by the asynchronous reclaim path
@@ -25,10 +91,26 @@ val writeback : t -> bytes:int -> unit
     application is charged only a small enqueue cost, but the bytes count
     toward the transfer totals. *)
 
+val set_stall_handler : t -> (cycles:int -> unit) -> unit
+(** Hook invoked {e in addition to} the clock charge whenever the
+    transport sleeps (backoff between retries, waiting out an open
+    breaker). Runtimes running under the Shenango scheduler install a
+    handler that blocks the current task so the core is released —
+    block-with-yield instead of spinning. The default does nothing
+    extra. *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Observe fault-path events (telemetry bridge). One handler; the last
+    installed wins. *)
+
 val bytes_in : t -> int
 val bytes_out : t -> int
 val fetches : t -> int
 
-(** Counter names used on the shared clock: [net.bytes_in],
+(** Counter names used on the shared clock: fault-free — [net.bytes_in],
     [net.bytes_out], [net.fetches], [net.writebacks],
-    [net.prefetched_fetches]. *)
+    [net.prefetched_fetches]; fault path only — [net.retries],
+    [net.nacks], [net.timeouts], [net.backoff_cycles],
+    [net.latency_spikes], [net.spike_cycles], [net.stall_cycles],
+    [net.fail_fast], [net.breaker_opens], [net.breaker_probes],
+    [net.fetch_failures]. *)

@@ -9,6 +9,12 @@ let block l = Effect.perform (Block l)
 let yield () = Effect.perform Yield
 let now () = Effect.perform Now
 
+(* Block if we are running inside a scheduled task; outside any handler
+   (plain single-threaded simulation) report false and do nothing. This
+   is what lets the far-memory transport degrade to block-with-yield
+   when a scheduler is present without depending on one. *)
+let try_block l = try block l; true with Effect.Unhandled _ -> false
+
 (* A runnable continuation becomes ready at [wake_at]; the single core
    executes at [core_time], advancing over Work and jumping forward when
    every task is still blocked. *)

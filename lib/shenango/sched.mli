@@ -45,5 +45,12 @@ val yield : unit -> unit
 (** Cooperative reschedule point (the out-of-scope state AIFM's
     evacuator barrier waits for). *)
 
+val try_block : int -> bool
+(** {!block} if called from inside a scheduled task, releasing the core
+    for the duration; outside any scheduler this is a no-op returning
+    [false]. The far-memory transport's stall handler uses this so
+    retry backoff and outage waits yield the core instead of spinning
+    when tasks are present ({e callable from anywhere}). *)
+
 val now : unit -> int
 (** Current simulated time (valid inside a task). *)

@@ -7,6 +7,7 @@ type recorder = {
   sites : Site.t;
   guard_cycles : Histogram.t;
   fetch_bytes : Histogram.t;
+  retry_backoff : Histogram.t;
   series : Series.t option;
   trace : Trace.t option;
   mutable cur : Site.key;
@@ -71,6 +72,7 @@ let recording ?(trace = true) ?(trace_limit = 1_000_000)
       sites = Site.create ();
       guard_cycles = Histogram.create ();
       fetch_bytes = Histogram.create ();
+      retry_backoff = Histogram.create ();
       series =
         (if series_interval > 0 then Some (Series.create ~interval:series_interval)
          else None);
@@ -112,7 +114,8 @@ let note_reset = function
          the trace and time-series keep the whole run. *)
       Site.clear r.sites;
       Histogram.clear r.guard_cycles;
-      Histogram.clear r.fetch_bytes
+      Histogram.clear r.fetch_bytes;
+      Histogram.clear r.retry_backoff
 
 (* -- events -------------------------------------------------------------- *)
 
@@ -200,6 +203,59 @@ let prefetch_event t ~from ~stride ~depth =
                 ("depth", Json.Int depth);
               ]
             ())
+
+(* Fabric-fault events from the transport (Net installs this bridge via
+   its [on_event] hook): retry backoffs feed a histogram, breaker
+   open/close pairs become outage spans on the trace's fault track. *)
+let net_event t (e : Memsim.Net.event) =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match e with
+      | Memsim.Net.Retry { attempt; backoff; reason } -> (
+          Histogram.record r.retry_backoff backoff;
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"net.retry" ~cat:"fault" ~ts:(now r)
+                ~args:
+                  [
+                    ("attempt", Json.Int attempt);
+                    ("backoff", Json.Int backoff);
+                    ( "reason",
+                      Json.String
+                        (match reason with
+                        | `Nack -> "nack"
+                        | `Timeout -> "timeout") );
+                    ("site", Json.String (Site.key_to_string r.cur));
+                  ]
+                ())
+      | Memsim.Net.Breaker_opened { at; probe_at } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"net.breaker_open" ~cat:"fault"
+                ~ts:(r.ts_base + at)
+                ~args:[ ("probe_at", Json.Int (r.ts_base + probe_at)) ]
+                ())
+      | Memsim.Net.Breaker_closed { opened_at; at } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.complete tr ~name:"net.outage" ~cat:"fault"
+                ~ts:(r.ts_base + opened_at)
+                ~dur:(max 0 (at - opened_at))
+                ())
+      | Memsim.Net.Fetch_failed { attempts } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"net.fetch_failed" ~cat:"fault"
+                ~ts:(now r)
+                ~args:[ ("attempts", Json.Int attempts) ]
+                ()))
+
+let attach_net t net = Memsim.Net.on_event net (fun e -> net_event t e)
 
 let span t ~name ?(cat = "interp") ~start () =
   match t with

@@ -23,6 +23,7 @@ type recorder = {
   sites : Site.t;
   guard_cycles : Histogram.t;  (** slow/locality guard latency, cycles *)
   fetch_bytes : Histogram.t;   (** network fetch sizes, bytes *)
+  retry_backoff : Histogram.t; (** fault-path retry backoffs, cycles *)
   series : Series.t option;
   trace : Trace.t option;
   mutable cur : Site.key;      (** site of the instruction executing now *)
@@ -88,6 +89,16 @@ val guard_event :
     caused. *)
 
 val fetch_event : t -> bytes:int -> prefetched:bool -> unit
+
+val net_event : t -> Memsim.Net.event -> unit
+(** Record a transport fault event: retries feed the [retry_backoff]
+    histogram (plus a trace instant at the current site), breaker
+    open/close pairs become outage spans on the trace's fault track. *)
+
+val attach_net : t -> Memsim.Net.t -> unit
+(** Install this sink as [net]'s event handler ({!Memsim.Net.on_event}),
+    so fault events flow in with no per-event plumbing at call sites. *)
+
 val writeback_event : t -> bytes:int -> unit
 val evict_event : t -> unit
 val prefetch_event : t -> from:int -> stride:int -> depth:int -> unit

@@ -27,6 +27,7 @@ val create :
   ?size_classes:(int * int * float) list ->
   ?policy:Pool.policy ->
   ?telemetry:Telemetry.Sink.t ->
+  ?faults:Faults.t ->
   Cost_model.t ->
   Clock.t ->
   Memstore.t ->

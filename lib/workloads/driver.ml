@@ -10,6 +10,7 @@ type tfm_opts = {
   use_state_table : bool;
   profile_gate : bool;
   size_classes : (int * int * float) list;
+  faults : Faults.t;
 }
 
 let tfm_defaults ~local_budget =
@@ -21,6 +22,7 @@ let tfm_defaults ~local_budget =
     use_state_table = true;
     profile_gate = true;
     size_classes = [];
+    faults = Faults.disabled;
   }
 
 (* Wrap a backend so the [!load_blob ptr id] intrinsic copies registered
@@ -101,20 +103,20 @@ let run_trackfm ?(cost = Cost_model.default) ?(blobs = [])
       ~prefetch:opts.prefetch
       ?size_classes:
         (match opts.size_classes with [] -> None | l -> Some l)
-      ~telemetry:(telemetry clock) cost clock store
+      ~telemetry:(telemetry clock) ~faults:opts.faults cost clock store
       ~object_size:opts.object_size ~local_budget:opts.local_budget
   in
   let backend = with_blobs blobs (Backend.trackfm rt store) in
   (finish clock (Interp.run backend m ~entry:"main"), report)
 
-let run_fastswap ?(cost = Cost_model.default) ?readahead ?(blobs = [])
+let run_fastswap ?(cost = Cost_model.default) ?readahead ?faults ?(blobs = [])
     ?(telemetry = no_telemetry) ~local_budget build =
   let clock = Clock.create () in
   let store = Memstore.create () in
   let backend =
     with_blobs blobs
-      (Backend.fastswap ?readahead ~telemetry:(telemetry clock) cost clock
-         store ~local_budget)
+      (Backend.fastswap ?readahead ?faults ~telemetry:(telemetry clock) cost
+         clock store ~local_budget)
   in
   finish clock (Interp.run backend (build ()) ~entry:"main")
 
@@ -131,6 +133,7 @@ let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
         use_state_table = true;
         profile_gate = false;
         size_classes = [];
+        faults = Faults.disabled;
       }
     in
     (fst (run_trackfm ~cost ~blobs build opts)).cycles

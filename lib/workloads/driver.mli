@@ -29,6 +29,10 @@ type tfm_opts = {
       (** multi-object-size extension: forwarded to
           {!Trackfm.Runtime.create}; empty (default) = single class of
           [object_size] objects *)
+  faults : Faults.t;
+      (** fabric fault injector forwarded to every size class's
+          transport; {!Faults.disabled} (the default) keeps the exact
+          pre-fault code path *)
 }
 
 val tfm_defaults : local_budget:int -> tfm_opts
@@ -60,6 +64,7 @@ val run_trackfm :
 val run_fastswap :
   ?cost:Cost_model.t ->
   ?readahead:int ->
+  ?faults:Faults.t ->
   ?blobs:(int * Bytes.t) list ->
   ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
   local_budget:int ->

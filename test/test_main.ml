@@ -5,6 +5,7 @@ let () =
       Test_ir.suite;
       Test_analysis.suite;
       Test_memsim.suite;
+      Test_faults.suite;
       Test_aifm.suite;
       Test_fastswap.suite;
       Test_shenango.suite;
