@@ -16,6 +16,12 @@ let fault_cfg = ref Faults.off
 let fault_seed = ref 1
 let active_faults () = Faults.create ~seed:!fault_seed !fault_cfg
 
+(* --replicas N / --ack K: size of the replicated remote tier for every
+   far-memory run. The defaults (1/1) with no crash/corrupt faults keep
+   the single-server code path bit for bit. *)
+let replicas = ref 1
+let ack = ref 1
+
 let pct_sweep = [ 10; 20; 30; 40; 50; 60; 75; 90; 100 ]
 let short_sweep = [ 10; 25; 50; 75; 100 ]
 
@@ -50,6 +56,8 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
       profile_gate;
       size_classes;
       faults;
+      replicas = !replicas;
+      ack = !ack;
     }
   in
   fst (Driver.run_trackfm ?blobs build opts)
@@ -66,6 +74,8 @@ let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
       profile_gate;
       size_classes = [];
       faults = active_faults ();
+      replicas = !replicas;
+      ack = !ack;
     }
   in
   Driver.run_trackfm ?blobs build opts
@@ -74,7 +84,8 @@ let fastswap ?blobs ?faults ~budget build =
   let faults =
     match faults with Some f -> f | None -> active_faults ()
   in
-  Driver.run_fastswap ?blobs ~faults ~local_budget:budget build
+  Driver.run_fastswap ?blobs ~faults ~replicas:!replicas ~ack:!ack
+    ~local_budget:budget build
 
 let local ?blobs build = Driver.run_local ?blobs build
 

@@ -320,6 +320,8 @@ let hw_kona () =
                 profile_gate = false;
                 size_classes = [];
                 faults = active_faults ();
+                replicas = !replicas;
+                ack = !ack;
               }
             in
             (fst (Driver.run_trackfm ~cost:kona_cost ~blobs build opts))
@@ -345,6 +347,8 @@ let hw_kona () =
                 profile_gate = false;
                 size_classes = [];
                 faults = active_faults ();
+                replicas = !replicas;
+                ack = !ack;
               }
             in
             (fst (Driver.run_trackfm ~cost:kona_cost build opts)).Driver.cycles

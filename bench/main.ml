@@ -39,6 +39,8 @@ let experiments =
       Exp_tables.robustness_scale);
     ("faults_goodput", "Robustness: goodput under fabric faults",
       Exp_faults.faults_goodput);
+    ("durability", "Robustness: replicated tier vs crash faults",
+      Exp_durability.durability);
   ]
 
 let () =
@@ -84,6 +86,27 @@ let () =
           Printf.eprintf "bad --fault-seed %s (integer expected)\n" s;
           exit 1)
   | [] -> ());
+  (* --replicas N / --ack K: replicated remote tier for every far-memory
+     run (1/1 = the single-server model, bit for bit). *)
+  let int_opt name cell args =
+    let args, vals = extract_opt name args in
+    (match List.filter_map Fun.id vals with
+    | s :: _ -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> cell := n
+        | _ ->
+            Printf.eprintf "bad %s %s (positive integer expected)\n" name s;
+            exit 1)
+    | [] -> ());
+    args
+  in
+  let args = int_opt "--replicas" Bench_common.replicas args in
+  let args = int_opt "--ack" Bench_common.ack args in
+  if !Bench_common.ack > !Bench_common.replicas then begin
+    Printf.eprintf "--ack %d exceeds --replicas %d\n" !Bench_common.ack
+      !Bench_common.replicas;
+    exit 1
+  end;
   let args, dirs = extract_metrics_dir args in
   (match List.filter_map Fun.id dirs with
   | dir :: _ ->

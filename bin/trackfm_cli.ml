@@ -125,12 +125,12 @@ let build_of w o1 =
    the run's fresh clock inside the driver. [faults] is the injector for
    this run (fresh per run: its random stream is stateful). *)
 let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~faults
-    ~telemetry build =
+    ~replicas ~ack ~telemetry build =
   match system with
   | "local" -> Ok (Driver.run_local ~blobs:w.blobs ~telemetry build, None)
   | "fastswap" ->
       Ok
-        ( Driver.run_fastswap ~blobs:w.blobs ~faults ~telemetry
+        ( Driver.run_fastswap ~blobs:w.blobs ~faults ~replicas ~ack ~telemetry
             ~local_budget:budget build,
           None )
   | "trackfm" ->
@@ -144,6 +144,8 @@ let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~faults
           profile_gate = true;
           size_classes = [];
           faults;
+          replicas;
+          ack;
         }
       in
       let o, report = Driver.run_trackfm ~blobs:w.blobs ~telemetry build opts in
@@ -169,8 +171,8 @@ let print_compile_report = function
    counter, sorted by name). The CI fault matrix diffs this file against
    checked-in goldens — any nondeterminism or counter drift shows up as a
    byte difference. *)
-let write_counters_json file ~workload ~system ~fault_cfg ~fault_seed
-    (o : Driver.outcome) =
+let write_counters_json file ~workload ~system ~fault_cfg ~fault_seed ~replicas
+    ~ack (o : Driver.outcome) =
   let open Telemetry.Json in
   let counters =
     List.sort
@@ -184,6 +186,8 @@ let write_counters_json file ~workload ~system ~fault_cfg ~fault_seed
         ("system", String system);
         ("faults", String (Faults.to_string fault_cfg));
         ("fault_seed", Int fault_seed);
+        ("replicas", Int replicas);
+        ("ack", Int ack);
         ("checksum", Int o.Driver.ret);
         ("cycles", Int o.Driver.cycles);
         ("instrs", Int o.Driver.instrs);
@@ -256,13 +260,13 @@ let export_telemetry sink trace_file metrics_file =
         1)
 
 let run_cmd workload_name system local_pct object_size chunk prefetch o1
-    fault_spec fault_seed counters_json trace_file metrics_file
+    fault_spec fault_seed replicas ack counters_json trace_file metrics_file
     sample_interval =
   match (find_workload workload_name, Faults.parse fault_spec) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-  | Ok w, Ok fault_cfg -> (
+  | Ok w, Ok fault_cfg when replicas >= 1 && ack >= 1 && ack <= replicas -> (
       let faults = Faults.create ~seed:fault_seed fault_cfg in
       let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
       Printf.printf
@@ -274,6 +278,8 @@ let run_cmd workload_name system local_pct object_size chunk prefetch o1
       if Faults.enabled faults then
         Printf.printf "faults %s, seed %d\n" (Faults.to_string fault_cfg)
           fault_seed;
+      if replicas > 1 then
+        Printf.printf "replicas %d, ack %d\n" replicas ack;
       print_newline ();
       let sink, telemetry =
         if trace_file = None && metrics_file = None then
@@ -282,8 +288,8 @@ let run_cmd workload_name system local_pct object_size chunk prefetch o1
       in
       match
         exec_system w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~telemetry
-          (build_of w o1)
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~replicas ~ack
+          ~telemetry (build_of w o1)
       with
       | Error e ->
           prerr_endline e;
@@ -295,13 +301,17 @@ let run_cmd workload_name system local_pct object_size chunk prefetch o1
             Option.iter
               (fun f ->
                 write_counters_json f ~workload:w.wname ~system ~fault_cfg
-                  ~fault_seed o)
+                  ~fault_seed ~replicas ~ack o)
               counters_json
           with
           | () -> export_telemetry !sink trace_file metrics_file
           | exception Sys_error msg ->
               Printf.eprintf "cannot write counters JSON: %s\n" msg;
               1))
+  | Ok _, Ok _ ->
+      Printf.eprintf "bad replication: need 1 <= ack (%d) <= replicas (%d)\n"
+        ack replicas;
+      1
 
 (* -- report: run with a recording sink, print the hotspot table -- *)
 
@@ -409,8 +419,8 @@ let report_cmd workload_name system local_pct object_size chunk prefetch o1
       in
       match
         exec_system w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~telemetry
-          (build_of w o1)
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~replicas:1
+          ~ack:1 ~telemetry (build_of w o1)
       with
       | Error e ->
           prerr_endline e;
@@ -459,6 +469,8 @@ let sweep_cmd workload_name object_size =
               profile_gate = true;
               size_classes = [];
               faults = Faults.disabled;
+              replicas = 1;
+              ack = 1;
             }
           in
           let tfm, _ = Driver.run_trackfm ~blobs:w.blobs w.build opts in
@@ -570,6 +582,23 @@ let fault_seed_arg =
           "Seed for the fault injector's random stream; a fixed seed makes \
            the whole fault schedule (and every counter) reproducible.")
 
+let replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Number of remote memory nodes (1-8). With 1 and no crash/corrupt \
+           faults the single-server model is kept bit for bit.")
+
+let ack_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "ack" ] ~docv:"K"
+        ~doc:
+          "Writebacks are acknowledged once $(docv) replicas hold the object \
+           (1 <= K <= replicas); the remaining copies apply after a \
+           replication lag.")
+
 let counters_json_arg =
   Arg.(
     value
@@ -604,11 +633,12 @@ let sample_interval_arg =
 
 let run_term =
   Term.(
-    const (fun w s m o c np o1 fs fseed cj tr me si ->
-        run_cmd w s m o c (not np) o1 fs fseed cj tr me si)
+    const (fun w s m o c np o1 fs fseed repl ack cj tr me si ->
+        run_cmd w s m o c (not np) o1 fs fseed repl ack cj tr me si)
     $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ o1_arg $ faults_arg $ fault_seed_arg $ counters_json_arg
-    $ trace_arg $ metrics_arg $ sample_interval_arg)
+    $ prefetch_arg $ o1_arg $ faults_arg $ fault_seed_arg $ replicas_arg
+    $ ack_arg $ counters_json_arg $ trace_arg $ metrics_arg
+    $ sample_interval_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
 

@@ -2,17 +2,22 @@
 # Staged CI pipeline. Mirrors what the driver runs on every PR; keep it
 # green.
 #
-#   ./ci.sh                 # all stages: build fmt test smoke faults
+#   ./ci.sh                 # all stages: build fmt test smoke faults durability
 #   ./ci.sh build test      # just those stages
+#   ./ci.sh --update-golden # refresh ci/golden/ from the current build
 #
 # Stages:
-#   build  - dune build @all
-#   fmt    - dune build @fmt (skipped when ocamlformat is not installed)
-#   test   - dune runtest (tier-1 unit/property/integration suites)
-#   smoke  - quick bench-harness run; writes metrics JSON to _ci/metrics
-#   faults - fault-injection determinism matrix: fixed workloads x seeds,
-#            each run twice (byte-identical counters required) and diffed
-#            against the checked-in goldens in ci/golden/
+#   build      - dune build @all
+#   fmt        - dune build @fmt (skipped when ocamlformat is not installed)
+#   test       - dune runtest (tier-1 unit/property/integration suites)
+#   smoke      - quick bench-harness run; writes metrics JSON to _ci/metrics
+#   faults     - fault-injection determinism matrix: fixed workloads x seeds,
+#                each run twice (byte-identical counters required) and diffed
+#                against the checked-in goldens in ci/golden/
+#   durability - replicated-tier crash matrix: workloads x seeds x
+#                replicas={1,3}; each run twice (byte-identical counters),
+#                replicas=3 must finish with a correct checksum, replicas=1
+#                must demonstrably lose data (wrong checksum, lost objects)
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,6 +26,9 @@ CLI=_build/default/bin/trackfm_cli.exe
 FAULT_WORKLOADS="stream-sum hashmap"
 FAULT_SEEDS="1 2 3"
 FAULT_SPEC=medium
+DUR_WORKLOADS="stream-sum analytics"
+DUR_SEEDS="1 2"
+DUR_SPEC=crash=1500000:250000
 
 stage_build() {
     echo "== stage build: dune build @all =="
@@ -91,17 +99,96 @@ stage_faults() {
     fi
 }
 
-STAGES="${*:-build fmt test smoke faults}"
+stage_durability() {
+    echo "== stage durability: crash matrix ($DUR_SPEC; seeds $DUR_SEEDS) =="
+    dune build bin/trackfm_cli.exe
+    mkdir -p _ci/durability
+    fail=0
+    for w in $DUR_WORKLOADS; do
+        for seed in $DUR_SEEDS; do
+            for tier in "1 1" "3 2"; do
+                set -- $tier
+                r=$1; k=$2
+                out="_ci/durability/$w-seed$seed-r$r.json"
+                log="_ci/durability/$w-seed$seed-r$r.log"
+                "$CLI" run -w "$w" -s trackfm -m 25 \
+                    --faults "$DUR_SPEC" --fault-seed "$seed" \
+                    --replicas "$r" --ack "$k" \
+                    --counters-json "$out" >"$log"
+                "$CLI" run -w "$w" -s trackfm -m 25 \
+                    --faults "$DUR_SPEC" --fault-seed "$seed" \
+                    --replicas "$r" --ack "$k" \
+                    --counters-json "$out.rerun" >/dev/null
+                if ! cmp -s "$out" "$out.rerun"; then
+                    echo "durability: NONDETERMINISTIC: $w seed $seed r=$r differs between two runs" >&2
+                    diff "$out" "$out.rerun" >&2 || true
+                    fail=1
+                fi
+                if [ "$r" = 1 ]; then
+                    # A single node under this crash schedule must lose
+                    # data: wrong answer, nonzero net.lost_objects.
+                    if ! grep -q 'WRONG' "$log"; then
+                        echo "durability: $w seed $seed r=1 did NOT lose data (checksum correct?)" >&2
+                        fail=1
+                    fi
+                    if ! grep -q '"net.lost_objects":[1-9]' "$out"; then
+                        echo "durability: $w seed $seed r=1 reports no lost objects" >&2
+                        fail=1
+                    fi
+                else
+                    # Three replicas with ack=2 must ride the identical
+                    # schedule to a correct checksum with nothing lost.
+                    if ! grep -q '(correct)' "$log"; then
+                        echo "durability: $w seed $seed r=$r checksum WRONG" >&2
+                        fail=1
+                    fi
+                    if grep -q '"net.lost_objects"' "$out"; then
+                        echo "durability: $w seed $seed r=$r lost objects despite replication" >&2
+                        fail=1
+                    fi
+                fi
+            done
+        done
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "durability stage failed" >&2
+        exit 1
+    fi
+}
+
+# Refresh the checked-in goldens from the current build (run after an
+# intentional counter/format change, then commit the diff).
+update_golden() {
+    echo "== update-golden: regenerating ci/golden/ =="
+    dune build bin/trackfm_cli.exe
+    mkdir -p ci/golden
+    for w in $FAULT_WORKLOADS; do
+        for seed in $FAULT_SEEDS; do
+            "$CLI" run -w "$w" -s trackfm -m 25 \
+                --faults "$FAULT_SPEC" --fault-seed "$seed" \
+                --counters-json "ci/golden/$w-seed$seed.json" >/dev/null
+            echo "  ci/golden/$w-seed$seed.json"
+        done
+    done
+}
+
+if [ "${1:-}" = "--update-golden" ]; then
+    update_golden
+    exit 0
+fi
+
+STAGES="${*:-build fmt test smoke faults durability}"
 
 for s in $STAGES; do
     case "$s" in
-        build)  stage_build ;;
-        fmt)    stage_fmt ;;
-        test)   stage_test ;;
-        smoke)  stage_smoke ;;
-        faults) stage_faults ;;
+        build)      stage_build ;;
+        fmt)        stage_fmt ;;
+        test)       stage_test ;;
+        smoke)      stage_smoke ;;
+        faults)     stage_faults ;;
+        durability) stage_durability ;;
         *)
-            echo "unknown stage '$s' (build fmt test smoke faults)" >&2
+            echo "unknown stage '$s' (build fmt test smoke faults durability)" >&2
             exit 2
             ;;
     esac

@@ -17,6 +17,7 @@ type t = {
   net : Net.t;
   policy : policy;
   osize : int;
+  addr_of_id : int -> int;
   budget : int;
   mutable meta : Bytes.t;
   mutable used : int;
@@ -28,8 +29,8 @@ type t = {
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let create ?(policy = Clock_hand) ?(telemetry = Telemetry.Sink.nop) cost clock
-    ~net ~object_size ~local_budget =
+let create ?(policy = Clock_hand) ?(telemetry = Telemetry.Sink.nop)
+    ?addr_of_id cost clock ~net ~object_size ~local_budget =
   if not (is_pow2 object_size && object_size >= 16 && object_size <= 65536)
   then invalid_arg "Pool.create: object_size";
   Telemetry.Sink.attach_net telemetry net;
@@ -39,6 +40,13 @@ let create ?(policy = Clock_hand) ?(telemetry = Telemetry.Sink.nop) cost clock
     net;
     policy;
     osize = object_size;
+    (* Replication keys objects by their main-store base address; the
+       default covers pools whose id space is the address space scaled
+       by the object size (tests, simple heaps). *)
+    addr_of_id =
+      (match addr_of_id with
+      | Some f -> f
+      | None -> fun id -> id * object_size);
     budget = local_budget;
     meta = Bytes.make 4096 '\000';
     used = 0;
@@ -121,7 +129,7 @@ let evict_one_with ~allow_writeback t =
       else begin
         let swapped =
           if m land bit_dirty <> 0 then begin
-            Net.writeback t.net ~bytes:t.osize;
+            Net.writeback_object t.net ~key:(t.addr_of_id id) ~bytes:t.osize;
             Clock.count t.clock "aifm.writebacks" 1;
             Telemetry.Sink.writeback_event t.telemetry ~bytes:t.osize;
             bit_swapped
@@ -149,6 +157,9 @@ let evict_one t = evict_one_with ~allow_writeback:true t
    top). Only a pinned-everything state with a reachable remote is a
    genuine OOM. *)
 let evict_until_fits t =
+  (* The evacuator doubles as the recovery driver: each pressure event
+     advances background re-replication onto any recovering node. *)
+  ignore (Net.resync_step t.net : int);
   let deferred = ref false in
   while (not !deferred) && t.used > t.budget do
     let allow_writeback = Net.remote_available t.net in
@@ -190,11 +201,11 @@ let ensure_local t id =
   end
   else begin
     (if m land bit_prefetched <> 0 then begin
-       Net.fetch_prefetched t.net ~bytes:t.osize;
+       Net.fetch_object_prefetched t.net ~key:(t.addr_of_id id) ~bytes:t.osize;
        Telemetry.Sink.fetch_event t.telemetry ~bytes:t.osize ~prefetched:true
      end
      else begin
-       Net.fetch t.net ~bytes:t.osize;
+       Net.fetch_object t.net ~key:(t.addr_of_id id) ~bytes:t.osize;
        Clock.count t.clock "aifm.demand_fetches" 1;
        Telemetry.Sink.fetch_event t.telemetry ~bytes:t.osize ~prefetched:false
      end);

@@ -25,6 +25,7 @@ type policy = Clock_hand | Fifo
 val create :
   ?policy:policy ->
   ?telemetry:Telemetry.Sink.t ->
+  ?addr_of_id:(int -> int) ->
   Cost_model.t ->
   Clock.t ->
   net:Net.t ->
@@ -34,7 +35,10 @@ val create :
 (** [object_size] must be a power of two between 16 and 65536 bytes.
     [local_budget] is in bytes. [telemetry] (default
     {!Telemetry.Sink.nop}) receives fetch/writeback/eviction events; it
-    never charges simulated cycles. *)
+    never charges simulated cycles. [addr_of_id] maps an object id to
+    its main-store base address — the replication key the pool passes to
+    {!Memsim.Net.fetch_object}/{!Memsim.Net.writeback_object}; defaults
+    to [id * object_size]. *)
 
 val telemetry : t -> Telemetry.Sink.t
 val set_telemetry : t -> Telemetry.Sink.t -> unit

@@ -16,14 +16,18 @@ type ctx = {
    interpreter's stack/global segments when a context shares a store. *)
 let heap_base = 1 lsl 44
 
-let create_ctx ?(backend = Net.Tcp) ?(faults = Faults.disabled) cost clock
-    store ~object_size ~local_budget =
-  let net = Net.create ~faults cost clock backend in
+let create_ctx ?(backend = Net.Tcp) ?(faults = Faults.disabled) ?cluster cost
+    clock store ~object_size ~local_budget =
+  let net = Net.create ~faults ?cluster cost clock backend in
   (* Degrade to block-with-yield: when the smart-pointer deref runs
      inside a Shenango task, transport stalls release the core. *)
   Net.set_stall_handler net (fun ~cycles ->
       ignore (Shenango.Sched.try_block cycles));
-  let pool = Pool.create cost clock ~net ~object_size ~local_budget in
+  let pool =
+    Pool.create
+      ~addr_of_id:(fun id -> heap_base + (id * object_size))
+      cost clock ~net ~object_size ~local_budget
+  in
   let alloc = Region_alloc.create ~base:heap_base in
   let prefetcher = Prefetcher.create pool () in
   { cost; clock; store; pool; alloc; prefetcher }

@@ -16,6 +16,7 @@ type ctx
 val create_ctx :
   ?backend:Net.backend ->
   ?faults:Faults.t ->
+  ?cluster:Cluster.t ->
   Cost_model.t ->
   Clock.t ->
   Memstore.t ->
@@ -26,7 +27,9 @@ val create_ctx :
     [faults] (default {!Faults.disabled}) makes the fabric adversarial;
     dereferences then retry with backoff, stalls block-with-yield when
     inside a Shenango task, and the evacuator defers dirty evictions
-    during outages. *)
+    during outages. [cluster] routes evictions and localizations through
+    the replicated remote tier (failover reads, replica-aware
+    writebacks, recovery resync from the evacuator loop). *)
 
 val ctx_pool : ctx -> Pool.t
 val ctx_clock : ctx -> Clock.t

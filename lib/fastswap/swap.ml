@@ -18,9 +18,9 @@ type t = {
   mutable present : int;
 }
 
-let create ?(readahead = 0) ?(faults = Faults.disabled)
+let create ?(readahead = 0) ?(faults = Faults.disabled) ?cluster
     ?(telemetry = Telemetry.Sink.nop) cost clock ~local_budget =
-  let net = Net.create ~faults cost clock Net.Rdma in
+  let net = Net.create ~faults ?cluster cost clock Net.Rdma in
   Telemetry.Sink.attach_net telemetry net;
   (* The kernel swap path has no green threads to yield to, but retry
      backoff and outage waits still release the (simulated) core when a
@@ -70,7 +70,7 @@ let reclaim_one_with ~allow_writeback t =
       end
       else begin
         if s land bit_dirty <> 0 then begin
-          Net.writeback t.net ~bytes:page_size;
+          Net.writeback_object t.net ~key:(p lsl page_bits) ~bytes:page_size;
           Clock.count t.clock "fastswap.writebacks" 1
         end;
         set_state t p ((s lor bit_swapped) land lnot (bit_present lor bit_dirty));
@@ -84,6 +84,10 @@ let reclaim_one_with ~allow_writeback t =
   go ()
 
 let reclaim_until_fits t =
+  (* The reclaim core doubles as the recovery driver (Fastswap's
+     dedicated reclaim CPU): each pass advances re-replication onto any
+     recovering remote node. *)
+  ignore (Net.resync_step t.net : int);
   let deferred = ref false in
   while (not !deferred) && t.present > t.budget_pages do
     let allow_writeback = Net.remote_available t.net in
@@ -118,7 +122,7 @@ let fault_page t p ~write =
   if s land bit_swapped <> 0 then begin
     (* Major fault: kernel software path plus the RDMA page read. *)
     Clock.tick t.clock t.cost.Cost_model.fastswap_fault_base;
-    Net.fetch t.net ~bytes:page_size;
+    Net.fetch_object t.net ~key:(p lsl page_bits) ~bytes:page_size;
     Clock.count t.clock "fastswap.major_faults" 1;
     map_page t p ~hot:true ~dirty:write;
     (* Optional cluster readahead of subsequent swapped-out pages.
@@ -128,7 +132,8 @@ let fault_page t p ~write =
       let q = p + k in
       let sq = get_state t q in
       if sq land bit_swapped <> 0 && sq land bit_present = 0 then begin
-        Net.fetch_prefetched t.net ~bytes:page_size;
+        Net.fetch_object_prefetched t.net ~key:(q lsl page_bits)
+          ~bytes:page_size;
         Clock.count t.clock "fastswap.readahead_pages" 1;
         map_page t q ~hot:false ~dirty:false
       end

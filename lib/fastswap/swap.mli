@@ -21,6 +21,7 @@ type t
 val create :
   ?readahead:int ->
   ?faults:Faults.t ->
+  ?cluster:Cluster.t ->
   ?telemetry:Telemetry.Sink.t ->
   Cost_model.t ->
   Clock.t ->
@@ -33,8 +34,10 @@ val create :
     retry/backoff/circuit-breaker machinery — the kernel analogue of a
     swap device that can time out — readahead is suppressed while the
     breaker is open, and reclaim of dirty pages is deferred during
-    outages (counter [fastswap.reclaim_deferred]). [telemetry] receives
-    the transport's retry/outage events. *)
+    outages (counter [fastswap.reclaim_deferred]). [cluster] swaps pages
+    against the replicated remote tier instead of a single server (keys
+    are page base addresses); the reclaim core drives recovery resync.
+    [telemetry] receives the transport's retry/outage events. *)
 
 val page_size : int
 

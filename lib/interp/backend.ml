@@ -69,11 +69,12 @@ let local ?(telemetry = Telemetry.Sink.nop) cost clock store =
     intrinsic = (fun name args -> base_intrinsics ~telemetry clock name args);
   }
 
-let fastswap ?readahead ?faults ?(telemetry = Telemetry.Sink.nop) cost clock
-    store ~local_budget =
+let fastswap ?readahead ?faults ?cluster ?(telemetry = Telemetry.Sink.nop)
+    cost clock store ~local_budget =
   let alloc = Aifm.Region_alloc.create ~base:heap_base in
   let swap =
-    Fastswap.Swap.create ?readahead ?faults ~telemetry cost clock ~local_budget
+    Fastswap.Swap.create ?readahead ?faults ?cluster ~telemetry cost clock
+      ~local_budget
   in
   {
     name = "fastswap";

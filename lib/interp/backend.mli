@@ -36,6 +36,7 @@ val local :
 val fastswap :
   ?readahead:int ->
   ?faults:Memsim.Faults.t ->
+  ?cluster:Memsim.Cluster.t ->
   ?telemetry:Telemetry.Sink.t ->
   Cost_model.t ->
   Clock.t ->
@@ -44,7 +45,8 @@ val fastswap :
   t
 (** [faults] (default {!Memsim.Faults.disabled}) attaches a fabric fault
     injector to the swap transport; page-ins then retry with backoff and
-    respect the circuit breaker. *)
+    respect the circuit breaker. [cluster] swaps pages against the
+    replicated remote tier. *)
 
 val trackfm : Trackfm.Runtime.t -> Memstore.t -> t
 (** Wraps an existing TrackFM runtime (whose clock/cost/telemetry sink

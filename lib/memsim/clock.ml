@@ -1,5 +1,9 @@
 type t = {
   mutable cycles : int;
+  (* Cycles folded in from [reset]s, so [monotonic] never jumps backward
+     across the !bench_begin boundary (crash schedules and replication
+     timestamps must live on one continuous timeline). *)
+  mutable folded : int;
   table : (string, int ref) Hashtbl.t;
   (* Sampling hook: [sampler] fires every [sample_interval] cycles (from
      the moment it is installed). [next_sample] is [max_int] when no
@@ -13,6 +17,7 @@ type t = {
 let create () =
   {
     cycles = 0;
+    folded = 0;
     table = Hashtbl.create 16;
     sample_interval = 0;
     next_sample = max_int;
@@ -33,6 +38,7 @@ let tick t n =
   if t.cycles >= t.next_sample then fire t
 
 let cycles t = t.cycles
+let monotonic t = t.folded + t.cycles
 
 let count t name n =
   match Hashtbl.find_opt t.table name with
@@ -58,6 +64,7 @@ let clear_sampler t =
   t.next_sample <- max_int
 
 let reset t =
+  t.folded <- t.folded + t.cycles;
   t.cycles <- 0;
   Hashtbl.reset t.table;
   match t.sampler with

@@ -14,6 +14,13 @@ val tick : t -> int -> unit
 
 val cycles : t -> int
 
+val monotonic : t -> int
+(** Cycles since clock creation, {e including} everything folded away by
+    {!reset}s. [!bench_begin] zeroes {!cycles} so experiments measure only
+    the timed region; components whose state machines must stay coherent
+    across that boundary (the replicated cluster's crash schedule and
+    replication timestamps) key off this monotone timeline instead. *)
+
 val count : t -> string -> int -> unit
 (** Add to a named counter, creating it at zero on first use. *)
 

@@ -6,6 +6,9 @@ type config = {
   spike_alpha : float;
   outage_period : int;
   outage_len : int;
+  crash_period : int;
+  crash_downtime : int;
+  corrupt : float;
 }
 
 let off =
@@ -17,6 +20,9 @@ let off =
     spike_alpha = 1.5;
     outage_period = 0;
     outage_len = 0;
+    crash_period = 0;
+    crash_downtime = 0;
+    corrupt = 0.0;
   }
 
 type live = { cfg : config; rng : Tfm_util.Rng.t; seed : int }
@@ -38,7 +44,17 @@ let validate cfg =
   if cfg.outage_period < 0 || cfg.outage_len < 0 then
     invalid_arg "Faults.create: negative outage parameter";
   if cfg.outage_period > 0 && cfg.outage_len >= cfg.outage_period then
-    invalid_arg "Faults.create: outage_len must be < outage_period"
+    invalid_arg "Faults.create: outage_len must be < outage_period";
+  if cfg.crash_period < 0 || cfg.crash_downtime < 0 then
+    invalid_arg "Faults.create: negative crash parameter";
+  if cfg.crash_period > 0 && cfg.crash_downtime >= cfg.crash_period then
+    invalid_arg "Faults.create: crash downtime must be < crash period";
+  if cfg.crash_period > 0 && cfg.crash_downtime <= 0 then
+    invalid_arg "Faults.create: crash downtime must be > 0";
+  if cfg.corrupt < 0.0 || cfg.corrupt >= 1.0 then
+    invalid_arg
+      "Faults.create: corrupt rate must be in [0, 1) (a fetch must be able \
+       to deliver a clean payload)"
 
 let create ?(seed = 1) cfg =
   validate cfg;
@@ -140,6 +156,7 @@ let presets =
       } );
     ( "medium",
       {
+        off with
         drop = 0.02;
         timeout = 0.01;
         spike = 0.05;
@@ -150,6 +167,7 @@ let presets =
       } );
     ( "heavy",
       {
+        off with
         drop = 0.05;
         timeout = 0.03;
         spike = 0.10;
@@ -160,9 +178,17 @@ let presets =
       } );
   ]
 
+let known_keys = "drop, timeout, spike, outage, crash, corrupt"
+
+(* Match the key first, then the arity: a known key with the wrong shape
+   must get a usage error for THAT key, not the unknown-key catch-all
+   (previously `drop=0.1:5` reported "unknown fault field \"drop\""). *)
 let parse_field cfg field =
   match String.index_opt field '=' with
-  | None -> Error (Printf.sprintf "fault field %S is not key=value" field)
+  | None ->
+      Error
+        (Printf.sprintf "fault field %S is not key=value (valid keys: %s)"
+           field known_keys)
   | Some eq -> (
       let key = String.sub field 0 eq in
       let v = String.sub field (eq + 1) (String.length field - eq - 1) in
@@ -177,34 +203,62 @@ let parse_field cfg field =
         | Some i -> Ok i
         | None -> Error (Printf.sprintf "bad integer %S in %s" s key)
       in
-      match (key, parts) with
-      | "drop", [ p ] -> Result.map (fun p -> { cfg with drop = p }) (floatv p)
-      | "timeout", [ p ] ->
-          Result.map (fun p -> { cfg with timeout = p }) (floatv p)
-      | "spike", p :: cyc :: rest -> (
-          match (floatv p, intv cyc) with
-          | Ok p, Ok cyc -> (
-              match rest with
-              | [] -> Ok { cfg with spike = p; spike_cycles = cyc }
-              | [ a ] ->
-                  Result.map
-                    (fun a ->
-                      { cfg with spike = p; spike_cycles = cyc; spike_alpha = a })
-                    (floatv a)
-              | _ -> Error "spike takes at most PROB:CYCLES:ALPHA")
-          | (Error _ as e), _ -> e |> Result.map (fun _ -> cfg)
-          | _, (Error _ as e) -> e |> Result.map (fun _ -> cfg))
-      | "spike", _ -> Error "spike needs PROB:CYCLES[:ALPHA]"
-      | "outage", [ period; len ] -> (
-          match (intv period, intv len) with
-          | Ok p, Ok l -> Ok { cfg with outage_period = p; outage_len = l }
-          | (Error _ as e), _ -> e |> Result.map (fun _ -> cfg)
-          | _, (Error _ as e) -> e |> Result.map (fun _ -> cfg))
-      | "outage", _ -> Error "outage needs PERIOD:LEN"
-      | k, _ ->
+      let ( let* ) = Result.bind in
+      match key with
+      | "drop" -> (
+          match parts with
+          | [ p ] ->
+              let* p = floatv p in
+              Ok { cfg with drop = p }
+          | _ -> Error (Printf.sprintf "%S: drop needs drop=PROB" field))
+      | "timeout" -> (
+          match parts with
+          | [ p ] ->
+              let* p = floatv p in
+              Ok { cfg with timeout = p }
+          | _ -> Error (Printf.sprintf "%S: timeout needs timeout=PROB" field))
+      | "spike" -> (
+          match parts with
+          | [ p; cyc ] ->
+              let* p = floatv p in
+              let* cyc = intv cyc in
+              Ok { cfg with spike = p; spike_cycles = cyc }
+          | [ p; cyc; a ] ->
+              let* p = floatv p in
+              let* cyc = intv cyc in
+              let* a = floatv a in
+              Ok { cfg with spike = p; spike_cycles = cyc; spike_alpha = a }
+          | _ ->
+              Error
+                (Printf.sprintf "%S: spike needs spike=PROB:CYCLES[:ALPHA]"
+                   field))
+      | "outage" -> (
+          match parts with
+          | [ period; len ] ->
+              let* p = intv period in
+              let* l = intv len in
+              Ok { cfg with outage_period = p; outage_len = l }
+          | _ -> Error (Printf.sprintf "%S: outage needs outage=PERIOD:LEN" field)
+          )
+      | "crash" -> (
+          match parts with
+          | [ period; down ] ->
+              let* p = intv period in
+              let* d = intv down in
+              Ok { cfg with crash_period = p; crash_downtime = d }
+          | _ ->
+              Error
+                (Printf.sprintf "%S: crash needs crash=PERIOD:DOWNTIME" field))
+      | "corrupt" -> (
+          match parts with
+          | [ r ] ->
+              let* r = floatv r in
+              Ok { cfg with corrupt = r }
+          | _ -> Error (Printf.sprintf "%S: corrupt needs corrupt=RATE" field))
+      | k ->
           Error
-            (Printf.sprintf
-               "unknown fault field %S (drop, timeout, spike, outage)" k))
+            (Printf.sprintf "unknown fault field %S (valid keys: %s)" k
+               known_keys))
 
 let parse spec =
   let spec = String.trim spec in
@@ -229,6 +283,12 @@ let to_string cfg =
   if cfg = off then "none"
   else begin
     let fields = ref [] in
+    if cfg.corrupt > 0.0 then
+      fields := Printf.sprintf "corrupt=%g" cfg.corrupt :: !fields;
+    if cfg.crash_period > 0 then
+      fields :=
+        Printf.sprintf "crash=%d:%d" cfg.crash_period cfg.crash_downtime
+        :: !fields;
     if cfg.outage_period > 0 then
       fields :=
         Printf.sprintf "outage=%d:%d" cfg.outage_period cfg.outage_len

@@ -31,6 +31,15 @@ type config = {
   spike_alpha : float;  (** Pareto tail exponent (smaller = heavier) *)
   outage_period : int;  (** approx cycles between outages; 0 disables *)
   outage_len : int;  (** outage window length, cycles *)
+  crash_period : int;
+      (** approx cycles between node crashes (per cluster node, on the
+          monotonic clock); 0 disables. Consumed by {!Cluster}, not by
+          the per-attempt injector. *)
+  crash_downtime : int;  (** how long a crashed node stays down, cycles *)
+  corrupt : float;
+      (** P(a fetched payload arrives with a flipped bit), [0 <= p < 1].
+          Corruption is transit-only: the stored copy stays intact, so a
+          re-fetch (from the same or another replica) can repair it. *)
 }
 
 val off : config
@@ -84,9 +93,15 @@ val parse : string -> (config, string) result
               | "timeout=" FLOAT
               | "spike=" FLOAT ":" CYCLES [":" ALPHA]
               | "outage=" PERIOD ":" LEN
+              | "crash=" PERIOD ":" DOWNTIME
+              | "corrupt=" FLOAT
     v}
 
-    e.g. ["drop=0.02,timeout=0.01,spike=0.05:40000:1.5,outage=2000000:150000"]. *)
+    e.g. ["drop=0.02,timeout=0.01,spike=0.05:40000:1.5,outage=2000000:150000"]
+    or ["crash=1500000:250000,corrupt=0.001"]. Errors name the offending
+    token: a known key with the wrong shape gets that key's usage (e.g.
+    ["\"drop=0.1:5\": drop needs drop=PROB"]), an unknown key (a typo
+    like [timout=]) gets the list of valid keys. *)
 
 val to_string : config -> string
 (** Canonical spec string ([parse (to_string c) = Ok c] for valid [c]). *)

@@ -79,6 +79,35 @@ let store_float t ~addr x =
     done
   end
 
+(* Full-fidelity 64-bit accessors for byte movers (replication,
+   checksums): [load ~size:8] truncates to OCaml's 63-bit int, which
+   would silently clear the top bit of every word copied through it —
+   e.g. the sign bit of negative doubles. *)
+let load64 t ~addr =
+  let off = addr land page_mask in
+  if off + 8 <= page_size then
+    Bytes.get_int64_le (page t (addr lsr page_bits)) off
+  else begin
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (load t ~addr:(addr + k) ~size:1))
+    done;
+    !v
+  end
+
+let store64 t ~addr v =
+  let off = addr land page_mask in
+  if off + 8 <= page_size then
+    Bytes.set_int64_le (page t (addr lsr page_bits)) off v
+  else
+    for k = 0 to 7 do
+      store t ~addr:(addr + k) ~size:1
+        (Int64.to_int (Int64.shift_right_logical v (k * 8)) land 0xFF)
+    done
+
 let blit t ~src ~dst ~len =
   (* Conservative byte copy; realloc volumes are small in the workloads. *)
   for k = 0 to len - 1 do

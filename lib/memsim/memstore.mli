@@ -19,6 +19,13 @@ val store : t -> addr:int -> size:int -> int -> unit
 val load_float : t -> addr:int -> float
 val store_float : t -> addr:int -> float -> unit
 
+val load64 : t -> addr:int -> int64
+val store64 : t -> addr:int -> int64 -> unit
+(** Exact 64-bit accessors for byte movers that must preserve every bit
+    ({!load} with [size:8] truncates to 63 bits and would clear the sign
+    bit of stored doubles); used by the replication tier's copies and
+    checksums. *)
+
 val blit : t -> src:int -> dst:int -> len:int -> unit
 (** Copy a byte range (used by realloc). *)
 

@@ -32,6 +32,10 @@ type event =
   | Breaker_opened of { at : int; probe_at : int }
   | Breaker_closed of { opened_at : int; at : int }
   | Fetch_failed of { attempts : int }
+  | Failover of { key : int; primary : int; replica : int }
+  | Corruption_detected of { key : int; node : int }
+  | Repaired of { key : int; node : int }
+  | Object_lost of { key : int }
 
 type breaker = Closed | Open of { opened_at : int; probe_at : int }
 
@@ -40,6 +44,7 @@ type t = {
   clock : Clock.t;
   latency : int;
   faults : Faults.t;
+  cluster : Cluster.t option;
   policy : retry_policy;
   jitter : Tfm_util.Rng.t;
   mutable breaker : breaker;
@@ -47,8 +52,8 @@ type t = {
   mutable on_event : event -> unit;
 }
 
-let create ?(faults = Faults.disabled) ?(policy = default_policy) cost clock
-    backend =
+let create ?(faults = Faults.disabled) ?cluster ?(policy = default_policy)
+    cost clock backend =
   let latency =
     match backend with
     | Tcp -> cost.Cost_model.tcp_latency
@@ -59,6 +64,7 @@ let create ?(faults = Faults.disabled) ?(policy = default_policy) cost clock
     clock;
     latency;
     faults;
+    cluster;
     policy;
     (* Jitter draws come from a stream independent of the fault verdicts
        so policy tweaks do not shift which attempts fail. *)
@@ -69,6 +75,7 @@ let create ?(faults = Faults.disabled) ?(policy = default_policy) cost clock
   }
 
 let faults t = t.faults
+let cluster t = t.cluster
 let set_stall_handler t f = t.stall_handler <- f
 let on_event t f = t.on_event <- f
 let remote_available t = t.breaker = Closed
@@ -259,6 +266,137 @@ let writeback t ~bytes =
   Clock.tick t.clock writeback_enqueue_cycles;
   Clock.count t.clock "net.bytes_out" bytes;
   Clock.count t.clock "net.writebacks" 1
+
+(* -- replicated tier ------------------------------------------------------
+
+   Object-granular entry points used by the runtimes. With no cluster
+   attached they delegate to the exact single-server paths above, so a
+   [--replicas 1] run with no crash/corrupt faults stays bit-identical
+   to the pre-replication model. With a cluster, a fetch walks the
+   replica ladder primary-first: each candidate read pays the normal
+   wire cost (including the fault/retry/breaker machinery), corrupted
+   payloads are detected against the checksum envelope and repaired by
+   re-fetching, and when no replica holds the object the loss is
+   declared and the workload observes zeroes. *)
+
+let replicated_fetch t c ~key ~bytes ~success_latency ~prefetched =
+  let primary = Cluster.primary c ~key in
+  let failed_over = ref false in
+  let corrupted = ref false in
+  let rec go ~excluded ~success_latency =
+    let all = Cluster.read_candidates c ~key in
+    let filtered = List.filter (fun n -> not (List.mem n excluded)) all in
+    (* If corruption excluded every holder, forgive and retry them:
+       corruption is transit-only, a re-read can come back clean. *)
+    let candidates, excluded =
+      if filtered = [] && all <> [] then (all, []) else (filtered, excluded)
+    in
+    match candidates with
+    | [] -> (
+        match Cluster.earliest_pending c ~key with
+        | Some at ->
+            (* Every visible copy is down, but a lagged replica write is
+               in flight: wait for it to apply, then retry. *)
+            stall t (max 1 (at - Clock.monotonic t.clock));
+            go ~excluded ~success_latency:t.latency
+        | None ->
+            (* No copy anywhere, none coming: the object is gone. One
+               round trip to learn it; the workload reads zeroes. *)
+            Clock.tick t.clock t.latency;
+            (match Cluster.declare_lost c ~key with
+            | `Lost ->
+                Clock.count t.clock "net.lost_objects" 1;
+                t.on_event (Object_lost { key })
+            | `Stale ->
+                (* Only a stale shadow of a freed/rewritten range was
+                   wiped; the live bytes are in main. *)
+                Clock.count t.clock "net.stale_drops" 1))
+    | node :: _ -> (
+        if node <> primary && not !failed_over then begin
+          failed_over := true;
+          Clock.count t.clock "net.failovers" 1;
+          t.on_event (Failover { key; primary; replica = node })
+        end;
+        match try_fetch_with t ~bytes ~success_latency ~prefetched with
+        | Error (Unreachable { probe_at }) ->
+            stall t (probe_at - Clock.cycles t.clock);
+            go ~excluded ~success_latency:t.latency
+        | Error (Budget_exhausted _) ->
+            stall t t.policy.backoff_cap;
+            go ~excluded ~success_latency:t.latency
+        | Ok () ->
+            if Cluster.corrupt_draw c ~node then begin
+              (* Checksum mismatch on the delivered payload: count the
+                 detection, drop this replica for the moment and re-fetch
+                 (the wire cost of the bad read is already charged). *)
+              Clock.count t.clock "net.corruptions_detected" 1;
+              t.on_event (Corruption_detected { key; node });
+              corrupted := true;
+              go ~excluded:(node :: excluded) ~success_latency:t.latency
+            end
+            else begin
+              if !corrupted then begin
+                Clock.count t.clock "net.repairs" 1;
+                t.on_event (Repaired { key; node })
+              end;
+              match Cluster.deliver c ~key ~node with
+              | `Delivered -> ()
+              | `Stale -> Clock.count t.clock "net.stale_drops" 1
+            end)
+  in
+  go ~excluded:[] ~success_latency
+
+let fetch_object t ~key ~bytes =
+  match t.cluster with
+  | None -> fetch t ~bytes
+  | Some c ->
+      if Cluster.has_object c ~key then
+        replicated_fetch t c ~key ~bytes ~success_latency:t.latency
+          ~prefetched:false
+      else
+        (* Never written back: nothing replicated (or lost and already
+           zeroed) — the single-server path applies. *)
+        fetch t ~bytes
+
+let fetch_object_prefetched t ~key ~bytes =
+  match t.cluster with
+  | None -> fetch_prefetched t ~bytes
+  | Some c ->
+      if Cluster.has_object c ~key then
+        replicated_fetch t c ~key ~bytes
+          ~success_latency:t.cost.Cost_model.prefetch_hit ~prefetched:true
+      else fetch_prefetched t ~bytes
+
+let writeback_object t ~key ~bytes =
+  match t.cluster with
+  | None -> writeback t ~bytes
+  | Some c ->
+      Clock.tick t.clock writeback_enqueue_cycles;
+      Clock.count t.clock "net.writebacks" 1;
+      let r = Cluster.writeback c ~key ~size:bytes in
+      (* The async reclaim path ships one copy per replica written. *)
+      Clock.count t.clock "net.bytes_out" (bytes * r.Cluster.written);
+      if r.Cluster.lagged > 0 then
+        Clock.count t.clock "net.replica_lag" r.Cluster.lagged;
+      if r.Cluster.skipped > 0 then
+        Clock.count t.clock "net.replica_skips" r.Cluster.skipped
+
+let resync_batch = 512
+let resync_orchestration_cycles = 120
+
+let resync_step t =
+  match t.cluster with
+  | None -> 0
+  | Some c ->
+      let moved = Cluster.resync_step c ~budget:resync_batch in
+      if moved > 0 then begin
+        (* Replica-to-replica traffic: the compute node only pays the
+           orchestration cost and yields while the copies stream. *)
+        Clock.tick t.clock resync_orchestration_cycles;
+        Clock.count t.clock "net.resync_objects" moved;
+        t.stall_handler ~cycles:resync_orchestration_cycles
+      end;
+      moved
 
 let bytes_in t = Clock.get t.clock "net.bytes_in"
 let bytes_out t = Clock.get t.clock "net.bytes_out"

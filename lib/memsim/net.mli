@@ -55,13 +55,27 @@ type event =
   | Breaker_closed of { opened_at : int; at : int }
       (** recovery: [opened_at .. at] is the observed outage span *)
   | Fetch_failed of { attempts : int }  (** an op gave up *)
+  | Failover of { key : int; primary : int; replica : int }
+      (** a fetch of [key] was served by [replica] because [primary]
+          had no healthy, visible copy *)
+  | Corruption_detected of { key : int; node : int }
+      (** payload from [node] failed its checksum envelope *)
+  | Repaired of { key : int; node : int }
+      (** a corrupted fetch was repaired by a clean re-read from [node] *)
+  | Object_lost of { key : int }
+      (** no replica holds [key]: its bytes were zeroed (data loss) *)
 
-val create : ?faults:Faults.t -> ?policy:retry_policy -> Cost_model.t ->
-  Clock.t -> backend -> t
+val create : ?faults:Faults.t -> ?cluster:Cluster.t -> ?policy:retry_policy ->
+  Cost_model.t -> Clock.t -> backend -> t
 (** [faults] defaults to {!Faults.disabled}; [policy] to
-    {!default_policy}. *)
+    {!default_policy}. With [cluster] attached the object-granular
+    entry points ({!fetch_object}, {!writeback_object}, {!resync_step})
+    run against the replicated tier; without it they delegate to the
+    single-server paths bit for bit. *)
 
 val faults : t -> Faults.t
+
+val cluster : t -> Cluster.t option
 
 val fetch : t -> bytes:int -> unit
 (** Demand fetch: blocks the application for the full transfer cost.
@@ -91,6 +105,43 @@ val writeback : t -> bytes:int -> unit
     application is charged only a small enqueue cost, but the bytes count
     toward the transfer totals. *)
 
+(** {2 Replicated tier}
+
+    Object-granular entry points: [key] is the object's base address in
+    the main store (globally unique across backends) and doubles as its
+    identity in the cluster directory. With no cluster attached each
+    delegates to its single-server counterpart above — same code path,
+    same cycles, same counters. *)
+
+val fetch_object : t -> key:int -> bytes:int -> unit
+(** Demand-fetch one object through the replica ladder: candidates are
+    tried primary-first (a non-primary read counts [net.failovers]),
+    each read pays the normal wire/fault cost, corrupted payloads
+    ([corrupt=RATE]) are detected against the checksum envelope
+    ([net.corruptions_detected]) and repaired by re-fetching
+    ([net.repairs]). When no replica holds the object and no lagged
+    write is in flight, the loss is declared ([net.lost_objects]): the
+    object's bytes read as zero from then on. Objects never written
+    back take the plain {!fetch} path. *)
+
+val fetch_object_prefetched : t -> key:int -> bytes:int -> unit
+(** {!fetch_object} at the prefetched residual cost (see
+    {!fetch_prefetched}). *)
+
+val writeback_object : t -> key:int -> bytes:int -> unit
+(** Replica-aware writeback: one enqueue charge, then the cluster
+    replicates the object's bytes — [bytes * copies] toward
+    [net.bytes_out], lagged (beyond-[ack]) copies counted in
+    [net.replica_lag], down replicas in [net.replica_skips]. *)
+
+val resync_step : t -> int
+(** Drive background re-replication onto recovering nodes (bounded
+    batch per call; intended to be called from the evacuator/reclaim
+    loops). Returns objects moved; charges only a small orchestration
+    cost ([net.resync_objects]) and yields via the stall handler —
+    replica-to-replica traffic does not cross the compute node's wire.
+    No-op without a cluster. *)
+
 val set_stall_handler : t -> (cycles:int -> unit) -> unit
 (** Hook invoked {e in addition to} the clock charge whenever the
     transport sleeps (backoff between retries, waiting out an open
@@ -113,4 +164,6 @@ val fetches : t -> int
     [net.nacks], [net.timeouts], [net.backoff_cycles],
     [net.latency_spikes], [net.spike_cycles], [net.stall_cycles],
     [net.fail_fast], [net.breaker_opens], [net.breaker_probes],
-    [net.fetch_failures]. *)
+    [net.fetch_failures]; replicated tier only — [net.failovers],
+    [net.corruptions_detected], [net.repairs], [net.replica_lag],
+    [net.replica_skips], [net.lost_objects], [net.resync_objects]. *)

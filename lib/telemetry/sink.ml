@@ -253,9 +253,73 @@ let net_event t (e : Memsim.Net.event) =
               Trace.instant tr ~name:"net.fetch_failed" ~cat:"fault"
                 ~ts:(now r)
                 ~args:[ ("attempts", Json.Int attempts) ]
+                ())
+      | Memsim.Net.Failover { key; primary; replica } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"net.failover" ~cat:"cluster" ~ts:(now r)
+                ~args:
+                  [
+                    ("key", Json.Int key);
+                    ("primary", Json.Int primary);
+                    ("replica", Json.Int replica);
+                  ]
+                ())
+      | Memsim.Net.Corruption_detected { key; node } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"net.corruption" ~cat:"cluster"
+                ~ts:(now r)
+                ~args:[ ("key", Json.Int key); ("node", Json.Int node) ]
+                ())
+      | Memsim.Net.Repaired { key; node } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"net.repair" ~cat:"cluster" ~ts:(now r)
+                ~args:[ ("key", Json.Int key); ("node", Json.Int node) ]
+                ())
+      | Memsim.Net.Object_lost { key } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"net.object_lost" ~cat:"cluster"
+                ~ts:(now r)
+                ~args:[ ("key", Json.Int key) ]
                 ()))
 
 let attach_net t net = Memsim.Net.on_event net (fun e -> net_event t e)
+
+(* Cluster events carry monotonic timestamps, which coincide with the
+   trace timeline ([ts_base] accumulates exactly what [Clock.reset]
+   folds away), so [at]/[until] can be used directly. *)
+let cluster_event t (e : Memsim.Cluster.event) =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match e with
+      | Memsim.Cluster.Node_crashed { node; at; until; lost } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.complete tr ~name:"cluster.node_down" ~cat:"cluster"
+                ~ts:at
+                ~dur:(max 0 (until - at))
+                ~args:[ ("node", Json.Int node); ("lost", Json.Int lost) ]
+                ())
+      | Memsim.Cluster.Node_recovered { node; at; missing } -> (
+          match r.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"cluster.node_recovered" ~cat:"cluster"
+                ~ts:at
+                ~args:[ ("node", Json.Int node); ("missing", Json.Int missing) ]
+                ()))
+
+let attach_cluster t cluster =
+  Memsim.Cluster.set_on_event cluster (fun e -> cluster_event t e)
 
 let span t ~name ?(cat = "interp") ~start () =
   match t with

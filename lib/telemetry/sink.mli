@@ -99,6 +99,15 @@ val attach_net : t -> Memsim.Net.t -> unit
 (** Install this sink as [net]'s event handler ({!Memsim.Net.on_event}),
     so fault events flow in with no per-event plumbing at call sites. *)
 
+val cluster_event : t -> Memsim.Cluster.event -> unit
+(** Record a replicated-tier event: node crashes become down-time spans
+    on the trace's cluster track, recoveries become instants carrying
+    the resync backlog. *)
+
+val attach_cluster : t -> Memsim.Cluster.t -> unit
+(** Install this sink as the cluster's event handler
+    ({!Memsim.Cluster.set_on_event}). *)
+
 val writeback_event : t -> bytes:int -> unit
 val evict_event : t -> unit
 val prefetch_event : t -> from:int -> stride:int -> depth:int -> unit

@@ -46,29 +46,32 @@ type t = {
   mutable telemetry : Telemetry.Sink.t;
 }
 
-let make_class ?policy ?telemetry ?faults cost clock backend idx ~max_alloc
-    ~object_size ~budget =
-  let net = Net.create ?faults cost clock backend in
+let make_class ?policy ?telemetry ?faults ?cluster cost clock backend idx
+    ~max_alloc ~object_size ~budget =
+  let net = Net.create ?faults ?cluster cost clock backend in
   (* Slow-path guards degrade to block-with-yield: transport stalls
      (retry backoff, open-breaker waits) release the core when the
      guard runs inside a Shenango task instead of spinning on it. *)
   Net.set_stall_handler net (fun ~cycles ->
       ignore (Shenango.Sched.try_block cycles));
+  let osize_log2 = log2 object_size in
   let pool =
-    Pool.create ?policy ?telemetry cost clock ~net ~object_size
-      ~local_budget:budget
+    Pool.create ?policy ?telemetry
+      ~addr_of_id:(fun id -> Nc_ptr.class_base idx + (id lsl osize_log2))
+      cost clock ~net ~object_size ~local_budget:budget
   in
   {
     max_alloc;
     pool;
     alloc = Region_alloc.create ~base:(Nc_ptr.class_base idx);
-    osize_log2 = log2 object_size;
+    osize_log2;
     miss_prefetcher = Prefetcher.create pool ();
   }
 
 let create ?(backend = Net.Tcp) ?(use_state_table = true) ?(prefetch = true)
     ?size_classes ?policy ?(telemetry = Telemetry.Sink.nop)
-    ?(faults = Faults.disabled) cost clock store ~object_size ~local_budget =
+    ?(faults = Faults.disabled) ?cluster cost clock store ~object_size
+    ~local_budget =
   let specs =
     match size_classes with
     | None | Some [] -> [ (max_int, object_size, 1.0) ]
@@ -90,8 +93,8 @@ let create ?(backend = Net.Tcp) ?(use_state_table = true) ?(prefetch = true)
     Array.of_list
       (List.mapi
          (fun idx (max_alloc, osize, share) ->
-           make_class ?policy ~telemetry ~faults cost clock backend idx
-             ~max_alloc
+           make_class ?policy ~telemetry ~faults ?cluster cost clock backend
+             idx ~max_alloc
              ~object_size:osize
              ~budget:(max osize (int_of_float (float_of_int local_budget *. share))))
          specs)

@@ -28,13 +28,19 @@ val create :
   ?policy:Pool.policy ->
   ?telemetry:Telemetry.Sink.t ->
   ?faults:Faults.t ->
+  ?cluster:Cluster.t ->
   Cost_model.t ->
   Clock.t ->
   Memstore.t ->
   object_size:int ->
   local_budget:int ->
   t
-(** [use_state_table=false] ablates the Section 3.2 optimization: every
+(** [cluster] routes every size class's slow-path fetches and evacuator
+    writebacks through the replicated remote tier (shared across
+    classes, keyed by object base address); recovery resync is driven
+    from the evacuator loop.
+
+    [use_state_table=false] ablates the Section 3.2 optimization: every
     guard then pays the extra dependent metadata reference. [prefetch]
     enables the compiler-directed stride prefetch issued from chunk
     boundaries (default true). Backend defaults to [Tcp] (AIFM's

@@ -11,6 +11,8 @@ type tfm_opts = {
   profile_gate : bool;
   size_classes : (int * int * float) list;
   faults : Faults.t;
+  replicas : int;
+  ack : int;
 }
 
 let tfm_defaults ~local_budget =
@@ -23,7 +25,18 @@ let tfm_defaults ~local_budget =
     profile_gate = true;
     size_classes = [];
     faults = Faults.disabled;
+    replicas = 1;
+    ack = 1;
   }
+
+(* A cluster exists only when replication or crash/corrupt faults are in
+   play ({!Memsim.Cluster.create_opt}); otherwise the backends take the
+   single-server paths bit for bit. Seeded off the fault injector so one
+   [--fault-seed] reproduces the whole failure schedule. *)
+let make_cluster ~clock ~store ~replicas ~ack ~faults =
+  Cluster.create_opt
+    ~seed:(max 1 (Faults.seed faults))
+    ~clock ~store ~replicas ~ack ~faults:(Faults.config faults) ()
 
 (* Wrap a backend so the [!load_blob ptr id] intrinsic copies registered
    input data into simulated memory (the moral equivalent of reading a
@@ -98,25 +111,35 @@ let run_trackfm ?(cost = Cost_model.default) ?(blobs = [])
   let report = Trackfm.Pipeline.run config m in
   let clock = Clock.create () in
   let store = Memstore.create () in
+  let sink = telemetry clock in
+  let cluster =
+    make_cluster ~clock ~store ~replicas:opts.replicas ~ack:opts.ack
+      ~faults:opts.faults
+  in
+  Option.iter (Telemetry.Sink.attach_cluster sink) cluster;
   let rt =
     Trackfm.Runtime.create ~use_state_table:opts.use_state_table
       ~prefetch:opts.prefetch
       ?size_classes:
         (match opts.size_classes with [] -> None | l -> Some l)
-      ~telemetry:(telemetry clock) ~faults:opts.faults cost clock store
+      ~telemetry:sink ~faults:opts.faults ?cluster cost clock store
       ~object_size:opts.object_size ~local_budget:opts.local_budget
   in
   let backend = with_blobs blobs (Backend.trackfm rt store) in
   (finish clock (Interp.run backend m ~entry:"main"), report)
 
-let run_fastswap ?(cost = Cost_model.default) ?readahead ?faults ?(blobs = [])
+let run_fastswap ?(cost = Cost_model.default) ?readahead
+    ?(faults = Faults.disabled) ?(replicas = 1) ?(ack = 1) ?(blobs = [])
     ?(telemetry = no_telemetry) ~local_budget build =
   let clock = Clock.create () in
   let store = Memstore.create () in
+  let sink = telemetry clock in
+  let cluster = make_cluster ~clock ~store ~replicas ~ack ~faults in
+  Option.iter (Telemetry.Sink.attach_cluster sink) cluster;
   let backend =
     with_blobs blobs
-      (Backend.fastswap ?readahead ?faults ~telemetry:(telemetry clock) cost
-         clock store ~local_budget)
+      (Backend.fastswap ?readahead ~faults ?cluster ~telemetry:sink cost clock
+         store ~local_budget)
   in
   finish clock (Interp.run backend (build ()) ~entry:"main")
 
@@ -134,6 +157,8 @@ let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
         profile_gate = false;
         size_classes = [];
         faults = Faults.disabled;
+        replicas = 1;
+        ack = 1;
       }
     in
     (fst (run_trackfm ~cost ~blobs build opts)).cycles

@@ -33,6 +33,11 @@ type tfm_opts = {
       (** fabric fault injector forwarded to every size class's
           transport; {!Faults.disabled} (the default) keeps the exact
           pre-fault code path *)
+  replicas : int;
+      (** remote-memory cluster size; [1] (the default) with no
+          crash/corrupt faults keeps the single-server model bit for
+          bit *)
+  ack : int;  (** writeback ack count, [1 <= ack <= replicas] *)
 }
 
 val tfm_defaults : local_budget:int -> tfm_opts
@@ -65,11 +70,16 @@ val run_fastswap :
   ?cost:Cost_model.t ->
   ?readahead:int ->
   ?faults:Faults.t ->
+  ?replicas:int ->
+  ?ack:int ->
   ?blobs:(int * Bytes.t) list ->
   ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
   local_budget:int ->
   (unit -> Ir.modul) ->
   outcome
+(** [replicas]/[ack] (defaults 1/1) swap pages against a replicated
+    remote tier when replication or crash/corrupt faults are configured
+    (see {!Memsim.Cluster.create_opt}). *)
 
 val profile_of :
   ?cost:Cost_model.t ->

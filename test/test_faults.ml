@@ -42,6 +42,8 @@ let test_parse_roundtrip () =
       "light"; "medium"; "heavy";
       "drop=0.02,timeout=0.01,spike=0.05:40000:1.5,outage=2000000:150000";
       "drop=0.1"; "outage=500000:1000"; "spike=0.2:8000";
+      "crash=1500000:250000"; "corrupt=0.01";
+      "crash=1000000:50000,corrupt=0.02,drop=0.01";
     ];
   Alcotest.(check bool) "none parses to off" true
     (Faults.parse "none" = Ok Faults.off);
@@ -50,7 +52,44 @@ let test_parse_roundtrip () =
       match Faults.parse bad with
       | Ok _ -> Alcotest.failf "accepted bad spec %s" bad
       | Error _ -> ())
-    [ "bogus"; "drop=1.5"; "drop=x"; "outage=100"; "spike="; "drop" ]
+    [
+      "bogus"; "drop=1.5"; "drop=x"; "outage=100"; "spike="; "drop";
+      "crash=100"; "crash=100:200"; "crash=100:0"; "corrupt=1.0";
+      "corrupt=0.1:2";
+    ]
+
+(* Rejections must name the offending token and the usage, not a generic
+   catch-all: a typo'd key lists the valid keys, a known key with the
+   wrong arity gets that key's usage line. *)
+let test_parse_error_messages () =
+  let expect_error spec needles =
+    match Faults.parse spec with
+    | Ok _ -> Alcotest.failf "accepted bad spec %s" spec
+    | Error msg ->
+        List.iter
+          (fun needle ->
+            let present =
+              let nl = String.length needle and ml = String.length msg in
+              let rec scan i =
+                i + nl <= ml && (String.sub msg i nl = needle || scan (i + 1))
+              in
+              scan 0
+            in
+            if not present then
+              Alcotest.failf "error for %s lacks %S: %s" spec needle msg)
+          needles
+  in
+  expect_error "timout=0.1" [ "timout"; "valid keys"; "drop" ];
+  expect_error "drop=0.1:5" [ "drop needs drop=PROB" ];
+  expect_error "spike=0.1" [ "spike needs spike=PROB:CYCLES" ];
+  expect_error "crash=5" [ "crash needs crash=PERIOD:DOWNTIME" ];
+  expect_error "corrupt=0.1:2" [ "corrupt needs corrupt=RATE" ];
+  expect_error "drop" [ "not key=value"; "valid keys" ];
+  expect_error "crash=abc:5" [ "bad integer"; "abc" ];
+  expect_error "drop=zz" [ "bad float"; "zz" ];
+  (* Range errors come from the shared validator with its own wording. *)
+  expect_error "crash=100:200" [ "downtime" ];
+  expect_error "corrupt=1.0" [ "corrupt" ]
 
 let test_create_validation () =
   Alcotest.(check bool) "off collapses to disabled" false
@@ -274,6 +313,71 @@ let test_breaker_transitions () =
   Alcotest.(check bool) "probes were sent" true
     (Clock.get clock "net.breaker_probes" > 0)
 
+(* An outage window is [start, stop): a recovery probe landing exactly on
+   [stop] must deliver and close the breaker, while one cycle earlier it
+   must time out and re-arm the breaker past the window. Guards the
+   off-by-one at the window boundary in both Faults.in_outage and the
+   half-open probe path. *)
+let test_breaker_probe_at_outage_boundary () =
+  let window faults =
+    match Faults.outage_window faults 0 with
+    | Some w -> w
+    | None -> Alcotest.fail "expected an outage window"
+  in
+  (* The boundary itself, straight from the injector. *)
+  let faults = Faults.create ~seed:4 outage_cfg in
+  let start, stop = window faults in
+  Alcotest.(check bool) "stop-1 inside" true
+    (Faults.in_outage faults ~now:(stop - 1));
+  Alcotest.(check bool) "stop outside (exclusive)" false
+    (Faults.in_outage faults ~now:stop);
+  Alcotest.(check (option int)) "outage_end at stop-1" (Some stop)
+    (Faults.outage_end faults ~now:(stop - 1));
+  (* Probe exactly at stop: delivered, breaker closes. *)
+  let clock = Clock.create () in
+  let net = Net.create ~faults ~policy:quick_policy cost clock Net.Tcp in
+  Clock.tick clock (start + 1);
+  (match Net.try_fetch net ~bytes:64 with
+  | Error (Net.Unreachable { probe_at }) ->
+      Alcotest.(check bool) "first probe scheduled inside the window" true
+        (probe_at < stop)
+  | Ok () -> Alcotest.fail "fetch delivered inside an outage window"
+  | Error (Net.Budget_exhausted _) ->
+      Alcotest.fail "outage failures should report Unreachable");
+  Clock.tick clock (stop - Clock.cycles clock);
+  Alcotest.(check int) "clock sits exactly on stop" stop (Clock.cycles clock);
+  (match Net.try_fetch net ~bytes:64 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "probe at now = stop must deliver");
+  Alcotest.(check bool) "breaker closed by the boundary probe" true
+    (Net.remote_available net);
+  Alcotest.(check bool) "probe was counted" true
+    (Clock.get clock "net.breaker_probes" > 0);
+  (* Probe at stop - 1: still in the window, times out, and the breaker
+     re-arms with its next probe strictly past the window. *)
+  let faults = Faults.create ~seed:4 outage_cfg in
+  let clock = Clock.create () in
+  let net = Net.create ~faults ~policy:quick_policy cost clock Net.Tcp in
+  Clock.tick clock (start + 1);
+  (match Net.try_fetch net ~bytes:64 with
+  | Error (Net.Unreachable _) -> ()
+  | _ -> Alcotest.fail "expected the ladder to open the breaker");
+  Clock.tick clock (stop - 1 - Clock.cycles clock);
+  (match Net.try_fetch net ~bytes:64 with
+  | Error (Net.Unreachable { probe_at }) ->
+      Alcotest.(check bool) "failed boundary probe re-arms past stop" true
+        (probe_at > stop)
+  | Ok () -> Alcotest.fail "probe one cycle before stop must still fail"
+  | Error (Net.Budget_exhausted _) ->
+      Alcotest.fail "probe failures should report Unreachable");
+  Alcotest.(check bool) "breaker still open" false (Net.remote_available net);
+  (* A blocking fetch then waits out the re-armed probe and recovers. *)
+  Net.fetch net ~bytes:64;
+  Alcotest.(check bool) "recovered after the window" true
+    (Net.remote_available net);
+  Alcotest.(check bool) "recovery happened past stop" true
+    (Clock.cycles clock > stop)
+
 (* -- prefetched fetches share the fault path ----------------------------- *)
 
 let test_prefetched_rides_fault_path () =
@@ -385,6 +489,8 @@ let suite =
   ( "faults",
     [
       Alcotest.test_case "spec round-trip" `Quick test_parse_roundtrip;
+      Alcotest.test_case "parse error messages" `Quick
+        test_parse_error_messages;
       Alcotest.test_case "create validation" `Quick test_create_validation;
       Alcotest.test_case "outage windows" `Quick
         test_outage_windows_deterministic;
@@ -396,6 +502,8 @@ let suite =
         test_budget_exhaustion_propagates;
       Alcotest.test_case "deadline respected" `Quick test_deadline_respected;
       Alcotest.test_case "breaker transitions" `Quick test_breaker_transitions;
+      Alcotest.test_case "breaker probe at outage boundary" `Quick
+        test_breaker_probe_at_outage_boundary;
       Alcotest.test_case "prefetched fault path" `Quick
         test_prefetched_rides_fault_path;
       Alcotest.test_case "pool defers eviction" `Quick

@@ -6,6 +6,7 @@ let () =
       Test_analysis.suite;
       Test_memsim.suite;
       Test_faults.suite;
+      Test_cluster.suite;
       Test_aifm.suite;
       Test_fastswap.suite;
       Test_shenango.suite;
