@@ -318,6 +318,7 @@ let hw_kona () =
                 prefetch = true;
                 use_state_table = true;
                 profile_gate = false;
+                elide_guards = true;
                 size_classes = [];
                 faults = active_faults ();
                 replicas = !replicas;
@@ -345,6 +346,7 @@ let hw_kona () =
                 prefetch = true;
                 use_state_table = true;
                 profile_gate = false;
+                elide_guards = true;
                 size_classes = [];
                 faults = active_faults ();
                 replicas = !replicas;

@@ -37,6 +37,8 @@ let experiments =
       Exp_tables.limits_pointer_chase);
     ("robustness_scale", "Methodology: scale invariance of the shapes",
       Exp_tables.robustness_scale);
+    ("guard_elision", "Static analysis: redundant-guard elision",
+      Exp_elision.guard_elision);
     ("faults_goodput", "Robustness: goodput under fabric faults",
       Exp_faults.faults_goodput);
     ("durability", "Robustness: replicated tier vs crash faults",

@@ -142,6 +142,7 @@ let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~faults
           prefetch;
           use_state_table = true;
           profile_gate = true;
+          elide_guards = true;
           size_classes = [];
           faults;
           replicas;
@@ -156,10 +157,14 @@ let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~faults
 let print_compile_report = function
   | None -> ()
   | Some report ->
+      let e = report.Trackfm.Pipeline.elision in
       Printf.printf
-        "compile: %d guards, %d chunk sites, growth %.2fx, %.1f ms\n\n"
+        "compile: %d guards (%d elided, %d hoisted, %d upgraded), %d chunk \
+         sites, growth %.2fx, %.1f ms\n\n"
         (report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_loads
         + report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_stores)
+        (Trackfm.Elide_pass.total_elided e)
+        e.Trackfm.Elide_pass.hoisted e.Trackfm.Elide_pass.upgraded
         report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.chunk_sites
         (Trackfm.Pipeline.code_growth report)
         (report.Trackfm.Pipeline.compile_time_s *. 1e3)
@@ -467,6 +472,7 @@ let sweep_cmd workload_name object_size =
               prefetch = true;
               use_state_table = true;
               profile_gate = true;
+          elide_guards = true;
               size_classes = [];
               faults = Faults.disabled;
               replicas = 1;
@@ -514,6 +520,89 @@ let autotune_cmd workload_name local_pct =
             (if osz = best then "   <- chosen" else ""))
         results;
       0
+
+(* Static-analysis lint: compile every workload under each chunk mode,
+   with and without the guard optimizer, and run the guard-coverage
+   verifier plus the elision-witness re-check over the transformed IR.
+   Compile-only (no execution, no profile run), so this is fast enough
+   for a CI lint stage. Exits non-zero on any violation. *)
+let check_cmd workload_filter =
+  let selected =
+    List.filter
+      (fun w ->
+        match workload_filter with None -> true | Some n -> w.wname = n)
+      (workloads ())
+  in
+  if selected = [] then begin
+    Printf.eprintf "no workload matches %s\n"
+      (Option.value ~default:"<all>" workload_filter);
+    1
+  end
+  else begin
+    let failures = ref 0 in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun (mode_name, chunk_mode) ->
+            List.iter
+              (fun elide ->
+                let m = w.build () in
+                let config =
+                  {
+                    Trackfm.Pipeline.object_size = 4096;
+                    chunk_mode;
+                    profile = None;
+                    cost = Cost_model.default;
+                    elide;
+                    check = false (* we report instead of raising *);
+                    dump_after = None;
+                  }
+                in
+                let report = Trackfm.Pipeline.run config m in
+                let e = report.Trackfm.Pipeline.elision in
+                let violations = Tfm_checker.Coverage.check_module m in
+                let witness_errors =
+                  Tfm_checker.Coverage.check_witnesses m
+                    e.Trackfm.Elide_pass.elisions
+                in
+                let ok = violations = [] && witness_errors = [] in
+                Printf.printf
+                  "%-14s chunk=%-5s elide=%-3s guards=%5d elided=%4d \
+                   (same %d congruent %d range %d) hoisted=%d upgraded=%d \
+                   widened=%d  %s\n"
+                  w.wname mode_name
+                  (if elide then "on" else "off")
+                  (report.Trackfm.Pipeline.guards
+                     .Trackfm.Guard_pass.guarded_loads
+                  + report.Trackfm.Pipeline.guards
+                      .Trackfm.Guard_pass.guarded_stores)
+                  (Trackfm.Elide_pass.total_elided e)
+                  e.Trackfm.Elide_pass.elided_same
+                  e.Trackfm.Elide_pass.elided_congruent
+                  e.Trackfm.Elide_pass.elided_range
+                  e.Trackfm.Elide_pass.hoisted e.Trackfm.Elide_pass.upgraded
+                  e.Trackfm.Elide_pass.widened
+                  (if ok then "OK" else "UNSOUND");
+                if not ok then begin
+                  incr failures;
+                  List.iter
+                    (fun v ->
+                      Printf.printf "    violation: %s\n"
+                        (Tfm_checker.Coverage.violation_to_string v))
+                    violations;
+                  List.iter
+                    (fun msg -> Printf.printf "    witness: %s\n" msg)
+                    witness_errors
+                end)
+              [ true; false ])
+          [ ("off", `Off); ("gated", `Gated) ])
+      selected;
+    if !failures > 0 then begin
+      Printf.printf "\n%d unsound configuration(s)\n" !failures;
+      1
+    end
+    else 0
+  end
 
 let list_cmd () =
   List.iter
@@ -670,6 +759,21 @@ let autotune_term = Term.(const autotune_cmd $ workload_arg $ local_mem_arg)
 let autotune_info =
   Cmd.info "autotune" ~doc:"Pick the best TrackFM object size by search"
 
+let check_workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Check only this workload (default: all).")
+
+let check_term = Term.(const check_cmd $ check_workload_arg)
+
+let check_info =
+  Cmd.info "check"
+    ~doc:
+      "Compile every workload and run the guard-coverage verifier and \
+       elision-witness re-check over the transformed IR (CI lint stage)"
+
 let main =
   Cmd.group
     (Cmd.info "trackfm_cli" ~version:"1.0"
@@ -680,6 +784,7 @@ let main =
       Cmd.v list_info Term.(const list_cmd $ const ());
       Cmd.v sweep_info sweep_term;
       Cmd.v autotune_info autotune_term;
+      Cmd.v check_info check_term;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -2,13 +2,16 @@
 # Staged CI pipeline. Mirrors what the driver runs on every PR; keep it
 # green.
 #
-#   ./ci.sh                 # all stages: build fmt test smoke faults durability
+#   ./ci.sh                 # all stages: build fmt lint test smoke faults durability
 #   ./ci.sh build test      # just those stages
 #   ./ci.sh --update-golden # refresh ci/golden/ from the current build
 #
 # Stages:
 #   build      - dune build @all
 #   fmt        - dune build @fmt (skipped when ocamlformat is not installed)
+#   lint       - static-analysis gate: guard-coverage verifier + elision
+#                witness re-check over every workload x chunk mode x
+#                optimizer on/off (trackfm_cli check)
 #   test       - dune runtest (tier-1 unit/property/integration suites)
 #   smoke      - quick bench-harness run; writes metrics JSON to _ci/metrics
 #   faults     - fault-injection determinism matrix: fixed workloads x seeds,
@@ -44,6 +47,12 @@ stage_fmt() {
     else
         echo "== stage fmt: skipped (ocamlformat not installed) =="
     fi
+}
+
+stage_lint() {
+    echo "== stage lint: guard-coverage verifier + elision witness re-check =="
+    dune build bin/trackfm_cli.exe
+    "$CLI" check
 }
 
 stage_test() {
@@ -177,18 +186,19 @@ if [ "${1:-}" = "--update-golden" ]; then
     exit 0
 fi
 
-STAGES="${*:-build fmt test smoke faults durability}"
+STAGES="${*:-build fmt lint test smoke faults durability}"
 
 for s in $STAGES; do
     case "$s" in
         build)      stage_build ;;
         fmt)        stage_fmt ;;
+        lint)       stage_lint ;;
         test)       stage_test ;;
         smoke)      stage_smoke ;;
         faults)     stage_faults ;;
         durability) stage_durability ;;
         *)
-            echo "unknown stage '$s' (build fmt test smoke faults durability)" >&2
+            echo "unknown stage '$s' (build fmt lint test smoke faults durability)" >&2
             exit 2
             ;;
     esac

@@ -29,6 +29,14 @@ type strided_access = {
 
 type t
 
+val const_of : Defuse.t -> Ir.value -> int option
+(** Evaluate a value as a compile-time constant by chasing simple
+    arithmetic defs. *)
+
+val increment_of : Defuse.t -> int -> Ir.value -> int option
+(** Does the value compute [phi + constant] (through an add/sub chain)?
+    Returns the net constant increment. *)
+
 val analyze : Ir.func -> t
 
 val ivs_of_loop : t -> Loops.loop -> iv list

@@ -1,0 +1,288 @@
+(* The guard-coverage verifier: a sanitizer for transformed IR.
+
+   For every load/store the alias analysis classifies may-heap, prove it
+   is covered by an available custody fact — a guard (or chunk access)
+   on the same bytes dominates it with no intervening clobber. Anything
+   unproven is a violation: the pipeline raises, CI goes red, and the
+   offending site is named in guard-site attribution form so it can be
+   cross-referenced against the telemetry hotspot table. *)
+
+type violation = {
+  func : string;
+  block : string;
+  instr : int;  (* the unguarded access *)
+  is_store : bool;
+  killer : int option;
+      (* id of the closest preceding custody clobber in the block, when
+         one exists — the call that ate the guard, if there was one *)
+}
+
+let violation_site v = { Telemetry.Site.func = v.func; instr = v.instr }
+
+let violation_to_string v =
+  Printf.sprintf "%s: may-heap %s at %s not covered by any guard%s"
+    v.func
+    (if v.is_store then "store" else "load")
+    (Telemetry.Site.key_to_string (violation_site v))
+    (match v.killer with
+    | None -> ""
+    | Some k -> Printf.sprintf " (custody killed by call %%%d)" k)
+
+let check_func (f : Ir.func) =
+  let t = Facts.analyze f in
+  let alias = Alias.analyze f in
+  let violations = ref [] in
+  List.iter
+    (fun (b : Ir.block) ->
+      let state = ref (Facts.in_state t b.label) in
+      let last_clobber = ref None in
+      List.iter
+        (fun (i : Ir.instr) ->
+          begin
+            match i.kind with
+            | Ir.Call { callee; _ } when Intrinsics.clobbers_custody callee ->
+                last_clobber := Some i.id
+            | Ir.Load { ptr; size; _ } when Alias.needs_guard alias ptr ->
+                if
+                  Facts.query t !state ~block:b.label ptr ~size ~write:false
+                  = None
+                then
+                  violations :=
+                    {
+                      func = f.fname;
+                      block = b.label;
+                      instr = i.id;
+                      is_store = false;
+                      killer = !last_clobber;
+                    }
+                    :: !violations
+            | Ir.Store { ptr; size; _ } when Alias.needs_guard alias ptr ->
+                if
+                  Facts.query t !state ~block:b.label ptr ~size ~write:true
+                  = None
+                then
+                  violations :=
+                    {
+                      func = f.fname;
+                      block = b.label;
+                      instr = i.id;
+                      is_store = true;
+                      killer = !last_clobber;
+                    }
+                    :: !violations
+            | _ -> ()
+          end;
+          state := Facts.apply_instr t !state i)
+        b.instrs)
+    f.blocks;
+  List.rev !violations
+
+let check_module (m : Ir.modul) = List.concat_map check_func m.funcs
+
+exception Unsound of string list
+
+let enforce m =
+  match check_module m with
+  | [] -> ()
+  | vs -> raise (Unsound (List.map violation_to_string vs))
+
+(* -- elision witnesses -------------------------------------------------- *)
+
+(* Every guard the elision pass removes leaves a witness record: which
+   access lost its private guard, under which rule, justified by which
+   surviving guard sites. The verifier re-checks these records through
+   the dominator tree and loop structure — machinery independent of the
+   dataflow fixpoint that licensed the elision — so a bug in the
+   optimizer's lattice cannot silently vouch for itself. *)
+
+type rule = Same | Congruent | Range | Hoist
+
+type elision = { access : int; rule : rule; witness_ids : int list }
+
+let rule_to_string = function
+  | Same -> "same-pointer"
+  | Congruent -> "congruent-slot"
+  | Range -> "loop-range"
+  | Hoist -> "hoisted"
+
+let check_witnesses_func (f : Ir.func) (els : elision list) =
+  let errors = ref [] in
+  let err access fmt =
+    Format.kasprintf
+      (fun s ->
+        errors :=
+          Printf.sprintf "%s: bad elision witness for access %s: %s" f.fname
+            (Telemetry.Site.key_to_string
+               { Telemetry.Site.func = f.fname; instr = access })
+            s
+          :: !errors)
+      fmt
+  in
+  let where = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iteri
+        (fun pos (i : Ir.instr) -> Hashtbl.replace where i.id (b.label, pos, i))
+        b.instrs)
+    f.blocks;
+  let cfg = Cfg.build f in
+  let dom = Dominators.compute cfg in
+  let loop_info = Loops.analyze f in
+  let du = Defuse.build f in
+  let clobbers_between ~from_block ~from_pos ~to_block ~to_pos =
+    (* Scan the dominator chain from the access up to the witness: the
+       tail of the witness block, all chain blocks strictly between, and
+       the access block's prefix. Any custody clobber breaks the
+       justification. *)
+    let block_clobbers lbl lo hi =
+      let b = Ir.find_block f lbl in
+      List.exists
+        (fun (idx, (i : Ir.instr)) ->
+          idx > lo && idx < hi
+          &&
+          match i.kind with
+          | Ir.Call { callee; _ } -> Intrinsics.clobbers_custody callee
+          | _ -> false)
+        (List.mapi (fun idx i -> (idx, i)) b.instrs)
+    in
+    if from_block = to_block then block_clobbers from_block from_pos to_pos
+    else begin
+      let rec chain lbl acc =
+        if lbl = from_block then Some acc
+        else
+          match Dominators.idom dom lbl with
+          | Some up -> chain up (lbl :: acc)
+          | None -> None
+      in
+      match chain to_block [] with
+      | None -> true (* witness does not even dominate: reject *)
+      | Some between ->
+          block_clobbers from_block from_pos max_int
+          || block_clobbers to_block (-1) to_pos
+          || List.exists
+               (fun lbl ->
+                 lbl <> to_block && block_clobbers lbl (-1) max_int)
+               between
+    end
+  in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt where e.access with
+      | None -> err e.access "access instruction no longer exists"
+      | Some (ablock, apos, ai) -> begin
+          (match ai.kind with
+          | Ir.Load _ | Ir.Store _ -> ()
+          | _ -> err e.access "witnessed instruction is not a load/store");
+          if e.witness_ids = [] then err e.access "empty witness set";
+          List.iter
+            (fun wid ->
+              match Hashtbl.find_opt where wid with
+              | None -> err e.access "witness call %%%d no longer exists" wid
+              | Some (wblock, wpos, wi) -> begin
+                  match wi.kind with
+                  | Ir.Call { callee; _ }
+                    when Intrinsics.is_custody_source callee -> begin
+                      match e.rule with
+                      | Same | Congruent | Hoist ->
+                          if
+                            not
+                              (Dominators.dominates dom wblock ablock
+                              && (wblock <> ablock || wpos < apos))
+                          then
+                            err e.access
+                              "witness %%%d (%s) does not dominate the access"
+                              wid (rule_to_string e.rule)
+                          else if
+                            clobbers_between ~from_block:wblock
+                              ~from_pos:wpos ~to_block:ablock ~to_pos:apos
+                          then
+                            err e.access
+                              "custody clobbered between witness %%%d and \
+                               the access"
+                              wid
+                      | Range -> begin
+                          (* The witness guards a counted loop that runs
+                             all its iterations before the access's block
+                             is reachable: its header must dominate the
+                             access, the body must be clobber-free, and
+                             the trip count must be provably positive. *)
+                          match Loops.loop_of_block loop_info wblock with
+                          | None ->
+                              err e.access
+                                "range witness %%%d is not inside a loop" wid
+                          | Some loop ->
+                              if
+                                not
+                                  (Dominators.dominates dom loop.header
+                                     ablock)
+                              then
+                                err e.access
+                                  "range witness %%%d's loop does not \
+                                   dominate the access"
+                                  wid
+                              else begin
+                                let body_clobbers =
+                                  List.exists
+                                    (fun lbl ->
+                                      let b = Ir.find_block f lbl in
+                                      List.exists
+                                        (fun (i : Ir.instr) ->
+                                          match i.kind with
+                                          | Ir.Call { callee; _ } ->
+                                              Intrinsics.clobbers_custody
+                                                callee
+                                          | _ -> false)
+                                        b.instrs)
+                                    loop.body
+                                in
+                                if body_clobbers then
+                                  err e.access
+                                    "range witness %%%d's loop body clobbers \
+                                     custody"
+                                    wid;
+                                let positive_trip =
+                                  List.exists
+                                    (fun (iv : Induction.iv) ->
+                                      match
+                                        ( Induction.const_of du iv.init,
+                                          iv.bound )
+                                      with
+                                      | Some i0, Some b -> begin
+                                          match Induction.const_of du b with
+                                          | Some bnd ->
+                                              iv.step > 0 && i0 < bnd
+                                          | None -> false
+                                        end
+                                      | _ -> false)
+                                    (Induction.ivs_of_loop
+                                       (Induction.analyze f) loop)
+                                in
+                                if not positive_trip then
+                                  err e.access
+                                    "range witness %%%d's loop has no \
+                                     provably positive trip count"
+                                    wid
+                              end
+                        end
+                    end
+                  | _ ->
+                      err e.access "witness %%%d is not a guard/chunk call"
+                        wid
+                end)
+            e.witness_ids
+        end)
+    els;
+  List.rev !errors
+
+let check_witnesses (m : Ir.modul) (els : (string * elision) list) =
+  List.concat_map
+    (fun (f : Ir.func) ->
+      let mine = List.filter_map
+          (fun (fname, e) -> if fname = f.fname then Some e else None)
+          els
+      in
+      if mine = [] then [] else check_witnesses_func f mine)
+    m.funcs
+
+let enforce_witnesses m els =
+  match check_witnesses m els with [] -> () | errs -> raise (Unsound errs)

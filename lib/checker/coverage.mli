@@ -1,0 +1,55 @@
+(** Guard-coverage verifier (sanitizer for transformed IR).
+
+    Proves every may-heap load/store is covered by available custody: a
+    guard or chunk access on the same bytes dominates it along every
+    path with no intervening clobber ({!Facts}). Violations carry the
+    offending instruction in guard-site attribution form
+    ({!Telemetry.Site}); the pipeline raises {!Unsound} on any, so a
+    transform bug fails compilation instead of becoming a silent
+    far-memory crash. *)
+
+type violation = {
+  func : string;
+  block : string;
+  instr : int;  (** the unguarded access *)
+  is_store : bool;
+  killer : int option;
+      (** closest preceding custody clobber in the same block, if any *)
+}
+
+val violation_site : violation -> Telemetry.Site.key
+val violation_to_string : violation -> string
+
+val check_func : Ir.func -> violation list
+val check_module : Ir.modul -> violation list
+
+exception Unsound of string list
+
+val enforce : Ir.modul -> unit
+(** Raises {!Unsound} with formatted violations when the module has
+    any uncovered may-heap access. *)
+
+(** {1 Elision witnesses}
+
+    Every guard the elision pass deletes leaves a record naming the
+    access that lost its private guard, the rule used, and the surviving
+    witness guard sites. These are re-checked through dominators and
+    loop structure — independent machinery from the dataflow fixpoint
+    that licensed the deletion. *)
+
+type rule =
+  | Same  (** dominating guard on the same SSA pointer *)
+  | Congruent  (** widened guard on the same (base, index, scale) slot *)
+  | Range  (** counted loop already guarded the whole interval *)
+  | Hoist  (** guard moved to the loop preheader *)
+
+type elision = { access : int; rule : rule; witness_ids : int list }
+
+val rule_to_string : rule -> string
+
+val check_witnesses : Ir.modul -> (string * elision) list -> string list
+(** Returns human-readable errors for witness records that no longer
+    justify their elision; empty means all records check out. *)
+
+val enforce_witnesses : Ir.modul -> (string * elision) list -> unit
+(** Raises {!Unsound} when any witness record fails re-checking. *)

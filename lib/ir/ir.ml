@@ -34,7 +34,7 @@ type terminator =
   | Ret of value option
   | Unreachable
 
-type instr = { id : int; kind : kind }
+type instr = { id : int; mutable kind : kind }
 
 type block = {
   label : string;

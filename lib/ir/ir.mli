@@ -52,7 +52,7 @@ type terminator =
   | Ret of value option
   | Unreachable
 
-type instr = { id : int; kind : kind }
+type instr = { id : int; mutable kind : kind }
 (** [id] doubles as the SSA register this instruction defines; instructions
     with no result (stores, void calls) still get a unique id. *)
 

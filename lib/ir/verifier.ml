@@ -56,6 +56,19 @@ let check_func (f : Ir.func) =
                 if not (List.mem size [ 1; 2; 4; 8 ]) then
                   fail "%s/%s: bad access size %d" f.fname b.label size;
                 seen_non_phi := true
+            | Ir.Call { callee; args } ->
+                (* Runtime-ABI intrinsics must be structurally sound
+                   (arity, pointer-typed pointer operand, constant
+                   size/handle) — a malformed guard is a broken
+                   transform, not a semantic edge case. *)
+                begin
+                  match Intrinsics.check_call ~callee ~args with
+                  | Some msg ->
+                      fail "%s/%s: malformed intrinsic call %%%d: %s" f.fname
+                        b.label i.id msg
+                  | None -> ()
+                end;
+                seen_non_phi := true
             | _ -> seen_non_phi := true
           end;
           List.iter (check_value b.label) (Ir.instr_operands i.kind))

@@ -17,10 +17,10 @@ type report = {
   chunk_sites : int;
 }
 
-let chunk_init_name = "!tfm_chunk_init"
-let chunk_access_read_name = "tfm_chunk_access_read"
-let chunk_access_write_name = "tfm_chunk_access_write"
-let chunk_end_name = "!tfm_chunk_end"
+let chunk_init_name = Intrinsics.chunk_init
+let chunk_access_read_name = Intrinsics.chunk_access_read
+let chunk_access_write_name = Intrinsics.chunk_access_write
+let chunk_end_name = Intrinsics.chunk_end
 
 (* Group the loop's strided accesses by (base pointer, stride, constant
    displacement): each group becomes one chunked stream with its own

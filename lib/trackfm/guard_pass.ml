@@ -5,8 +5,20 @@ type report = {
   skipped_chunked : int;
 }
 
-let guard_read_name = "tfm_guard_read"
-let guard_write_name = "tfm_guard_write"
+let guard_read_name = Intrinsics.guard_read
+let guard_write_name = Intrinsics.guard_write
+
+let all_accesses (f : Ir.func) =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.filter_map
+        (fun (i : Ir.instr) ->
+          match i.kind with
+          | Ir.Load _ -> Some (i.id, false)
+          | Ir.Store _ -> Some (i.id, true)
+          | _ -> None)
+        b.instrs)
+    f.blocks
 
 let analyze (f : Ir.func) =
   let alias = Tfm_analysis.Alias.analyze f in

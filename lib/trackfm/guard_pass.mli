@@ -15,6 +15,12 @@ type report = {
   skipped_chunked : int;
 }
 
+val all_accesses : Ir.func -> (int * bool) list
+(** Every load/store in one function: (instruction id, is_store). Each
+    lands in exactly one {!report} bucket when {!run} processes it, so
+    [guarded_loads + guarded_stores + skipped_non_heap + skipped_chunked]
+    over a module equals the total across its functions. *)
+
 val analyze : Ir.func -> (int * bool) list
 (** Eligible accesses in one function: (instruction id, is_store). *)
 

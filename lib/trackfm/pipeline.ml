@@ -3,6 +3,8 @@ type config = {
   chunk_mode : Chunk_pass.mode;
   profile : Profile.t option;
   cost : Cost_model.t;
+  elide : bool;
+  check : bool;
   dump_after : (string -> Ir.modul -> unit) option;
 }
 
@@ -12,12 +14,15 @@ let default_config =
     chunk_mode = `Gated;
     profile = None;
     cost = Cost_model.default;
+    elide = true;
+    check = true;
     dump_after = None;
   }
 
 type report = {
   guards : Guard_pass.report;
   chunks : Chunk_pass.report;
+  elision : Elide_pass.report;
   libc_rewrites : int;
   init_inserted : bool;
   ir_instrs_before : int;
@@ -47,12 +52,31 @@ let run config (m : Ir.modul) =
   let guards = Guard_pass.run ~exclude:chunks.Chunk_pass.covered m in
   Verifier.check_module m;
   dump "guard-transform";
+  let elision =
+    if config.elide then begin
+      let e = Elide_pass.run ~object_size:config.object_size m in
+      Verifier.check_module m;
+      dump "guard-elision";
+      e
+    end
+    else Elide_pass.empty
+  in
+  (* The checker proves every may-heap access is still covered after the
+     optimizer ran, and independently re-verifies each deletion's
+     witness record. A transform bug fails compilation here instead of
+     becoming a silent far-memory crash. *)
+  if config.check then begin
+    Tfm_checker.Coverage.enforce m;
+    Tfm_checker.Coverage.enforce_witnesses m elision.Elide_pass.elisions
+  end;
   let libc_rewrites = Libc_pass.run m in
   Verifier.check_module m;
   dump "libc-transform";
+  if config.check then Tfm_checker.Coverage.enforce m;
   {
     guards;
     chunks;
+    elision;
     libc_rewrites;
     init_inserted;
     ir_instrs_before;

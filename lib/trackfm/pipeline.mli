@@ -2,26 +2,35 @@
 
     Applies, in order: runtime initialization, loop chunking analysis and
     transform (with the configured gate), guard check analysis and
-    transform over the remaining accesses, and the libc transformation.
-    The module is verified after every stage — a pass that breaks IR
-    well-formedness is a compiler bug and raises. *)
+    transform over the remaining accesses, redundant-guard elision and
+    hoisting ({!Elide_pass}), and the libc transformation. The module is
+    verified after every stage — a pass that breaks IR well-formedness
+    is a compiler bug and raises — and the guard-coverage checker
+    ({!Tfm_checker.Coverage}) proves every may-heap access is still
+    covered after the optimizer ran. *)
 
 type config = {
   object_size : int;          (** compile-time AIFM object size choice *)
   chunk_mode : Chunk_pass.mode;
   profile : Profile.t option; (** enables the profiled chunking gate *)
   cost : Cost_model.t;
+  elide : bool;  (** run redundant-guard elimination + hoisting *)
+  check : bool;
+      (** run the guard-coverage checker and witness re-verification
+          after elision and again after libc lowering *)
   dump_after : (string -> Ir.modul -> unit) option;
       (** compiler-debugging hook ("-print-after-all"): called with the
           pass name and the module after each stage *)
 }
 
 val default_config : config
-(** 4 KiB objects, gated chunking, no profile, default cost model. *)
+(** 4 KiB objects, gated chunking, no profile, default cost model,
+    elision and checking on. *)
 
 type report = {
   guards : Guard_pass.report;
   chunks : Chunk_pass.report;
+  elision : Elide_pass.report;
   libc_rewrites : int;
   init_inserted : bool;
   ir_instrs_before : int;
@@ -32,7 +41,9 @@ type report = {
 }
 
 val run : config -> Ir.modul -> report
-(** Transforms the module in place. *)
+(** Transforms the module in place. Raises {!Tfm_checker.Coverage.Unsound}
+    when [check] is on and a may-heap access is left uncovered or an
+    elision witness fails re-verification. *)
 
 val code_growth : report -> float
 (** Lowered-size ratio after/before — the paper reports an average of

@@ -9,6 +9,7 @@ type tfm_opts = {
   prefetch : bool;
   use_state_table : bool;
   profile_gate : bool;
+  elide_guards : bool;
   size_classes : (int * int * float) list;
   faults : Faults.t;
   replicas : int;
@@ -23,6 +24,7 @@ let tfm_defaults ~local_budget =
     prefetch = true;
     use_state_table = true;
     profile_gate = true;
+    elide_guards = true;
     size_classes = [];
     faults = Faults.disabled;
     replicas = 1;
@@ -105,6 +107,8 @@ let run_trackfm ?(cost = Cost_model.default) ?(blobs = [])
       chunk_mode = opts.chunk_mode;
       profile;
       cost;
+      elide = opts.elide_guards;
+      check = true;
       dump_after = None;
     }
   in
@@ -155,6 +159,7 @@ let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
         prefetch = true;
         use_state_table = true;
         profile_gate = false;
+        elide_guards = true;
         size_classes = [];
         faults = Faults.disabled;
         replicas = 1;

@@ -25,6 +25,10 @@ type tfm_opts = {
   profile_gate : bool;
       (** run the workload once uninstrumented on the local backend to
           collect block frequencies for the cost-model gate *)
+  elide_guards : bool;
+      (** run redundant-guard elimination and hoisting
+          ({!Trackfm.Elide_pass}); the coverage checker runs either
+          way *)
   size_classes : (int * int * float) list;
       (** multi-object-size extension: forwarded to
           {!Trackfm.Runtime.create}; empty (default) = single class of

@@ -199,6 +199,69 @@ let test_alias_phi_join () =
      sorts it out at run time) *)
   Alcotest.(check bool) "mixed phi guarded" true (Alias.needs_guard al mixed)
 
+let test_alias_select_join () =
+  let m = Ir.create_module () in
+  Ir.add_global m "g" 64;
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let heap = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let stack = Builder.alloca b 16 in
+  (* same-class select stays in its class; mixed select joins to Unknown *)
+  let both_stack = Builder.select b (Ir.Const 1) stack stack in
+  let mixed = Builder.select b (Ir.Const 1) heap stack in
+  let heap_or_global = Builder.select b (Ir.Const 0) heap (Ir.Sym "g") in
+  ignore (Builder.load b both_stack);
+  ignore (Builder.load b mixed);
+  ignore (Builder.load b heap_or_global);
+  Builder.ret b None;
+  Verifier.check_module m;
+  let al = Alias.analyze (Ir.find_func m "f") in
+  Alcotest.(check bool) "stack/stack select unguarded" false
+    (Alias.needs_guard al both_stack);
+  Alcotest.(check bool) "heap/stack select guarded" true
+    (Alias.needs_guard al mixed);
+  Alcotest.(check bool) "heap/global select guarded" true
+    (Alias.needs_guard al heap_or_global)
+
+let test_alias_loaded_pointer_chain () =
+  (* a pointer loaded from memory is Unknown; gep chains off it must
+     stay guarded no matter how deep *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let table = Builder.call b "malloc" [ Ir.Const 128 ] in
+  let slot = Builder.gep b table ~index:(Ir.Const 2) ~scale:8 () in
+  let indirect = Builder.load b slot in
+  let g1 = Builder.gep b indirect ~index:(Ir.Const 1) ~scale:8 () in
+  let g2 = Builder.gep b g1 ~index:(Ir.Const 3) ~scale:8 ~offset:4 () in
+  ignore (Builder.load b g2);
+  Builder.ret b None;
+  Verifier.check_module m;
+  let al = Alias.analyze (Ir.find_func m "f") in
+  Alcotest.(check bool) "loaded pointer guarded" true
+    (Alias.needs_guard al indirect);
+  Alcotest.(check bool) "gep chain off loaded pointer guarded" true
+    (Alias.needs_guard al g2)
+
+let test_alias_needs_guard_per_class () =
+  let m = Ir.create_module () in
+  Ir.add_global m "g" 8;
+  let b = Builder.create m ~name:"f" ~nparams:1 in
+  let heap = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let stack = Builder.alloca b 8 in
+  ignore (Builder.load b heap);
+  ignore (Builder.load b stack);
+  ignore (Builder.load b (Ir.Sym "g"));
+  ignore (Builder.load b (Builder.arg 0));
+  Builder.ret b None;
+  Verifier.check_module m;
+  let al = Alias.analyze (Ir.find_func m "f") in
+  let check name v expect =
+    Alcotest.(check bool) name expect (Alias.needs_guard al v)
+  in
+  check "Heap guarded" heap true;
+  check "Stack unguarded" stack false;
+  check "Global unguarded" (Ir.Sym "g") false;
+  check "Arg (Unknown) guarded" (Builder.arg 0) true
+
 let test_profile_trip_counts () =
   let p = Profile.create () in
   Profile.add_block p ~func:"f" ~block:"pre" 10;
@@ -299,6 +362,11 @@ let suite =
         test_induction_while_has_no_governing_iv;
       Alcotest.test_case "alias classes" `Quick test_alias_classes;
       Alcotest.test_case "alias phi join" `Quick test_alias_phi_join;
+      Alcotest.test_case "alias select join" `Quick test_alias_select_join;
+      Alcotest.test_case "alias loaded pointer chain" `Quick
+        test_alias_loaded_pointer_chain;
+      Alcotest.test_case "alias needs_guard per class" `Quick
+        test_alias_needs_guard_per_class;
       Alcotest.test_case "profile trips" `Quick test_profile_trip_counts;
       Alcotest.test_case "profile empty" `Quick test_profile_never_entered;
       Alcotest.test_case "liveness loop" `Quick test_liveness_simple_loop;

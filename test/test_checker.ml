@@ -1,0 +1,409 @@
+(* Tests for the static-analysis suite: the guard-coverage verifier
+   (negative cases must be flagged with the offending instruction), the
+   elision-witness re-check, the verifier's intrinsic-call validation,
+   and the guard optimizer's rewrites (same-pointer, congruent widening,
+   RMW upgrade, hoisting, loop-range) — each checked both structurally
+   and through the checker that has to re-prove it. *)
+
+module Coverage = Tfm_checker.Coverage
+module Elide = Trackfm.Elide_pass
+
+let guard_read = Trackfm.Guard_pass.guard_read_name
+let guard_write = Trackfm.Guard_pass.guard_write_name
+
+let count_guards (m : Ir.modul) =
+  List.fold_left
+    (fun acc (f : Ir.func) ->
+      List.fold_left
+        (fun acc (b : Ir.block) ->
+          List.fold_left
+            (fun acc (i : Ir.instr) ->
+              match i.kind with
+              | Ir.Call { callee; _ }
+                when callee = guard_read || callee = guard_write ->
+                  acc + 1
+              | _ -> acc)
+            acc b.instrs)
+        acc f.blocks)
+    0 m.funcs
+
+(* -- negative coverage cases: the checker must flag these ------------- *)
+
+let test_checker_flags_missing_guard () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let v = Builder.load b p in
+  (* no guard anywhere *)
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  let load_id = match v with Ir.Reg id -> id | _ -> assert false in
+  let malloc_id = match p with Ir.Reg id -> id | _ -> assert false in
+  match Coverage.check_module m with
+  | [ viol ] ->
+      Alcotest.(check int) "offending instruction" load_id viol.Coverage.instr;
+      Alcotest.(check bool) "is a load" false viol.Coverage.is_store;
+      (* the closest preceding custody clobber is the allocation itself *)
+      Alcotest.(check bool) "killer is the malloc" true
+        (viol.Coverage.killer = Some malloc_id)
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_checker_flags_wrong_pointer_guard () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let q = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ q; Ir.Const 8 ]);
+  let v = Builder.load b p in
+  (* guarded q, accessed p *)
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  let load_id = match v with Ir.Reg id -> id | _ -> assert false in
+  match Coverage.check_module m with
+  | [ viol ] ->
+      Alcotest.(check int) "offending instruction" load_id viol.Coverage.instr
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_checker_flags_guard_killed_by_call () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.load b p);
+  (* fine: guarded *)
+  let killer = Builder.call b "opaque_helper" [] in
+  let v = Builder.load b p in
+  (* custody died at the opaque call *)
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  let load_id = match v with Ir.Reg id -> id | _ -> assert false in
+  let killer_id = match killer with Ir.Reg id -> id | _ -> assert false in
+  match Coverage.check_module m with
+  | [ viol ] ->
+      Alcotest.(check int) "offending instruction" load_id viol.Coverage.instr;
+      Alcotest.(check bool) "killer attributed" true
+        (viol.Coverage.killer = Some killer_id)
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_checker_accepts_guarded_access () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  let v = Builder.load b p in
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  Alcotest.(check int) "no violations" 0
+    (List.length (Coverage.check_module m));
+  Coverage.enforce m (* must not raise *)
+
+(* -- verifier intrinsic validation ------------------------------------ *)
+
+let expect_ill_formed name build =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  build b;
+  Builder.ret b None;
+  match Verifier.check_module m with
+  | () -> Alcotest.failf "%s: expected Ill_formed" name
+  | exception Verifier.Ill_formed _ -> ()
+
+let test_verifier_rejects_malformed_intrinsics () =
+  expect_ill_formed "guard arity" (fun b ->
+      let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+      ignore (Builder.call b guard_read [ p ]));
+  expect_ill_formed "guard float pointer" (fun b ->
+      ignore (Builder.call b guard_read [ Ir.Constf 1.0; Ir.Const 8 ]));
+  expect_ill_formed "guard non-positive size" (fun b ->
+      let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+      ignore (Builder.call b guard_write [ p; Ir.Const 0 ]));
+  expect_ill_formed "chunk_end non-const handle" (fun b ->
+      let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+      ignore (Builder.call b "!tfm_chunk_end" [ p ]))
+
+let test_verifier_accepts_wellformed_intrinsics () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.call b guard_write [ p; Ir.Const 16 ]);
+  ignore (Builder.load b p);
+  Builder.ret b None;
+  Verifier.check_module m
+
+(* -- elision rewrites -------------------------------------------------- *)
+
+let test_elide_same_pointer () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.load b p);
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.load b p);
+  Builder.ret b None;
+  Verifier.check_module m;
+  let r = Elide.run ~object_size:4096 m in
+  Alcotest.(check int) "one same-pointer elision" 1 r.Elide.elided_same;
+  Alcotest.(check int) "one guard left" 1 (count_guards m);
+  Coverage.enforce m;
+  Coverage.enforce_witnesses m r.Elide.elisions
+
+let test_elide_rmw_upgrade () =
+  (* load x; store f(x) through the same pointer: the read guard is
+     promoted to a write guard and the separate write guard goes away *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  let v = Builder.load b p in
+  ignore (Builder.call b guard_write [ p; Ir.Const 8 ]);
+  Builder.store b (Builder.add b v (Ir.Const 1)) ~ptr:p;
+  Builder.ret b None;
+  Verifier.check_module m;
+  let r = Elide.run ~object_size:4096 m in
+  Alcotest.(check int) "upgrade happened" 1 r.Elide.upgraded;
+  Alcotest.(check int) "write guard elided" 1 r.Elide.elided_same;
+  Alcotest.(check int) "one guard left" 1 (count_guards m);
+  let f = Ir.find_func m "main" in
+  let surviving_is_write =
+    List.exists
+      (fun (b : Ir.block) ->
+        List.exists
+          (fun (i : Ir.instr) ->
+            match i.kind with
+            | Ir.Call { callee; _ } -> callee = guard_write
+            | _ -> false)
+          b.instrs)
+      f.blocks
+  in
+  Alcotest.(check bool) "survivor is a write guard" true surviving_is_write;
+  Coverage.enforce m;
+  Coverage.enforce_witnesses m r.Elide.elisions
+
+let test_elide_congruent_widening () =
+  (* guards on two fields of one struct (same base, constant offsets):
+     the first widens to span both, the second is deleted *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.load b p);
+  let field1 = Builder.gep b p ~index:(Ir.Const 1) ~scale:8 () in
+  ignore (Builder.call b guard_read [ field1; Ir.Const 8 ]);
+  ignore (Builder.load b field1);
+  Builder.ret b None;
+  Verifier.check_module m;
+  let r = Elide.run ~object_size:4096 m in
+  Alcotest.(check int) "widened" 1 r.Elide.widened;
+  Alcotest.(check int) "congruent elision" 1 r.Elide.elided_congruent;
+  Alcotest.(check int) "one guard left" 1 (count_guards m);
+  (* the surviving guard spans both fields *)
+  let f = Ir.find_func m "main" in
+  let sixteen =
+    List.exists
+      (fun (b : Ir.block) ->
+        List.exists
+          (fun (i : Ir.instr) ->
+            match i.kind with
+            | Ir.Call { callee; args = [ _; Ir.Const 16 ] } ->
+                callee = guard_read
+            | _ -> false)
+          b.instrs)
+      f.blocks
+  in
+  Alcotest.(check bool) "survivor widened to 16 bytes" true sixteen;
+  Coverage.enforce m;
+  Coverage.enforce_witnesses m r.Elide.elisions
+
+let test_elide_hoists_invariant_guard () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let sums =
+    Builder.for_loop_acc b ~init:(Ir.Const 0) ~bound:(Ir.Const 100)
+      ~accs:[ Ir.Const 0 ]
+      (fun b ~iv:_ ~accs ->
+        ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+        let v = Builder.load b p in
+        [ Builder.add b (List.hd accs) v ])
+  in
+  Builder.ret b (Some (List.hd sums));
+  Verifier.check_module m;
+  let r = Elide.run ~object_size:4096 m in
+  Alcotest.(check int) "hoisted" 1 r.Elide.hoisted;
+  Alcotest.(check int) "one guard total" 1 (count_guards m);
+  (* the loop body no longer contains the guard *)
+  let f = Ir.find_func m "main" in
+  let li = Loops.analyze f in
+  let loop = List.hd (Loops.loops li) in
+  let body_guards =
+    List.fold_left
+      (fun acc lbl ->
+        let blk = Ir.find_block f lbl in
+        List.fold_left
+          (fun acc (i : Ir.instr) ->
+            match i.kind with
+            | Ir.Call { callee; _ } when callee = guard_read -> acc + 1
+            | _ -> acc)
+          acc blk.instrs)
+      0 loop.Loops.body
+  in
+  Alcotest.(check int) "loop body guard-free" 0 body_guards;
+  Coverage.enforce m;
+  Coverage.enforce_witnesses m r.Elide.elisions
+
+(* -- loop-range elision, end to end through the pipeline --------------- *)
+
+let two_pass_program () =
+  (* write arr[i] in one counted loop, read it back in a second: the
+     second loop's guards are covered by the first loop's range fact *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let n = 200 in
+  let arr = Builder.call b "malloc" [ Ir.Const (n * 8) ] in
+  Builder.for_loop b ~hint:"fill" ~init:(Ir.Const 0) ~bound:(Ir.Const n)
+    (fun b iv ->
+      Builder.store b iv ~ptr:(Builder.gep b arr ~index:iv ~scale:8 ()));
+  let sums =
+    Builder.for_loop_acc b ~hint:"sum" ~init:(Ir.Const 0) ~bound:(Ir.Const n)
+      ~accs:[ Ir.Const 0 ]
+      (fun b ~iv ~accs ->
+        let v = Builder.load b (Builder.gep b arr ~index:iv ~scale:8 ()) in
+        [ Builder.add b (List.hd accs) v ])
+  in
+  Builder.ret b (Some (List.hd sums));
+  Verifier.check_module m;
+  m
+
+let run_pipeline_and_interp ~elide m =
+  let report =
+    Trackfm.Pipeline.run
+      { Trackfm.Pipeline.default_config with chunk_mode = `Off; elide }
+      m
+  in
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let rt =
+    Trackfm.Runtime.create Cost_model.default clock store ~object_size:4096
+      ~local_budget:(64 * 4096)
+  in
+  let res = Interp.run (Backend.trackfm rt store) m ~entry:"main" in
+  (res.Interp.ret, Clock.get clock "tfm.fast_guards" + Clock.get clock "tfm.slow_guards", report)
+
+let test_elide_range_across_loops () =
+  let plain_ret, plain_guards, _ =
+    run_pipeline_and_interp ~elide:false (two_pass_program ())
+  in
+  let opt_ret, opt_guards, report =
+    run_pipeline_and_interp ~elide:true (two_pass_program ())
+  in
+  Alcotest.(check int) "results identical" plain_ret opt_ret;
+  Alcotest.(check bool) "range elision fired" true
+    (report.Trackfm.Pipeline.elision.Elide.elided_range >= 1);
+  Alcotest.(check bool) "dynamic guards reduced" true
+    (opt_guards < plain_guards)
+
+(* -- witness independence: tampering is caught ------------------------- *)
+
+let test_witness_recheck_rejects_tampering () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.load b p);
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.load b p);
+  Builder.ret b None;
+  let r = Elide.run ~object_size:4096 m in
+  Alcotest.(check int) "elided" 1 (Elide.total_elided r);
+  (* now delete the surviving witness guard behind the optimizer's back *)
+  let f = Ir.find_func m "main" in
+  List.iter
+    (fun (blk : Ir.block) ->
+      blk.instrs <-
+        List.filter
+          (fun (i : Ir.instr) ->
+            match i.kind with
+            | Ir.Call { callee; _ } -> callee <> guard_read
+            | _ -> true)
+          blk.instrs)
+    f.blocks;
+  Alcotest.(check bool) "witness re-check fails" true
+    (Coverage.check_witnesses m r.Elide.elisions <> []);
+  Alcotest.(check bool) "coverage fails too" true
+    (Coverage.check_module m <> [])
+
+(* -- guard pass report invariant --------------------------------------- *)
+
+let test_guard_report_invariant () =
+  let builds =
+    [
+      ("stream-sum", fun () -> Workloads.Stream.build ~n:2_000 ~kernel:Workloads.Stream.Sum ());
+      ("stream-copy", fun () -> Workloads.Stream.build ~n:2_000 ~kernel:Workloads.Stream.Copy ());
+      ( "kmeans",
+        fun () ->
+          Workloads.Kmeans.build (Workloads.Kmeans.default_params ~n:500) () );
+      ( "analytics",
+        fun () ->
+          Workloads.Analytics.build
+            (Workloads.Analytics.default_params ~rows:500)
+            () );
+    ]
+  in
+  List.iter
+    (fun (name, build) ->
+      List.iter
+        (fun mode ->
+          let m = build () in
+          ignore (Trackfm.Init_pass.run m);
+          let chunks =
+            Trackfm.Chunk_pass.run Cost_model.default ~object_size:4096 ~mode m
+          in
+          let total =
+            List.fold_left
+              (fun acc f ->
+                acc + List.length (Trackfm.Guard_pass.all_accesses f))
+              0 m.Ir.funcs
+          in
+          let r = Trackfm.Guard_pass.run ~exclude:chunks.Trackfm.Chunk_pass.covered m in
+          let sum =
+            r.Trackfm.Guard_pass.guarded_loads
+            + r.Trackfm.Guard_pass.guarded_stores
+            + r.Trackfm.Guard_pass.skipped_non_heap
+            + r.Trackfm.Guard_pass.skipped_chunked
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: report buckets partition the accesses" name)
+            total sum)
+        [ `Off; `Gated; `All ])
+    builds
+
+let suite =
+  ( "checker",
+    [
+      Alcotest.test_case "flags missing guard" `Quick
+        test_checker_flags_missing_guard;
+      Alcotest.test_case "flags wrong-pointer guard" `Quick
+        test_checker_flags_wrong_pointer_guard;
+      Alcotest.test_case "flags guard killed by call" `Quick
+        test_checker_flags_guard_killed_by_call;
+      Alcotest.test_case "accepts guarded access" `Quick
+        test_checker_accepts_guarded_access;
+      Alcotest.test_case "verifier rejects malformed intrinsics" `Quick
+        test_verifier_rejects_malformed_intrinsics;
+      Alcotest.test_case "verifier accepts well-formed intrinsics" `Quick
+        test_verifier_accepts_wellformed_intrinsics;
+      Alcotest.test_case "elide same pointer" `Quick test_elide_same_pointer;
+      Alcotest.test_case "elide RMW upgrade" `Quick test_elide_rmw_upgrade;
+      Alcotest.test_case "elide congruent widening" `Quick
+        test_elide_congruent_widening;
+      Alcotest.test_case "elide hoists invariant guard" `Quick
+        test_elide_hoists_invariant_guard;
+      Alcotest.test_case "range elision across loops" `Quick
+        test_elide_range_across_loops;
+      Alcotest.test_case "witness re-check rejects tampering" `Quick
+        test_witness_recheck_rejects_tampering;
+      Alcotest.test_case "guard report invariant" `Quick
+        test_guard_report_invariant;
+    ] )

@@ -124,6 +124,8 @@ let run_tfm ?size_classes m ~object_size ~budget ~chunk_mode =
       chunk_mode;
       profile = None;
       cost = Cost_model.default;
+      elide = true;
+      check = true;
       dump_after = None;
     }
   in

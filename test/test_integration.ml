@@ -8,9 +8,15 @@ let test_claim_chunking_speeds_up_stream () =
   let n = 50_000 in
   let ws = Stream.working_set_bytes ~n ~kernel:Stream.Sum () in
   let budget = ws / 4 in
+  (* elision off: the claim compares chunking against *naive* per-access
+     guards, which the guard optimizer would otherwise remove itself *)
   let run mode =
     let opts =
-      { (Driver.tfm_defaults ~local_budget:budget) with Driver.chunk_mode = mode }
+      {
+        (Driver.tfm_defaults ~local_budget:budget) with
+        Driver.chunk_mode = mode;
+        elide_guards = false;
+      }
     in
     (fst (Driver.run_trackfm (fun () -> Stream.build ~n ~kernel:Stream.Sum ()) opts))
       .Driver.cycles
@@ -222,6 +228,9 @@ let test_guard_counts_scale_with_accesses () =
       {
         (Driver.tfm_defaults ~local_budget:ws) with
         Driver.chunk_mode = `Off;
+        (* raw per-access guard volume; range elision would hoist the
+           whole loop's custody and break the linear scaling on purpose *)
+        elide_guards = false;
       }
     in
     let o, _ =

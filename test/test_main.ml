@@ -11,6 +11,7 @@ let () =
       Test_fastswap.suite;
       Test_shenango.suite;
       Test_trackfm.suite;
+      Test_checker.suite;
       Test_opt.suite;
       Test_interp.suite;
       Test_workloads.suite;

@@ -209,11 +209,11 @@ let test_licm_reduces_guards () =
     if hoist then ignore (Tfm_opt.Opt.run_o1 m);
     m
   in
-  let guards hoist =
+  let guards ?(elide = false) hoist =
     let m = build hoist () in
     let r =
       Trackfm.Pipeline.run
-        { Trackfm.Pipeline.default_config with chunk_mode = `Off }
+        { Trackfm.Pipeline.default_config with chunk_mode = `Off; elide }
         m
     in
     ignore r;
@@ -228,7 +228,12 @@ let test_licm_reduces_guards () =
     Clock.get clock "tfm.fast_guards" + Clock.get clock "tfm.slow_guards"
   in
   let without = guards false and with_o1 = guards true in
-  Alcotest.(check bool) "dynamic guards collapse" true (with_o1 < without / 100)
+  Alcotest.(check bool) "dynamic guards collapse" true (with_o1 < without / 100);
+  (* guard hoisting reaches the same collapse with no O1 LICM at all: the
+     in-loop guard on the invariant pointer moves to the preheader *)
+  let with_elision = guards ~elide:true false in
+  Alcotest.(check bool) "elision collapses guards too" true
+    (with_elision < without / 100)
 
 
 

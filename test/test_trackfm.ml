@@ -473,7 +473,10 @@ let test_pipeline_dump_after () =
   in
   ignore (Trackfm.Pipeline.run config m);
   Alcotest.(check (list string)) "pass order"
-    [ "runtime-init"; "loop-chunking"; "guard-transform"; "libc-transform" ]
+    [
+      "runtime-init"; "loop-chunking"; "guard-transform"; "guard-elision";
+      "libc-transform";
+    ]
     (List.rev !seen)
 
 let suite =
