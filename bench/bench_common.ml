@@ -42,7 +42,7 @@ let print_expectation ~paper ~ours =
 (* Run a workload under TrackFM with given options; returns outcome. *)
 let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
     ?(use_state_table = true) ?(profile_gate = true) ?(elide = true)
-    ?(size_classes = []) ?faults ~budget build =
+    ?(summaries = true) ?(size_classes = []) ?faults ~budget build =
   let faults =
     match faults with Some f -> f | None -> active_faults ()
   in
@@ -55,6 +55,7 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
       use_state_table;
       profile_gate;
       elide_guards = elide;
+      use_summaries = summaries;
       size_classes;
       faults;
       replicas = !replicas;
@@ -64,7 +65,7 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
   fst (Driver.run_trackfm ?blobs build opts)
 
 let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
-    ?(profile_gate = true) ?(elide = true) ~budget build =
+    ?(profile_gate = true) ?(elide = true) ?(summaries = true) ~budget build =
   let opts =
     {
       Driver.object_size;
@@ -74,6 +75,7 @@ let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
       use_state_table = true;
       profile_gate;
       elide_guards = elide;
+      use_summaries = summaries;
       size_classes = [];
       faults = active_faults ();
       replicas = !replicas;

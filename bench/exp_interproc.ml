@@ -1,0 +1,117 @@
+(* Interprocedural elision study: what the call-graph summaries buy.
+
+   Each row runs the full pipeline twice with the optimizer ON — once
+   with interprocedural summaries disabled (every call to a non-intrinsic
+   function conservatively clobbers guard custody and returns unknown
+   provenance) and once with them enabled (calls proven
+   custody-preserving let dataflow facts survive; wrapper allocators and
+   pure helpers classify precisely). The checksum must be bit-identical
+   either way: summaries only widen what the elision analyses may prove,
+   and every elision still carries a witness the coverage checker
+   re-verifies through its own summary-independent path. *)
+
+open Bench_common
+
+let interproc_elision () =
+  let t =
+    Tfm_util.Table.create
+      ~title:
+        "interprocedural elision: dynamic guard events, summaries off vs on \
+         (optimizer on in both)"
+      ~columns:
+        [
+          "workload";
+          "static w/o";
+          "static w/";
+          "dyn guards w/o";
+          "dyn guards w/";
+          "dyn reduction";
+          "cycles w/o";
+          "cycles w/";
+        ]
+  in
+  let static_guards (r : Trackfm.Pipeline.report) =
+    r.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_loads
+    + r.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_stores
+    - Trackfm.Elide_pass.total_elided r.Trackfm.Pipeline.elision
+    + r.Trackfm.Pipeline.elision.Trackfm.Elide_pass.hoisted
+  in
+  let dynamic_guards (o : Driver.outcome) =
+    Driver.counter o "tfm.fast_guards"
+    + Driver.counter o "tfm.slow_guards"
+    + Driver.counter o "tfm.custody_skips"
+  in
+  let row name ?blobs ~chunk_mode ~ws build =
+    let budget = budget_of ws 100 in
+    let off, r_off =
+      tfm_with_report ?blobs ~chunk_mode ~profile_gate:false ~elide:true
+        ~summaries:false ~budget build
+    in
+    let on, r_on =
+      tfm_with_report ?blobs ~chunk_mode ~profile_gate:false ~elide:true
+        ~summaries:true ~budget build
+    in
+    assert (off.Driver.ret = on.Driver.ret);
+    let g_off = dynamic_guards off and g_on = dynamic_guards on in
+    let reduction =
+      if g_off = 0 then 0.0
+      else 100.0 *. float_of_int (g_off - g_on) /. float_of_int g_off
+    in
+    Tfm_util.Table.add_rowf t "%s | %d | %d | %d | %d | %.1f%% | %d | %d" name
+      (static_guards r_off) (static_guards r_on) g_off g_on reduction
+      off.Driver.cycles on.Driver.cycles;
+    reduction
+  in
+  let kp = Kmeans.default_params ~n:(scaled 4_000) in
+  let km_off =
+    row "kmeans (chunk off)" ~chunk_mode:`Off
+      ~ws:(Kmeans.working_set_bytes kp)
+      (fun () -> Kmeans.build kp ())
+  in
+  let km_gated =
+    row "kmeans (gated)" ~chunk_mode:`Gated
+      ~ws:(Kmeans.working_set_bytes kp)
+      (fun () -> Kmeans.build kp ())
+  in
+  let ap = Analytics.default_params ~rows:(scaled 10_000) in
+  let an_off =
+    row "analytics (chunk off)" ~chunk_mode:`Off
+      ~ws:(Analytics.working_set_bytes ap)
+      (fun () -> Analytics.build ap ())
+  in
+  let an_gated =
+    row "analytics (gated)" ~chunk_mode:`Gated
+      ~ws:(Analytics.working_set_bytes ap)
+      (fun () -> Analytics.build ap ())
+  in
+  (* Contrast rows: single-function modules have no non-intrinsic calls,
+     so summaries must change nothing — 0.0% by construction. *)
+  let n = scaled 50_000 in
+  ignore
+    (row "stream-sum (chunk off)" ~chunk_mode:`Off
+       ~ws:(Stream.working_set_bytes ~n ~kernel:Stream.Sum ())
+       (fun () -> Stream.build ~n ~kernel:Stream.Sum ()));
+  let hp =
+    Hashmap.default_params ~keys:(scaled 10_000) ~lookups:(scaled 15_000)
+  in
+  ignore
+    (row "hashmap" ~blobs:[ (0, Hashmap.trace_blob hp) ] ~chunk_mode:`Gated
+       ~ws:(Hashmap.working_set_bytes hp)
+       (fun () -> Hashmap.build hp ()));
+  report_table t;
+  let hits =
+    List.length (List.filter (fun r -> r >= 5.0) [ km_off; km_gated; an_off; an_gated ])
+  in
+  print_expectation
+    ~paper:
+      "guard checks dominated across call boundaries are still pure \
+       overhead; summary-based interprocedural analysis extends the \
+       same elision arguments through calls (Sections 3.1/3.3)"
+    ~ours:
+      (Printf.sprintf
+         "summaries cut dynamic guards >= 5%% on %d of 4 helper-using \
+          rows (%s) with bit-identical checksums; the checker re-proves \
+          every witness with its own independently derived call-clobber \
+          relation"
+         hits
+         (if hits >= 2 then "target: >= 2 met" else "target: >= 2 MISSED"))

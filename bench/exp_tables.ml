@@ -319,6 +319,7 @@ let hw_kona () =
                 use_state_table = true;
                 profile_gate = false;
                 elide_guards = true;
+                use_summaries = true;
                 size_classes = [];
                 faults = active_faults ();
                 replicas = !replicas;
@@ -347,6 +348,7 @@ let hw_kona () =
                 use_state_table = true;
                 profile_gate = false;
                 elide_guards = true;
+                use_summaries = true;
                 size_classes = [];
                 faults = active_faults ();
                 replicas = !replicas;

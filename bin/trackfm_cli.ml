@@ -124,8 +124,8 @@ let build_of w o1 =
    (for trackfm) the compile report. The telemetry factory is applied to
    the run's fresh clock inside the driver. [faults] is the injector for
    this run (fresh per run: its random stream is stateful). *)
-let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~faults
-    ~replicas ~ack ~telemetry build =
+let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~summaries
+    ~faults ~replicas ~ack ~telemetry build =
   match system with
   | "local" -> Ok (Driver.run_local ~blobs:w.blobs ~telemetry build, None)
   | "fastswap" ->
@@ -143,6 +143,7 @@ let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~faults
           use_state_table = true;
           profile_gate = true;
           elide_guards = true;
+          use_summaries = summaries;
           size_classes = [];
           faults;
           replicas;
@@ -264,8 +265,8 @@ let export_telemetry sink trace_file metrics_file =
         Printf.eprintf "cannot write telemetry output: %s\n" msg;
         1)
 
-let run_cmd workload_name system local_pct object_size chunk prefetch o1
-    fault_spec fault_seed replicas ack counters_json trace_file metrics_file
+let run_cmd workload_name system local_pct object_size chunk prefetch summaries
+    o1 fault_spec fault_seed replicas ack counters_json trace_file metrics_file
     sample_interval =
   match (find_workload workload_name, Faults.parse fault_spec) with
   | Error e, _ | _, Error e ->
@@ -293,8 +294,8 @@ let run_cmd workload_name system local_pct object_size chunk prefetch o1
       in
       match
         exec_system w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~replicas ~ack
-          ~telemetry (build_of w o1)
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
+          ~replicas ~ack ~telemetry (build_of w o1)
       with
       | Error e ->
           prerr_endline e;
@@ -402,8 +403,9 @@ let print_sparklines (r : Telemetry.Sink.recorder) =
           names
       end
 
-let report_cmd workload_name system local_pct object_size chunk prefetch o1
-    fault_spec fault_seed trace_file metrics_file sample_interval =
+let report_cmd workload_name system local_pct object_size chunk prefetch
+    summaries o1 fault_spec fault_seed trace_file metrics_file sample_interval
+    =
   match (find_workload workload_name, Faults.parse fault_spec) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -424,8 +426,8 @@ let report_cmd workload_name system local_pct object_size chunk prefetch o1
       in
       match
         exec_system w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~faults ~replicas:1
-          ~ack:1 ~telemetry (build_of w o1)
+          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
+          ~replicas:1 ~ack:1 ~telemetry (build_of w o1)
       with
       | Error e ->
           prerr_endline e;
@@ -472,7 +474,8 @@ let sweep_cmd workload_name object_size =
               prefetch = true;
               use_state_table = true;
               profile_gate = true;
-          elide_guards = true;
+              elide_guards = true;
+              use_summaries = true;
               size_classes = [];
               faults = Faults.disabled;
               replicas = 1;
@@ -546,54 +549,62 @@ let check_cmd workload_filter =
           (fun (mode_name, chunk_mode) ->
             List.iter
               (fun elide ->
-                let m = w.build () in
-                let config =
-                  {
-                    Trackfm.Pipeline.object_size = 4096;
-                    chunk_mode;
-                    profile = None;
-                    cost = Cost_model.default;
-                    elide;
-                    check = false (* we report instead of raising *);
-                    dump_after = None;
-                  }
-                in
-                let report = Trackfm.Pipeline.run config m in
-                let e = report.Trackfm.Pipeline.elision in
-                let violations = Tfm_checker.Coverage.check_module m in
-                let witness_errors =
-                  Tfm_checker.Coverage.check_witnesses m
-                    e.Trackfm.Elide_pass.elisions
-                in
-                let ok = violations = [] && witness_errors = [] in
-                Printf.printf
-                  "%-14s chunk=%-5s elide=%-3s guards=%5d elided=%4d \
-                   (same %d congruent %d range %d) hoisted=%d upgraded=%d \
-                   widened=%d  %s\n"
-                  w.wname mode_name
-                  (if elide then "on" else "off")
-                  (report.Trackfm.Pipeline.guards
-                     .Trackfm.Guard_pass.guarded_loads
-                  + report.Trackfm.Pipeline.guards
-                      .Trackfm.Guard_pass.guarded_stores)
-                  (Trackfm.Elide_pass.total_elided e)
-                  e.Trackfm.Elide_pass.elided_same
-                  e.Trackfm.Elide_pass.elided_congruent
-                  e.Trackfm.Elide_pass.elided_range
-                  e.Trackfm.Elide_pass.hoisted e.Trackfm.Elide_pass.upgraded
-                  e.Trackfm.Elide_pass.widened
-                  (if ok then "OK" else "UNSOUND");
-                if not ok then begin
-                  incr failures;
-                  List.iter
-                    (fun v ->
-                      Printf.printf "    violation: %s\n"
-                        (Tfm_checker.Coverage.violation_to_string v))
-                    violations;
-                  List.iter
-                    (fun msg -> Printf.printf "    witness: %s\n" msg)
-                    witness_errors
-                end)
+                List.iter
+                  (fun summaries ->
+                    let m = w.build () in
+                    let config =
+                      {
+                        Trackfm.Pipeline.object_size = 4096;
+                        chunk_mode;
+                        profile = None;
+                        cost = Cost_model.default;
+                        elide;
+                        summaries;
+                        check = false (* we report instead of raising *);
+                        dump_after = None;
+                      }
+                    in
+                    let report = Trackfm.Pipeline.run config m in
+                    let e = report.Trackfm.Pipeline.elision in
+                    let violations =
+                      Tfm_checker.Coverage.check_module ~summaries m
+                    in
+                    let witness_errors =
+                      Tfm_checker.Coverage.check_witnesses m
+                        e.Trackfm.Elide_pass.elisions
+                    in
+                    let ok = violations = [] && witness_errors = [] in
+                    Printf.printf
+                      "%-14s chunk=%-5s elide=%-3s summ=%-3s guards=%5d \
+                       elided=%4d (same %d congruent %d range %d) hoisted=%d \
+                       upgraded=%d widened=%d  %s\n"
+                      w.wname mode_name
+                      (if elide then "on" else "off")
+                      (if summaries then "on" else "off")
+                      (report.Trackfm.Pipeline.guards
+                         .Trackfm.Guard_pass.guarded_loads
+                      + report.Trackfm.Pipeline.guards
+                          .Trackfm.Guard_pass.guarded_stores)
+                      (Trackfm.Elide_pass.total_elided e)
+                      e.Trackfm.Elide_pass.elided_same
+                      e.Trackfm.Elide_pass.elided_congruent
+                      e.Trackfm.Elide_pass.elided_range
+                      e.Trackfm.Elide_pass.hoisted
+                      e.Trackfm.Elide_pass.upgraded
+                      e.Trackfm.Elide_pass.widened
+                      (if ok then "OK" else "UNSOUND");
+                    if not ok then begin
+                      incr failures;
+                      List.iter
+                        (fun v ->
+                          Printf.printf "    violation: %s\n"
+                            (Tfm_checker.Coverage.violation_to_string v))
+                        violations;
+                      List.iter
+                        (fun msg -> Printf.printf "    witness: %s\n" msg)
+                        witness_errors
+                    end)
+                  [ true; false ])
               [ true; false ])
           [ ("off", `Off); ("gated", `Gated) ])
       selected;
@@ -603,6 +614,35 @@ let check_cmd workload_filter =
     end
     else 0
   end
+
+(* Print the interprocedural view of one workload's raw module: the call
+   graph (bottom-up SCCs, recursion marked), every function's computed
+   summary, and the summary-coverage lint naming functions stuck at
+   bottom. With --ir, also dump the IR with call sites annotated by
+   their callee's summary. Deterministic output: CI diffs two runs. *)
+let summaries_cmd workload_name o1 show_ir =
+  match find_workload workload_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok w ->
+      let m = (build_of w o1) () in
+      let env = Tfm_analysis.Summary.compute m in
+      print_string (Tfm_analysis.Summary.to_string m env);
+      (match Tfm_analysis.Summary.lint m env with
+      | [] -> print_endline "summary-coverage: all functions summarized"
+      | stuck ->
+          Printf.printf "summary-coverage: %d function(s) at bottom\n"
+            (List.length stuck);
+          List.iter (fun line -> Printf.printf "  %s\n" line) stuck);
+      if show_ir then begin
+        print_newline ();
+        print_string
+          (Printer.module_to_string_annotated
+             (Tfm_analysis.Summary.annotate env)
+             m)
+      end;
+      0
 
 let list_cmd () =
   List.iter
@@ -653,6 +693,15 @@ let o1_arg =
   Arg.(
     value & flag
     & info [ "o1" ] ~doc:"Run the O1 pre-optimization pipeline first.")
+
+let no_summaries_arg =
+  Arg.(
+    value & flag
+    & info [ "no-summaries" ]
+        ~doc:
+          "Disable interprocedural summaries: every call clobbers custody \
+           and every call result classifies unknown (the pre-summary \
+           pipeline).")
 
 let faults_arg =
   Arg.(
@@ -722,22 +771,22 @@ let sample_interval_arg =
 
 let run_term =
   Term.(
-    const (fun w s m o c np o1 fs fseed repl ack cj tr me si ->
-        run_cmd w s m o c (not np) o1 fs fseed repl ack cj tr me si)
+    const (fun w s m o c np ns o1 fs fseed repl ack cj tr me si ->
+        run_cmd w s m o c (not np) (not ns) o1 fs fseed repl ack cj tr me si)
     $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ o1_arg $ faults_arg $ fault_seed_arg $ replicas_arg
-    $ ack_arg $ counters_json_arg $ trace_arg $ metrics_arg
+    $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg $ fault_seed_arg
+    $ replicas_arg $ ack_arg $ counters_json_arg $ trace_arg $ metrics_arg
     $ sample_interval_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
 
 let report_term =
   Term.(
-    const (fun w s m o c np o1 fs fseed tr me si ->
-        report_cmd w s m o c (not np) o1 fs fseed tr me si)
+    const (fun w s m o c np ns o1 fs fseed tr me si ->
+        report_cmd w s m o c (not np) (not ns) o1 fs fseed tr me si)
     $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ o1_arg $ faults_arg $ fault_seed_arg $ trace_arg
-    $ metrics_arg $ sample_interval_arg)
+    $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg $ fault_seed_arg
+    $ trace_arg $ metrics_arg $ sample_interval_arg)
 
 let report_info =
   Cmd.info "report"
@@ -772,7 +821,23 @@ let check_info =
   Cmd.info "check"
     ~doc:
       "Compile every workload and run the guard-coverage verifier and \
-       elision-witness re-check over the transformed IR (CI lint stage)"
+       elision-witness re-check over the transformed IR, with and without \
+       interprocedural summaries (CI lint stage)"
+
+let ir_arg =
+  Arg.(
+    value & flag
+    & info [ "ir" ]
+        ~doc:"Also dump the IR with call sites annotated by !summary comments.")
+
+let summaries_term =
+  Term.(const summaries_cmd $ workload_arg $ o1_arg $ ir_arg)
+
+let summaries_info =
+  Cmd.info "summaries"
+    ~doc:
+      "Print the call graph (SCCs marked), every function's interprocedural \
+       summary, and the summary-coverage lint for a workload"
 
 let main =
   Cmd.group
@@ -785,6 +850,7 @@ let main =
       Cmd.v sweep_info sweep_term;
       Cmd.v autotune_info autotune_term;
       Cmd.v check_info check_term;
+      Cmd.v summaries_info summaries_term;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -29,6 +29,7 @@ CLI=_build/default/bin/trackfm_cli.exe
 FAULT_WORKLOADS="stream-sum hashmap"
 FAULT_SEEDS="1 2 3"
 FAULT_SPEC=medium
+SUMMARY_WORKLOADS="stream-sum kmeans analytics hashmap"
 DUR_WORKLOADS="stream-sum analytics"
 DUR_SEEDS="1 2"
 DUR_SPEC=crash=1500000:250000
@@ -52,7 +53,22 @@ stage_fmt() {
 stage_lint() {
     echo "== stage lint: guard-coverage verifier + elision witness re-check =="
     dune build bin/trackfm_cli.exe
+    # The check matrix runs every workload x chunk mode x optimizer
+    # setting both with and without interprocedural summaries.
     "$CLI" check
+    # Summary determinism: the call-graph/summary dump must be
+    # byte-identical across two runs of the same build.
+    echo "== stage lint: summary dump determinism =="
+    mkdir -p _ci/summaries
+    for w in $SUMMARY_WORKLOADS; do
+        "$CLI" summaries -w "$w" >"_ci/summaries/$w.txt"
+        "$CLI" summaries -w "$w" >"_ci/summaries/$w.txt.rerun"
+        if ! cmp -s "_ci/summaries/$w.txt" "_ci/summaries/$w.txt.rerun"; then
+            echo "lint: NONDETERMINISTIC summaries dump for $w" >&2
+            diff "_ci/summaries/$w.txt" "_ci/summaries/$w.txt.rerun" >&2 || true
+            exit 1
+        fi
+    done
 }
 
 stage_test() {

@@ -15,7 +15,18 @@ let is_heap_alloc_callee callee =
   Ir.is_alloc_call callee
   || callee = "tfm_malloc" || callee = "tfm_calloc" || callee = "tfm_realloc"
 
-let analyze (f : Ir.func) =
+let cls_of_prov value_cls args = function
+  | Summary.Pheap -> Heap
+  | Summary.Pstack -> Stack
+  | Summary.Pglobal -> Global
+  | Summary.Pnone -> Bottom
+  | Summary.From_arg k -> (
+      (* Returns-its-argument helper: the result is as precise as what
+         the caller passed in. *)
+      match List.nth_opt args k with Some v -> value_cls v | None -> Unknown)
+  | Summary.Punknown -> Unknown
+
+let analyze ?summaries (f : Ir.func) =
   let classes = Hashtbl.create 64 in
   let value_cls = function
     | Ir.Const _ | Ir.Constf _ -> Bottom
@@ -27,7 +38,16 @@ let analyze (f : Ir.func) =
     match i.kind with
     | Ir.Alloca _ -> Stack
     | Ir.Call { callee; _ } when is_heap_alloc_callee callee -> Heap
-    | Ir.Call _ -> Unknown
+    | Ir.Call { callee; args } -> (
+        (* Wrapper allocators and pass-through helpers classify
+           precisely when an interprocedural summary is available. *)
+        match summaries with
+        | None -> Unknown
+        | Some env -> (
+            match Summary.lookup env callee with
+            | Some s when Intrinsics.classify callee = Intrinsics.Unknown ->
+                cls_of_prov value_cls args s.Summary.ret
+            | _ -> Unknown))
     | Ir.Gep { base; _ } -> value_cls base
     | Ir.Phi incoming ->
         List.fold_left (fun acc (_, v) -> join acc (value_cls v)) Bottom

@@ -17,7 +17,11 @@ type cls = Bottom | Heap | Stack | Global | Unknown
 
 type t
 
-val analyze : Ir.func -> t
+val analyze : ?summaries:Summary.env -> Ir.func -> t
+(** With [summaries], call results consult the callee's interprocedural
+    summary: wrapper allocators classify [Heap], helpers that return an
+    argument (or something stack/global) inherit that precision, and
+    only genuinely unknown callees stay [Unknown]. *)
 
 val classify : t -> Ir.value -> cls
 

@@ -1,0 +1,32 @@
+(** Module-level call graph over direct calls.
+
+    Callee names the runtime-ABI table ({!Intrinsics.classify})
+    recognizes (guards, chunk protocol, allocators, bookkeeping hooks)
+    are leaves, not edges. Remaining names either resolve to a function
+    defined in the module — a graph edge — or are recorded as unknown
+    external callees, which pin their caller at the conservative bottom
+    summary. *)
+
+type node = {
+  name : string;
+  callees : string list;  (** defined direct callees, first-call order *)
+  unknown_callees : string list;  (** undefined non-intrinsic callees *)
+}
+
+type t
+
+val build : Ir.modul -> t
+
+val node : t -> string -> node option
+
+val sccs : t -> string list list
+(** Strongly connected components in bottom-up order: every SCC appears
+    after the SCCs it calls into, which is the evaluation order for the
+    interprocedural summary fixpoint. *)
+
+val is_recursive : t -> string -> bool
+(** In a multi-function SCC, or calls itself directly. *)
+
+val to_string : t -> string
+(** Deterministic text rendering: one line per SCC (bottom-up, recursive
+    SCCs marked) plus the edges out of each member. *)

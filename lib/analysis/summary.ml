@@ -1,0 +1,371 @@
+(* Interprocedural function summaries.
+
+   A bottom-up fixpoint over the call graph's SCCs computes, per
+   function: return-value provenance, per-parameter escape, mod/ref
+   effects, and — the property the trackfm passes actually spend —
+   whether a call to the function preserves the caller's custody facts.
+
+   Custody-safety deliberately mirrors the guard-coverage checker's own
+   independent re-derivation ({!Coverage.module_call_clobbers}): a call
+   preserves custody only if no reachable instruction in the callee (or
+   anything it calls) stores to memory, allocates, frees, releases a
+   chunk pin, or performs a write guard/chunk access, and every callee
+   on the way is defined in the module. Stores clobber because custody
+   facts may be anchored at memory slots; allocation and free because
+   they can evict or invalidate; chunk-end because it releases the pins
+   earlier chunk accesses established. Recursion is resolved
+   optimistically (greatest fixpoint): a cycle clobbers custody only if
+   some member actually contains a clobbering instruction, which is the
+   same answer the checker's reachability pass computes.
+
+   Unknown external callees pin their caller at bottom: we cannot see
+   their bodies, so the caller may do anything. *)
+
+type prov =
+  | Pnone  (* no pointer flows here (float math, comparisons) *)
+  | Pheap
+  | Pstack
+  | Pglobal
+  | From_arg of int  (* derived from parameter i, offsets included *)
+  | Punknown
+
+type effects = {
+  reads_heap : bool;
+  writes_heap : bool;
+  allocs : bool;
+  frees : bool;
+  calls_unknown : bool;  (* calls an external we have no body for *)
+}
+
+type fsum = {
+  ret : prov;
+  escapes : bool array;  (* per parameter; directly-tracked chains only *)
+  eff : effects;
+  custody_safe : bool;  (* calling this preserves caller custody facts *)
+}
+
+type env = (string, fsum) Hashtbl.t
+
+let no_effects =
+  {
+    reads_heap = false;
+    writes_heap = false;
+    allocs = false;
+    frees = false;
+    calls_unknown = false;
+  }
+
+let all_effects =
+  {
+    reads_heap = true;
+    writes_heap = true;
+    allocs = true;
+    frees = true;
+    calls_unknown = true;
+  }
+
+let bottom ~nparams =
+  {
+    ret = Punknown;
+    escapes = Array.make nparams true;
+    eff = all_effects;
+    custody_safe = false;
+  }
+
+let optimistic ~nparams =
+  {
+    ret = Pnone;
+    escapes = Array.make nparams false;
+    eff = no_effects;
+    custody_safe = true;
+  }
+
+let is_bottom s = s.custody_safe = false && s.eff = all_effects
+
+let prov_join a b =
+  match (a, b) with
+  | Pnone, x | x, Pnone -> x
+  | _ when a = b -> a
+  | _ -> Punknown
+
+let may_heap = function
+  | Pheap | Punknown | From_arg _ -> true
+  | Pnone | Pstack | Pglobal -> false
+
+let lookup (env : env) name = Hashtbl.find_opt env name
+let set (env : env) name s = Hashtbl.replace env name s
+
+(* The custody predicate clients consult at call sites. Intrinsic names
+   keep their table semantics; for everything else the summary decides,
+   and absence of a summary (external callee, or summaries disabled)
+   means the call may do anything. *)
+let call_clobbers ?env name =
+  match Intrinsics.classify name with
+  | Intrinsics.Unknown -> (
+      match env with
+      | None -> true
+      | Some e -> (
+          match lookup e name with
+          | Some s -> not s.custody_safe
+          | None -> true))
+  | _ -> Intrinsics.clobbers_custody name
+
+(* Map a callee's return provenance into the caller's frame. *)
+let apply_ret value_prov args = function
+  | From_arg k -> (
+      match List.nth_opt args k with
+      | Some v -> value_prov v
+      | None -> Punknown)
+  | p -> p
+
+let summarize (env : env) (f : Ir.func) =
+  let prov_tbl = Hashtbl.create 64 in
+  let value_prov = function
+    | Ir.Const _ | Ir.Constf _ -> Pnone
+    | Ir.Sym _ -> Pglobal
+    | Ir.Arg i -> From_arg i
+    | Ir.Reg id -> ( try Hashtbl.find prov_tbl id with Not_found -> Pnone)
+  in
+  let transfer (i : Ir.instr) =
+    match i.kind with
+    | Ir.Alloca _ -> Pstack
+    | Ir.Call { callee; args } -> (
+        match Intrinsics.classify callee with
+        | Intrinsics.Alloc -> Pheap
+        | Intrinsics.Unknown -> (
+            match lookup env callee with
+            | Some s -> apply_ret value_prov args s.ret
+            | None -> Punknown)
+        | Intrinsics.Guard _ | Intrinsics.Chunk_access _ -> Punknown
+        | Intrinsics.Free | Intrinsics.Chunk_end | Intrinsics.Neutral -> Pnone)
+    | Ir.Gep { base; _ } -> value_prov base
+    | Ir.Phi incoming ->
+        List.fold_left
+          (fun acc (_, v) -> prov_join acc (value_prov v))
+          Pnone incoming
+    | Ir.Select (_, a, b) -> prov_join (value_prov a) (value_prov b)
+    | Ir.Load { is_float = false; _ } -> Punknown
+    | Ir.Load { is_float = true; _ } -> Pnone
+    | Ir.Binop _ -> Punknown (* integer math may carry a cast pointer *)
+    | Ir.Fbinop _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Si_to_fp _ | Ir.Fp_to_si _
+    | Ir.Store _ ->
+        Pnone
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            if Ir.defines_value i.kind then begin
+              let old =
+                try Hashtbl.find prov_tbl i.id with Not_found -> Pnone
+              in
+              let nu = prov_join old (transfer i) in
+              if nu <> old then begin
+                Hashtbl.replace prov_tbl i.id nu;
+                changed := true
+              end
+            end)
+          b.instrs)
+      f.blocks
+  done;
+  (* Effects, escapes, custody — one pass over the converged provenance. *)
+  let eff = ref no_effects in
+  let escapes = Array.make f.nparams false in
+  let custody_safe = ref true in
+  let mark_escape v =
+    match value_prov v with
+    | From_arg i when i < f.nparams -> escapes.(i) <- true
+    | _ -> ()
+  in
+  let ret = ref Pnone in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.kind with
+          | Ir.Load { ptr; _ } ->
+              if may_heap (value_prov ptr) then
+                eff := { !eff with reads_heap = true }
+          | Ir.Store { ptr; v; _ } ->
+              custody_safe := false;
+              if may_heap (value_prov ptr) then
+                eff := { !eff with writes_heap = true };
+              mark_escape v
+          | Ir.Call { callee; args } -> (
+              match Intrinsics.classify callee with
+              | Intrinsics.Alloc ->
+                  custody_safe := false;
+                  eff := { !eff with allocs = true }
+              | Intrinsics.Free ->
+                  custody_safe := false;
+                  eff := { !eff with frees = true };
+                  List.iter mark_escape args
+              | Intrinsics.Chunk_end -> custody_safe := false
+              | Intrinsics.Guard { write } | Intrinsics.Chunk_access { write }
+                ->
+                  if write then custody_safe := false;
+                  eff :=
+                    {
+                      !eff with
+                      reads_heap = true;
+                      writes_heap = !eff.writes_heap || write;
+                    }
+              | Intrinsics.Neutral -> ()
+              | Intrinsics.Unknown -> (
+                  match lookup env callee with
+                  | Some s ->
+                      if not s.custody_safe then custody_safe := false;
+                      eff :=
+                        {
+                          reads_heap = !eff.reads_heap || s.eff.reads_heap;
+                          writes_heap = !eff.writes_heap || s.eff.writes_heap;
+                          allocs = !eff.allocs || s.eff.allocs;
+                          frees = !eff.frees || s.eff.frees;
+                          calls_unknown =
+                            !eff.calls_unknown || s.eff.calls_unknown;
+                        };
+                      List.iteri
+                        (fun j a ->
+                          let esc =
+                            j >= Array.length s.escapes || s.escapes.(j)
+                          in
+                          if esc then mark_escape a)
+                        args
+                  | None ->
+                      (* External body we cannot see: bottom at this site. *)
+                      custody_safe := false;
+                      eff := all_effects;
+                      List.iter mark_escape args))
+          | _ -> ())
+        b.instrs;
+      match b.term with
+      | Ir.Ret (Some v) -> ret := prov_join !ret (value_prov v)
+      | _ -> ())
+    f.blocks;
+  { ret = !ret; escapes; eff = !eff; custody_safe = !custody_safe }
+
+let compute (m : Ir.modul) : env =
+  let cg = Callgraph.build m in
+  let env : env = Hashtbl.create 16 in
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.Ir.fname f) m.funcs;
+  List.iter
+    (fun scc ->
+      let members = List.filter_map (Hashtbl.find_opt funcs) scc in
+      let recursive =
+        match scc with
+        | [ only ] -> Callgraph.is_recursive cg only
+        | _ -> true
+      in
+      if not recursive then
+        List.iter (fun f -> set env f.Ir.fname (summarize env f)) members
+      else begin
+        (* Optimistic seed, then iterate to the greatest fixpoint. The
+           lattice is finite (effects grow, custody shrinks, provenance
+           has height 2), so this converges; the cap is a tripwire, and
+           tripping it degrades to the sound bottom. *)
+        List.iter
+          (fun f ->
+            set env f.Ir.fname (optimistic ~nparams:f.Ir.nparams))
+          members;
+        let rounds = ref 0 and stable = ref false in
+        while (not !stable) && !rounds < 50 do
+          incr rounds;
+          stable := true;
+          List.iter
+            (fun f ->
+              let nu = summarize env f in
+              if nu <> Hashtbl.find env f.Ir.fname then begin
+                set env f.Ir.fname nu;
+                stable := false
+              end)
+            members
+        done;
+        if not !stable then
+          List.iter
+            (fun f -> set env f.Ir.fname (bottom ~nparams:f.Ir.nparams))
+            members
+      end)
+    (Callgraph.sccs cg);
+  env
+
+let prov_to_string = function
+  | Pnone -> "none"
+  | Pheap -> "heap"
+  | Pstack -> "stack"
+  | Pglobal -> "global"
+  | From_arg i -> Printf.sprintf "arg%d" i
+  | Punknown -> "unknown"
+
+let effects_to_string e =
+  let tags =
+    List.filter_map
+      (fun (on, tag) -> if on then Some tag else None)
+      [
+        (e.reads_heap, "reads-heap");
+        (e.writes_heap, "writes-heap");
+        (e.allocs, "allocs");
+        (e.frees, "frees");
+        (e.calls_unknown, "calls-unknown");
+      ]
+  in
+  if tags = [] then "pure" else String.concat "," tags
+
+let fsum_to_string s =
+  let esc =
+    if Array.length s.escapes = 0 then "-"
+    else
+      String.concat ""
+        (Array.to_list (Array.map (fun b -> if b then "E" else ".") s.escapes))
+  in
+  Printf.sprintf "ret=%s escapes=%s eff=%s custody=%s" (prov_to_string s.ret)
+    esc (effects_to_string s.eff)
+    (if s.custody_safe then "preserving" else "clobbering")
+
+(* One-line annotation for call instructions in IR dumps. *)
+let annotate (env : env) (i : Ir.instr) =
+  match i.Ir.kind with
+  | Ir.Call { callee; _ } when Intrinsics.classify callee = Intrinsics.Unknown
+    -> (
+      match lookup env callee with
+      | Some s -> Some ("!summary " ^ fsum_to_string s)
+      | None -> Some "!summary bottom (external)")
+  | _ -> None
+
+let to_string (m : Ir.modul) (env : env) =
+  let cg = Callgraph.build m in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Callgraph.to_string cg);
+  Buffer.add_string buf "summaries:\n";
+  List.iter
+    (fun (f : Ir.func) ->
+      match lookup env f.Ir.fname with
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s/%d: %s\n" f.Ir.fname f.Ir.nparams
+               (fsum_to_string s))
+      | None -> ())
+    m.funcs;
+  Buffer.contents buf
+
+(* Summary-coverage lint: which functions are stuck at (or near) bottom,
+   and why — so the analysis's conservatism is visible, not silent. *)
+let lint (m : Ir.modul) (env : env) =
+  let cg = Callgraph.build m in
+  List.filter_map
+    (fun (f : Ir.func) ->
+      match lookup env f.Ir.fname with
+      | Some s when s.eff.calls_unknown || is_bottom s ->
+          let why =
+            match Callgraph.node cg f.Ir.fname with
+            | Some n when n.Callgraph.unknown_callees <> [] ->
+                "unknown callees: "
+                ^ String.concat ", " n.Callgraph.unknown_callees
+            | _ -> "transitively calls outside the module"
+          in
+          Some (Printf.sprintf "%s: stuck at bottom (%s)" f.Ir.fname why)
+      | _ -> None)
+    m.funcs

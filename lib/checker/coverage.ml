@@ -19,18 +19,21 @@ type violation = {
 
 let violation_site v = { Telemetry.Site.func = v.func; instr = v.instr }
 
+(* Every fragment names its enclosing function: multi-function modules
+   put the same instruction ids in several functions, so an unqualified
+   "%12" is ambiguous exactly when you need it. *)
 let violation_to_string v =
-  Printf.sprintf "%s: may-heap %s at %s not covered by any guard%s"
-    v.func
+  Printf.sprintf "%s/%s: may-heap %s at %s not covered by any guard%s"
+    v.func v.block
     (if v.is_store then "store" else "load")
     (Telemetry.Site.key_to_string (violation_site v))
     (match v.killer with
     | None -> ""
-    | Some k -> Printf.sprintf " (custody killed by call %%%d)" k)
+    | Some k -> Printf.sprintf " (custody killed by call %s:%%%d)" v.func k)
 
-let check_func (f : Ir.func) =
-  let t = Facts.analyze f in
-  let alias = Alias.analyze f in
+let check_func ?summaries (f : Ir.func) =
+  let t = Facts.analyze ?summaries f in
+  let alias = Alias.analyze ?summaries f in
   let violations = ref [] in
   List.iter
     (fun (b : Ir.block) ->
@@ -40,7 +43,8 @@ let check_func (f : Ir.func) =
         (fun (i : Ir.instr) ->
           begin
             match i.kind with
-            | Ir.Call { callee; _ } when Intrinsics.clobbers_custody callee ->
+            | Ir.Call { callee; _ }
+              when Summary.call_clobbers ?env:summaries callee ->
                 last_clobber := Some i.id
             | Ir.Load { ptr; size; _ } when Alias.needs_guard alias ptr ->
                 if
@@ -77,14 +81,92 @@ let check_func (f : Ir.func) =
     f.blocks;
   List.rev !violations
 
-let check_module (m : Ir.modul) = List.concat_map check_func m.funcs
+(* The checker computes its own summaries from the module text — never
+   reusing the pipeline's environment — so a corrupted producer summary
+   shows up as uncovered accesses instead of vouching for itself. *)
+let check_module ?(summaries = true) (m : Ir.modul) =
+  let env = if summaries then Some (Summary.compute m) else None in
+  List.concat_map (fun f -> check_func ?summaries:env f) m.funcs
 
 exception Unsound of string list
 
-let enforce m =
-  match check_module m with
+let enforce ?summaries m =
+  match check_module ?summaries m with
   | [] -> ()
   | vs -> raise (Unsound (List.map violation_to_string vs))
+
+(* Independent custody re-derivation for the witness checker: a direct
+   reachability pass over the module, sharing no code with
+   {!Summary.compute}. A defined callee clobbers custody if its call
+   tree can reach a store, an allocation/free, a chunk release, or a
+   write guard/chunk access, or if it escapes the module. Cycles are
+   resolved by dirty-propagation to a fixpoint: a recursive clique is
+   clean unless some member actually contains a clobbering
+   instruction. *)
+let module_call_clobbers (m : Ir.modul) =
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace defined f.Ir.fname f) m.funcs;
+  let dirty = Hashtbl.create 16 in
+  let callers = Hashtbl.create 16 in
+  let locally_dirty (f : Ir.func) =
+    List.exists
+      (fun (b : Ir.block) ->
+        List.exists
+          (fun (i : Ir.instr) ->
+            match i.kind with
+            | Ir.Store _ -> true
+            | Ir.Call { callee; _ } -> begin
+                match Intrinsics.classify callee with
+                | Intrinsics.Alloc | Intrinsics.Free | Intrinsics.Chunk_end ->
+                    true
+                | Intrinsics.Guard { write } | Intrinsics.Chunk_access { write }
+                  ->
+                    write
+                | Intrinsics.Neutral -> false
+                | Intrinsics.Unknown -> not (Hashtbl.mem defined callee)
+              end
+            | _ -> false)
+          b.instrs)
+      f.blocks
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.kind with
+              | Ir.Call { callee; _ }
+                when Intrinsics.classify callee = Intrinsics.Unknown
+                     && Hashtbl.mem defined callee ->
+                  Hashtbl.add callers callee f.Ir.fname
+              | _ -> ())
+            b.instrs)
+        f.blocks)
+    m.funcs;
+  let worklist = Queue.create () in
+  List.iter
+    (fun (f : Ir.func) ->
+      if locally_dirty f then begin
+        Hashtbl.replace dirty f.Ir.fname ();
+        Queue.push f.Ir.fname worklist
+      end)
+    m.funcs;
+  while not (Queue.is_empty worklist) do
+    let name = Queue.pop worklist in
+    List.iter
+      (fun caller ->
+        if not (Hashtbl.mem dirty caller) then begin
+          Hashtbl.replace dirty caller ();
+          Queue.push caller worklist
+        end)
+      (Hashtbl.find_all callers name)
+  done;
+  fun callee ->
+    match Intrinsics.classify callee with
+    | Intrinsics.Unknown ->
+        if Hashtbl.mem defined callee then Hashtbl.mem dirty callee else true
+    | _ -> Intrinsics.clobbers_custody callee
 
 (* -- elision witnesses -------------------------------------------------- *)
 
@@ -105,7 +187,7 @@ let rule_to_string = function
   | Range -> "loop-range"
   | Hoist -> "hoisted"
 
-let check_witnesses_func (f : Ir.func) (els : elision list) =
+let check_witnesses_func ~call_clobbers (f : Ir.func) (els : elision list) =
   let errors = ref [] in
   let err access fmt =
     Format.kasprintf
@@ -141,7 +223,7 @@ let check_witnesses_func (f : Ir.func) (els : elision list) =
           idx > lo && idx < hi
           &&
           match i.kind with
-          | Ir.Call { callee; _ } -> Intrinsics.clobbers_custody callee
+          | Ir.Call { callee; _ } -> call_clobbers callee
           | _ -> false)
         (List.mapi (fun idx i -> (idx, i)) b.instrs)
     in
@@ -229,8 +311,7 @@ let check_witnesses_func (f : Ir.func) (els : elision list) =
                                         (fun (i : Ir.instr) ->
                                           match i.kind with
                                           | Ir.Call { callee; _ } ->
-                                              Intrinsics.clobbers_custody
-                                                callee
+                                              call_clobbers callee
                                           | _ -> false)
                                         b.instrs)
                                     loop.body
@@ -274,14 +355,23 @@ let check_witnesses_func (f : Ir.func) (els : elision list) =
     els;
   List.rev !errors
 
-let check_witnesses (m : Ir.modul) (els : (string * elision) list) =
+(* [call_clobbers] defaults to the module-derived reachability predicate
+   above — an independent path from the summaries that licensed the
+   elisions, so a summary bug cannot self-certify. Tests (and the elide
+   pass's pre-validation, which deliberately trusts its own analysis)
+   can substitute their own predicate. *)
+let check_witnesses ?call_clobbers (m : Ir.modul) (els : (string * elision) list)
+    =
+  let call_clobbers =
+    match call_clobbers with Some p -> p | None -> module_call_clobbers m
+  in
   List.concat_map
     (fun (f : Ir.func) ->
       let mine = List.filter_map
           (fun (fname, e) -> if fname = f.fname then Some e else None)
           els
       in
-      if mine = [] then [] else check_witnesses_func f mine)
+      if mine = [] then [] else check_witnesses_func ~call_clobbers f mine)
     m.funcs
 
 let enforce_witnesses m els =

@@ -20,14 +20,27 @@ type violation = {
 val violation_site : violation -> Telemetry.Site.key
 val violation_to_string : violation -> string
 
-val check_func : Ir.func -> violation list
-val check_module : Ir.modul -> violation list
+val check_func : ?summaries:Summary.env -> Ir.func -> violation list
+
+val check_module : ?summaries:bool -> Ir.modul -> violation list
+(** [summaries] (default [true]) lets the checker compute its own
+    interprocedural summaries from the module text — never reusing the
+    pipeline's environment — so custody survives provably-safe calls
+    while a corrupted producer summary still surfaces as uncovered
+    accesses. Pass [false] for the strict intraprocedural check. *)
 
 exception Unsound of string list
 
-val enforce : Ir.modul -> unit
+val enforce : ?summaries:bool -> Ir.modul -> unit
 (** Raises {!Unsound} with formatted violations when the module has
     any uncovered may-heap access. *)
+
+val module_call_clobbers : Ir.modul -> string -> bool
+(** Independent custody re-derivation: does a call to this callee
+    possibly disturb the caller's custody facts? Computed by direct
+    reachability over the module (dirty-propagation through defined
+    callees; anything escaping the module clobbers), sharing no code
+    with {!Summary.compute}. *)
 
 (** {1 Elision witnesses}
 
@@ -47,9 +60,16 @@ type elision = { access : int; rule : rule; witness_ids : int list }
 
 val rule_to_string : rule -> string
 
-val check_witnesses : Ir.modul -> (string * elision) list -> string list
+val check_witnesses :
+  ?call_clobbers:(string -> bool) ->
+  Ir.modul ->
+  (string * elision) list ->
+  string list
 (** Returns human-readable errors for witness records that no longer
-    justify their elision; empty means all records check out. *)
+    justify their elision; empty means all records check out.
+    [call_clobbers] defaults to {!module_call_clobbers} of the module —
+    an independent re-derivation, so a bug in the summaries that
+    licensed an elision cannot vouch for itself. *)
 
 val enforce_witnesses : Ir.modul -> (string * elision) list -> unit
 (** Raises {!Unsound} when any witness record fails re-checking. *)

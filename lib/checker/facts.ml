@@ -63,6 +63,9 @@ type t = {
   ind : Induction.t;
   edge_gen : (string * string, (anchor * fact) list) Hashtbl.t;
   in_states : (string, state) Hashtbl.t;
+  summaries : Summary.env option;
+      (* when present, calls whose summary proves custody preservation
+         stop clobbering the fact state *)
 }
 
 let func t = t.func
@@ -230,8 +233,11 @@ let apply_instr t (state : state) (i : Ir.instr) : state =
               | [] -> None
               | l -> Some l)
             state
-      | Intrinsics.Alloc | Intrinsics.Free | Intrinsics.Unknown ->
-          Anchor_map.empty
+      | Intrinsics.Alloc | Intrinsics.Free -> Anchor_map.empty
+      | Intrinsics.Unknown ->
+          if Summary.call_clobbers ?env:t.summaries callee then
+            Anchor_map.empty
+          else state
       | Intrinsics.Neutral -> state
     end
   | _ -> state
@@ -273,7 +279,7 @@ let loop_range_facts t (loop : Loops.loop) =
           (fun (i : Ir.instr) ->
             match i.kind with
             | Ir.Call { callee; _ } ->
-                (not (Intrinsics.clobbers_custody callee))
+                (not (Summary.call_clobbers ?env:t.summaries callee))
                 && Intrinsics.classify callee <> Intrinsics.Chunk_end
             | _ -> true)
           b.instrs)
@@ -393,7 +399,7 @@ let along_edge t ~src ~dst out_state =
   | Some facts ->
       List.fold_left (fun st (a, f) -> add_fact st a f) out_state facts
 
-let analyze (f : Ir.func) : t =
+let analyze ?summaries (f : Ir.func) : t =
   let du = Defuse.build f in
   let cfg = Cfg.build f in
   let dom = Dominators.compute cfg in
@@ -409,6 +415,7 @@ let analyze (f : Ir.func) : t =
       ind;
       edge_gen = Hashtbl.create 8;
       in_states = Hashtbl.create 16;
+      summaries;
     }
   in
   compute_edge_gen t;

@@ -25,9 +25,11 @@ type fact = {
 type state
 type t
 
-val analyze : Ir.func -> t
+val analyze : ?summaries:Summary.env -> Ir.func -> t
 (** Run the fixpoint (rebuilds def-use, CFG, dominators, loops and
-    induction info for the function snapshot). *)
+    induction info for the function snapshot). With [summaries], calls
+    whose interprocedural summary proves custody preservation no longer
+    clobber the fact state, so custody survives across helper calls. *)
 
 val in_state : t -> string -> state
 (** Facts available on entry to the labelled block. *)

@@ -168,6 +168,14 @@ and exec_call st env args callee actual_values =
   | "free" ->
       b.Backend.free (as_int actual_values.(0));
       I 0
+  | _
+    when Intrinsics.classify callee = Intrinsics.Unknown
+         && List.exists (fun (f : Ir.func) -> f.fname = callee) st.m.Ir.funcs
+    ->
+      (* Defined IR function: dispatch before the intrinsic path, whose
+         argument coercion would trap on float parameters. *)
+      Memsim.Clock.tick b.Backend.clock 5 (* call overhead *);
+      call_function st callee actual_values
   | _ -> begin
       let int_args = Array.map as_int actual_values in
       match b.Backend.intrinsic callee int_args with

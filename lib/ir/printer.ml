@@ -85,3 +85,34 @@ let pp_module fmt (m : Ir.modul) =
 
 let func_to_string f = Format.asprintf "%a" pp_func f
 let module_to_string m = Format.asprintf "%a" pp_module m
+
+(* Annotated variants: [annot] supplies a trailing comment per
+   instruction (e.g. a call's interprocedural summary). The instruction
+   text itself is rendered by the same printers, so the annotated form
+   round-trips: stripping "  ; ..." suffixes yields the plain dump. *)
+
+let pp_instr_annotated annot fmt (i : Ir.instr) =
+  match annot i with
+  | None -> pp_instr fmt i
+  | Some note -> Format.fprintf fmt "%a  ; %s" pp_instr i note
+
+let pp_block_annotated annot fmt (b : Ir.block) =
+  Format.fprintf fmt "%s:@." b.label;
+  List.iter
+    (fun i -> Format.fprintf fmt "  %a@." (pp_instr_annotated annot) i)
+    b.instrs;
+  Format.fprintf fmt "  %a@." pp_terminator b.term
+
+let pp_func_annotated annot fmt (f : Ir.func) =
+  Format.fprintf fmt "define @%s(%d params) {@." f.fname f.nparams;
+  List.iter (pp_block_annotated annot fmt) f.blocks;
+  Format.fprintf fmt "}@."
+
+let pp_module_annotated annot fmt (m : Ir.modul) =
+  List.iter
+    (fun (name, size) -> Format.fprintf fmt "global @%s : %d bytes@." name size)
+    m.globals;
+  List.iter (pp_func_annotated annot fmt) m.funcs
+
+let module_to_string_annotated annot m =
+  Format.asprintf "%a" (pp_module_annotated annot) m

@@ -94,7 +94,7 @@ let find_access ptr rest ~fallback =
 
 (* -- loop-invariant hoisting -------------------------------------------- *)
 
-let hoist_func (cnt : counters) (f : Ir.func) =
+let hoist_func ?summaries (cnt : counters) (f : Ir.func) =
   let loop_info = Loops.analyze f in
   let ind = Tfm_analysis.Induction.analyze f in
   let body_clobber_free (loop : Loops.loop) =
@@ -104,7 +104,8 @@ let hoist_func (cnt : counters) (f : Ir.func) =
         List.for_all
           (fun (i : Ir.instr) ->
             match i.kind with
-            | Ir.Call { callee; _ } -> not (Intrinsics.clobbers_custody callee)
+            | Ir.Call { callee; _ } ->
+                not (Tfm_analysis.Summary.call_clobbers ?env:summaries callee)
             | _ -> true)
           b.instrs)
       loop.body
@@ -218,8 +219,8 @@ let rule_of t ptr size (hit : F.hit) =
   then C.Congruent
   else C.Range
 
-let sweep_func ~object_size (cnt : counters) (f : Ir.func) =
-  let t = F.analyze f in
+let sweep_func ?summaries ~object_size (cnt : counters) (f : Ir.func) =
+  let t = F.analyze ?summaries f in
   (* A guard that vouches for an earlier deletion is pinned: deleting it
      too would orphan the witness record (and the re-check would rightly
      reject it). Seed from records of previous rounds and the hoist
@@ -288,8 +289,17 @@ let sweep_func ~object_size (cnt : counters) (f : Ir.func) =
                           witness_ids;
                         }
                       in
+                      (* Pre-validate with a predicate derived from the
+                         same summaries that licensed the fact (the
+                         producer trusts its own analysis here); the
+                         pipeline's final re-check replaces it with the
+                         checker's independent module-level
+                         re-derivation. *)
                       let certificate_holds =
                         C.check_witnesses
+                          ~call_clobbers:(fun callee ->
+                            Tfm_analysis.Summary.call_clobbers ?env:summaries
+                              callee)
                           { Ir.funcs = [ f ]; globals = [] }
                           [ (f.fname, record) ]
                         = []
@@ -413,7 +423,7 @@ let sweep_func ~object_size (cnt : counters) (f : Ir.func) =
     f.blocks;
   !changed
 
-let run ~object_size (m : Ir.modul) =
+let run ?summaries ~object_size (m : Ir.modul) =
   let cnt =
     {
       same = 0;
@@ -427,12 +437,13 @@ let run ~object_size (m : Ir.modul) =
   in
   List.iter
     (fun (f : Ir.func) ->
-      hoist_func cnt f;
+      hoist_func ?summaries cnt f;
       (* Witness-strengthening rewrites (upgrade/widen) only pay off on
          the following sweep's fresh fixpoint, so iterate; two rounds
          settle the common patterns, the third is a safety net. *)
       let rec rounds n =
-        if n > 0 && sweep_func ~object_size cnt f then rounds (n - 1)
+        if n > 0 && sweep_func ?summaries ~object_size cnt f then
+          rounds (n - 1)
       in
       rounds 3)
     m.funcs;

@@ -24,6 +24,11 @@ val empty : report
 
 val total_elided : report -> int
 
-val run : object_size:int -> Ir.modul -> report
+val run :
+  ?summaries:Tfm_analysis.Summary.env -> object_size:int -> Ir.modul -> report
 (** Transforms the module in place. [object_size] caps congruent
-    widening so a widened guard still spans at most one object. *)
+    widening so a widened guard still spans at most one object. With
+    [summaries], custody facts survive calls the interprocedural
+    analysis proves custody-preserving, enabling cross-call redundant
+    guard elimination; the pipeline's final witness re-check still runs
+    through the checker's independent module-level re-derivation. *)

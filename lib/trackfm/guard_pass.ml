@@ -20,8 +20,8 @@ let all_accesses (f : Ir.func) =
         b.instrs)
     f.blocks
 
-let analyze (f : Ir.func) =
-  let alias = Tfm_analysis.Alias.analyze f in
+let analyze ?summaries (f : Ir.func) =
+  let alias = Tfm_analysis.Alias.analyze ?summaries f in
   List.concat_map
     (fun (b : Ir.block) ->
       List.filter_map
@@ -37,14 +37,14 @@ let analyze (f : Ir.func) =
         b.instrs)
     f.blocks
 
-let run ?(exclude = Hashtbl.create 0) (m : Ir.modul) =
+let run ?summaries ?(exclude = Hashtbl.create 0) (m : Ir.modul) =
   let guarded_loads = ref 0 in
   let guarded_stores = ref 0 in
   let skipped_non_heap = ref 0 in
   let skipped_chunked = ref 0 in
   List.iter
     (fun (f : Ir.func) ->
-      let alias = Tfm_analysis.Alias.analyze f in
+      let alias = Tfm_analysis.Alias.analyze ?summaries f in
       List.iter
         (fun (b : Ir.block) ->
           b.instrs <-

@@ -21,11 +21,20 @@ val all_accesses : Ir.func -> (int * bool) list
     [guarded_loads + guarded_stores + skipped_non_heap + skipped_chunked]
     over a module equals the total across its functions. *)
 
-val analyze : Ir.func -> (int * bool) list
+val analyze :
+  ?summaries:Tfm_analysis.Summary.env -> Ir.func -> (int * bool) list
 (** Eligible accesses in one function: (instruction id, is_store). *)
 
-val run : ?exclude:(int, unit) Hashtbl.t -> Ir.modul -> report
-(** Insert guards module-wide, skipping ids in [exclude]. *)
+val run :
+  ?summaries:Tfm_analysis.Summary.env ->
+  ?exclude:(int, unit) Hashtbl.t ->
+  Ir.modul ->
+  report
+(** Insert guards module-wide, skipping ids in [exclude]. With
+    [summaries] the alias classification consults interprocedural
+    summaries, so pointers proven non-heap across calls (wrapper
+    results that are really stack/global, pass-through helpers) skip
+    their guards. *)
 
 val guard_read_name : string
 val guard_write_name : string

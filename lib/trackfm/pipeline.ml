@@ -4,6 +4,7 @@ type config = {
   profile : Profile.t option;
   cost : Cost_model.t;
   elide : bool;
+  summaries : bool;
   check : bool;
   dump_after : (string -> Ir.modul -> unit) option;
 }
@@ -15,6 +16,7 @@ let default_config =
     profile = None;
     cost = Cost_model.default;
     elide = true;
+    summaries = true;
     check = true;
     dump_after = None;
   }
@@ -49,12 +51,24 @@ let run config (m : Ir.modul) =
   in
   Verifier.check_module m;
   dump "loop-chunking";
-  let guards = Guard_pass.run ~exclude:chunks.Chunk_pass.covered m in
+  (* Interprocedural summaries are computed after chunking (so chunk
+     protocol calls are in the text the analysis sees) and handed to the
+     guard injector and the elision pass. The checker never reuses this
+     environment: it recomputes its own. *)
+  let senv =
+    if config.summaries then Some (Tfm_analysis.Summary.compute m) else None
+  in
+  dump "summaries";
+  let guards =
+    Guard_pass.run ?summaries:senv ~exclude:chunks.Chunk_pass.covered m
+  in
   Verifier.check_module m;
   dump "guard-transform";
   let elision =
     if config.elide then begin
-      let e = Elide_pass.run ~object_size:config.object_size m in
+      let e =
+        Elide_pass.run ?summaries:senv ~object_size:config.object_size m
+      in
       Verifier.check_module m;
       dump "guard-elision";
       e
@@ -63,16 +77,19 @@ let run config (m : Ir.modul) =
   in
   (* The checker proves every may-heap access is still covered after the
      optimizer ran, and independently re-verifies each deletion's
-     witness record. A transform bug fails compilation here instead of
-     becoming a silent far-memory crash. *)
+     witness record — with its own summaries and its own module-level
+     custody re-derivation, so a bug in [senv] cannot vouch for itself.
+     A transform bug fails compilation here instead of becoming a
+     silent far-memory crash. *)
   if config.check then begin
-    Tfm_checker.Coverage.enforce m;
+    Tfm_checker.Coverage.enforce ~summaries:config.summaries m;
     Tfm_checker.Coverage.enforce_witnesses m elision.Elide_pass.elisions
   end;
   let libc_rewrites = Libc_pass.run m in
   Verifier.check_module m;
   dump "libc-transform";
-  if config.check then Tfm_checker.Coverage.enforce m;
+  if config.check then
+    Tfm_checker.Coverage.enforce ~summaries:config.summaries m;
   {
     guards;
     chunks;

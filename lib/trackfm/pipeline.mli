@@ -15,6 +15,10 @@ type config = {
   profile : Profile.t option; (** enables the profiled chunking gate *)
   cost : Cost_model.t;
   elide : bool;  (** run redundant-guard elimination + hoisting *)
+  summaries : bool;
+      (** compute interprocedural summaries ({!Tfm_analysis.Summary})
+          after chunking and hand them to the guard injector and the
+          elision pass; the checker recomputes its own *)
   check : bool;
       (** run the guard-coverage checker and witness re-verification
           after elision and again after libc lowering *)
@@ -25,7 +29,7 @@ type config = {
 
 val default_config : config
 (** 4 KiB objects, gated chunking, no profile, default cost model,
-    elision and checking on. *)
+    elision, summaries and checking on. *)
 
 type report = {
   guards : Guard_pass.report;

@@ -10,6 +10,7 @@ type tfm_opts = {
   use_state_table : bool;
   profile_gate : bool;
   elide_guards : bool;
+  use_summaries : bool;
   size_classes : (int * int * float) list;
   faults : Faults.t;
   replicas : int;
@@ -25,6 +26,7 @@ let tfm_defaults ~local_budget =
     use_state_table = true;
     profile_gate = true;
     elide_guards = true;
+    use_summaries = true;
     size_classes = [];
     faults = Faults.disabled;
     replicas = 1;
@@ -108,6 +110,7 @@ let run_trackfm ?(cost = Cost_model.default) ?(blobs = [])
       profile;
       cost;
       elide = opts.elide_guards;
+      summaries = opts.use_summaries;
       check = true;
       dump_after = None;
     }
@@ -160,6 +163,7 @@ let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
         use_state_table = true;
         profile_gate = false;
         elide_guards = true;
+        use_summaries = true;
         size_classes = [];
         faults = Faults.disabled;
         replicas = 1;

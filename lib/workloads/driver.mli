@@ -29,6 +29,9 @@ type tfm_opts = {
       (** run redundant-guard elimination and hoisting
           ({!Trackfm.Elide_pass}); the coverage checker runs either
           way *)
+  use_summaries : bool;
+      (** compute interprocedural summaries and hand them to the guard
+          injector and elision pass ({!Trackfm.Pipeline.config}) *)
   size_classes : (int * int * float) list;
       (** multi-object-size extension: forwarded to
           {!Trackfm.Runtime.create}; empty (default) = single class of

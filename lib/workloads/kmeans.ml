@@ -16,14 +16,24 @@ let working_set_bytes p =
 let build p () =
   let { n; dims; clusters = k; iters } = p in
   let m = Ir.create_module () in
+  (* Helper functions exercise the interprocedural summaries: [sq_diff]
+     is pure (custody-preserving across the hot inner loop), and
+     [alloc_f64] is a wrapper allocator whose return provenance is
+     heap. *)
+  let bh = Builder.create m ~name:"sq_diff" ~nparams:2 in
+  let d = Builder.fbinop bh Ir.Fsub (Builder.arg 0) (Builder.arg 1) in
+  Builder.ret bh (Some (Builder.fbinop bh Ir.Fmul d d));
+  let ba = Builder.create m ~name:"alloc_f64" ~nparams:1 in
+  let bytes = Builder.mul ba (Builder.arg 0) (Ir.Const 8) in
+  Builder.ret ba (Some (Builder.call ba "malloc" [ bytes ]));
   let b = Builder.create m ~name:"main" ~nparams:0 in
   let f64 = 8 in
-  let pts = Builder.call b "malloc" [ Ir.Const (dims * n * f64) ] in
-  let cent = Builder.call b "malloc" [ Ir.Const (k * dims * f64) ] in
-  let dists = Builder.call b "malloc" [ Ir.Const (n * k * f64) ] in
-  let assign = Builder.call b "malloc" [ Ir.Const (n * 8) ] in
-  let sums = Builder.call b "malloc" [ Ir.Const (k * dims * f64) ] in
-  let counts = Builder.call b "malloc" [ Ir.Const (k * 8) ] in
+  let pts = Builder.call b "alloc_f64" [ Ir.Const (dims * n) ] in
+  let cent = Builder.call b "alloc_f64" [ Ir.Const (k * dims) ] in
+  let dists = Builder.call b "alloc_f64" [ Ir.Const (n * k) ] in
+  let assign = Builder.call b "alloc_f64" [ Ir.Const n ] in
+  let sums = Builder.call b "alloc_f64" [ Ir.Const (k * dims) ] in
+  let counts = Builder.call b "alloc_f64" [ Ir.Const k ] in
   (* pts[d*n + i] = coord i d *)
   Builder.for_loop b ~hint:"initd" ~init:(Ir.Const 0) ~bound:(Ir.Const dims)
     (fun b d ->
@@ -74,11 +84,16 @@ let build p () =
                   let pidx = Builder.add b dbase i in
                   let pptr = Builder.gep b pts ~index:pidx ~scale:f64 () in
                   let pv = Builder.load b ~is_float:true pptr in
-                  let diff = Builder.fbinop b Ir.Fsub pv cv in
-                  let sq = Builder.fbinop b Ir.Fmul diff diff in
                   let didx = Builder.add b (Builder.mul b i (Ir.Const k)) c in
                   let dptr = Builder.gep b dists ~index:didx ~scale:f64 () in
                   let old = Builder.load b ~is_float:true dptr in
+                  (* The helper call sits between the dists load and the
+                     store-back, so the read-modify-write elision on dptr
+                     only holds if custody survives the call — exactly
+                     what the interprocedural summary proves. Float op
+                     order (fsub, fmul, fadd) matches the old inline
+                     form, so checksums are unchanged. *)
+                  let sq = Builder.call b "sq_diff" [ pv; cv ] in
                   let nu = Builder.fbinop b Ir.Fadd old sq in
                   Builder.store b ~is_float:true nu ~ptr:dptr)));
       (* Phase B: per-point argmin over the k candidates — a short inner

@@ -347,6 +347,179 @@ let test_reaching_definitions () =
     (Dataflow.Int_set.mem x_id (Dataflow.reach_in rd exit_l))
 
 
+(* -- interprocedural call graph and summaries ------------------------- *)
+
+let test_callgraph_sccs_bottom_up () =
+  let m = Ir.create_module () in
+  let bh = Builder.create m ~name:"helper" ~nparams:1 in
+  Builder.ret bh (Some (Builder.add bh (Builder.arg 0) (Ir.Const 1)));
+  let bm = Builder.create m ~name:"main" ~nparams:0 in
+  ignore (Builder.call bm "helper" [ Ir.Const 1 ]);
+  ignore (Builder.call bm "mystery" []);
+  Builder.ret bm None;
+  let cg = Callgraph.build m in
+  (match Callgraph.sccs cg with
+  | [ [ "helper" ]; [ "main" ] ] -> ()
+  | sccs ->
+      Alcotest.failf "bad SCC order: %s"
+        (String.concat "; " (List.map (String.concat ",") sccs)));
+  Alcotest.(check bool) "helper not recursive" false
+    (Callgraph.is_recursive cg "helper");
+  match Callgraph.node cg "main" with
+  | Some n ->
+      Alcotest.(check (list string)) "defined callees" [ "helper" ] n.callees;
+      Alcotest.(check (list string)) "unknown callees" [ "mystery" ]
+        n.Callgraph.unknown_callees
+  | None -> Alcotest.fail "main missing from call graph"
+
+let test_summary_self_recursion_converges () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"count" ~nparams:1 in
+  let base_l = Builder.add_block b "base" in
+  let rec_l = Builder.add_block b "rec" in
+  let c = Builder.icmp b Ir.Le (Builder.arg 0) (Ir.Const 0) in
+  Builder.cbr b c base_l rec_l;
+  Builder.set_block b base_l;
+  Builder.ret b (Some (Ir.Const 0));
+  Builder.set_block b rec_l;
+  let r = Builder.call b "count" [ Builder.sub b (Builder.arg 0) (Ir.Const 1) ] in
+  Builder.ret b (Some (Builder.add b r (Ir.Const 1)));
+  Verifier.check_module m;
+  let cg = Callgraph.build m in
+  Alcotest.(check bool) "self-recursion detected" true
+    (Callgraph.is_recursive cg "count");
+  let env = Summary.compute m in
+  match Summary.lookup env "count" with
+  | Some s ->
+      Alcotest.(check bool) "pure recursion is custody-safe" true
+        s.Summary.custody_safe;
+      Alcotest.(check bool) "not bottom" false (Summary.is_bottom s)
+  | None -> Alcotest.fail "no summary for count"
+
+let test_summary_mutual_recursion_sound () =
+  (* even/odd pure pair: both custody-safe. A second pair where [g]
+     stores through its pointer argument: the effect must propagate to
+     [f] around the cycle. *)
+  let m = Ir.create_module () in
+  let mk name other =
+    let b = Builder.create m ~name ~nparams:1 in
+    let base_l = Builder.add_block b "base" in
+    let rec_l = Builder.add_block b "rec" in
+    let c = Builder.icmp b Ir.Le (Builder.arg 0) (Ir.Const 0) in
+    Builder.cbr b c base_l rec_l;
+    Builder.set_block b base_l;
+    Builder.ret b (Some (Ir.Const 0));
+    Builder.set_block b rec_l;
+    let r =
+      Builder.call b other [ Builder.sub b (Builder.arg 0) (Ir.Const 1) ]
+    in
+    Builder.ret b (Some r)
+  in
+  mk "even" "odd";
+  mk "odd" "even";
+  let bf = Builder.create m ~name:"f" ~nparams:1 in
+  Builder.ret bf (Some (Builder.call bf "g" [ Builder.arg 0 ]));
+  let bg = Builder.create m ~name:"g" ~nparams:1 in
+  Builder.store bg (Ir.Const 7) ~ptr:(Builder.arg 0);
+  Builder.ret bg (Some (Builder.call bg "f" [ Builder.arg 0 ]));
+  Verifier.check_module m;
+  let cg = Callgraph.build m in
+  Alcotest.(check bool) "mutual recursion detected" true
+    (Callgraph.is_recursive cg "even" && Callgraph.is_recursive cg "f");
+  let env = Summary.compute m in
+  let sum name =
+    match Summary.lookup env name with
+    | Some s -> s
+    | None -> Alcotest.failf "no summary for %s" name
+  in
+  Alcotest.(check bool) "pure cycle custody-safe" true
+    ((sum "even").Summary.custody_safe && (sum "odd").Summary.custody_safe);
+  Alcotest.(check bool) "store in cycle poisons both" true
+    ((not (sum "f").Summary.custody_safe)
+    && not (sum "g").Summary.custody_safe);
+  Alcotest.(check bool) "write effect propagates around the cycle" true
+    (sum "f").Summary.eff.Summary.writes_heap
+
+let test_summary_unknown_callee_bottom () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:1 in
+  ignore (Builder.call b "libc_mystery" [ Builder.arg 0 ]);
+  Builder.ret b None;
+  let env = Summary.compute m in
+  match Summary.lookup env "f" with
+  | Some s ->
+      Alcotest.(check bool) "stuck at bottom" true (Summary.is_bottom s);
+      Alcotest.(check bool) "calls_unknown recorded" true
+        s.Summary.eff.Summary.calls_unknown;
+      Alcotest.(check bool) "argument escapes" true s.Summary.escapes.(0);
+      Alcotest.(check int) "lint reports it" 1 (List.length (Summary.lint m env))
+  | None -> Alcotest.fail "no summary for f"
+
+let test_summary_wrapper_allocator_and_passthrough () =
+  let m = Ir.create_module () in
+  let ba = Builder.create m ~name:"alloc8" ~nparams:1 in
+  Builder.ret ba
+    (Some (Builder.call ba "malloc" [ Builder.mul ba (Builder.arg 0) (Ir.Const 8) ]));
+  let bi = Builder.create m ~name:"first_field" ~nparams:1 in
+  Builder.ret bi
+    (Some (Builder.gep bi (Builder.arg 0) ~index:(Ir.Const 0) ~scale:8 ()));
+  let env = Summary.compute m in
+  (match Summary.lookup env "alloc8" with
+  | Some s ->
+      Alcotest.(check bool) "wrapper returns heap" true (s.Summary.ret = Summary.Pheap);
+      Alcotest.(check bool) "allocating, hence custody-clobbering" true
+        (s.Summary.eff.Summary.allocs && not s.Summary.custody_safe)
+  | None -> Alcotest.fail "no summary for alloc8");
+  match Summary.lookup env "first_field" with
+  | Some s ->
+      Alcotest.(check bool) "returns its argument" true
+        (s.Summary.ret = Summary.From_arg 0);
+      Alcotest.(check bool) "pure" true s.Summary.custody_safe
+  | None -> Alcotest.fail "no summary for first_field"
+
+let test_summary_free_escapes_argument () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"dispose" ~nparams:2 in
+  ignore (Builder.call b "free" [ Builder.arg 1 ]);
+  Builder.ret b None;
+  let env = Summary.compute m in
+  match Summary.lookup env "dispose" with
+  | Some s ->
+      Alcotest.(check bool) "freed argument escapes" true s.Summary.escapes.(1);
+      Alcotest.(check bool) "unfreed argument does not" false s.Summary.escapes.(0);
+      Alcotest.(check bool) "frees + clobbers" true
+        (s.Summary.eff.Summary.frees && not s.Summary.custody_safe)
+  | None -> Alcotest.fail "no summary for dispose"
+
+let test_alias_uses_summaries () =
+  (* a stack pointer laundered through a returns-its-argument helper:
+     precise with summaries, conservatively guarded without *)
+  let m = Ir.create_module () in
+  let bi = Builder.create m ~name:"first_field" ~nparams:1 in
+  Builder.ret bi
+    (Some (Builder.gep bi (Builder.arg 0) ~index:(Ir.Const 0) ~scale:8 ()));
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let stack = Builder.alloca b 16 in
+  let q = Builder.call b "first_field" [ stack ] in
+  ignore (Builder.load b q);
+  let h = Builder.call b "alloc8" [ Ir.Const 4 ] in
+  ignore (Builder.load b h);
+  Builder.ret b None;
+  let ba = Builder.create m ~name:"alloc8" ~nparams:1 in
+  Builder.ret ba
+    (Some (Builder.call ba "malloc" [ Builder.mul ba (Builder.arg 0) (Ir.Const 8) ]));
+  Verifier.check_module m;
+  let f = Ir.find_func m "f" in
+  let env = Summary.compute m in
+  let with_s = Alias.analyze ~summaries:env f in
+  let without = Alias.analyze f in
+  Alcotest.(check bool) "stack-through-helper unguarded with summaries" false
+    (Alias.needs_guard with_s q);
+  Alcotest.(check bool) "guarded without summaries" true
+    (Alias.needs_guard without q);
+  Alcotest.(check bool) "wrapper-allocator result guarded" true
+    (Alias.needs_guard with_s h)
+
 let suite =
   ( "analysis",
     [
@@ -373,4 +546,17 @@ let suite =
       Alcotest.test_case "liveness dead value" `Quick
         test_liveness_dead_value_not_live;
       Alcotest.test_case "reaching defs" `Quick test_reaching_definitions;
+      Alcotest.test_case "callgraph SCCs bottom-up" `Quick
+        test_callgraph_sccs_bottom_up;
+      Alcotest.test_case "summary self-recursion converges" `Quick
+        test_summary_self_recursion_converges;
+      Alcotest.test_case "summary mutual recursion sound" `Quick
+        test_summary_mutual_recursion_sound;
+      Alcotest.test_case "summary unknown callee bottom" `Quick
+        test_summary_unknown_callee_bottom;
+      Alcotest.test_case "summary wrapper allocator and passthrough" `Quick
+        test_summary_wrapper_allocator_and_passthrough;
+      Alcotest.test_case "summary free escapes argument" `Quick
+        test_summary_free_escapes_argument;
+      Alcotest.test_case "alias uses summaries" `Quick test_alias_uses_summaries;
     ] )

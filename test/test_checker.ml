@@ -334,6 +334,116 @@ let test_witness_recheck_rejects_tampering () =
   Alcotest.(check bool) "coverage fails too" true
     (Coverage.check_module m <> [])
 
+(* -- interprocedural summaries: cross-call elision and tampering ------- *)
+
+(* main: guard p; load p; call helper(); guard p; load p.
+   [mk_helper] controls whether the helper really preserves custody. *)
+let cross_call_module ~helper_stores =
+  let m = Ir.create_module () in
+  let bh = Builder.create m ~name:"helper" ~nparams:1 in
+  if helper_stores then begin
+    ignore (Builder.call bh guard_write [ Builder.arg 0; Ir.Const 8 ]);
+    Builder.store bh (Ir.Const 1) ~ptr:(Builder.arg 0)
+  end;
+  Builder.ret bh (Some (Builder.add bh (Builder.arg 0) (Ir.Const 1)));
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  ignore (Builder.load b p);
+  ignore (Builder.call b "helper" [ p ]);
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  let v = Builder.load b p in
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  m
+
+let test_cross_call_elision_needs_summaries () =
+  (* without summaries the call conservatively clobbers custody and the
+     second guard must stay; with summaries the pure helper is proven
+     custody-preserving and the guard is elided *)
+  let m1 = cross_call_module ~helper_stores:false in
+  let r1 = Elide.run ~object_size:4096 m1 in
+  Alcotest.(check int) "no elision without summaries" 0 (Elide.total_elided r1);
+  let m2 = cross_call_module ~helper_stores:false in
+  let env = Tfm_analysis.Summary.compute m2 in
+  let r2 = Elide.run ~summaries:env ~object_size:4096 m2 in
+  Alcotest.(check int) "cross-call elision with summaries" 1
+    (Elide.total_elided r2);
+  Alcotest.(check int) "one guard left" 1 (count_guards m2);
+  (* the final independent checks accept the result *)
+  Coverage.enforce m2;
+  Coverage.enforce_witnesses m2 r2.Elide.elisions
+
+let test_cross_call_elision_respects_impure_helper () =
+  (* the helper stores through its argument: even with summaries the
+     call clobbers custody and nothing may be elided *)
+  let m = cross_call_module ~helper_stores:true in
+  let env = Tfm_analysis.Summary.compute m in
+  let r = Elide.run ~summaries:env ~object_size:4096 m in
+  Alcotest.(check int) "no elision across impure call" 0
+    (Elide.total_elided r);
+  Coverage.enforce m
+
+let test_checker_catches_tampered_summary () =
+  (* inject a deliberately wrong summary (the storing helper declared
+     custody-safe): the elider trusts it and removes the second guard,
+     but the module checker and the witness re-check — both recomputing
+     the call-clobber relation independently — must refuse the result *)
+  let m = cross_call_module ~helper_stores:true in
+  let env = Tfm_analysis.Summary.compute m in
+  Tfm_analysis.Summary.set env "helper"
+    {
+      Tfm_analysis.Summary.ret = Tfm_analysis.Summary.Pnone;
+      escapes = [| false |];
+      eff =
+        {
+          Tfm_analysis.Summary.reads_heap = false;
+          writes_heap = false;
+          allocs = false;
+          frees = false;
+          calls_unknown = false;
+        };
+      custody_safe = true;
+    };
+  let r = Elide.run ~summaries:env ~object_size:4096 m in
+  Alcotest.(check int) "lying summary lets the elider fire" 1
+    (Elide.total_elided r);
+  Alcotest.(check bool) "honest coverage check refuses the module" true
+    (Coverage.check_module m <> []);
+  Alcotest.(check bool) "independent witness re-check refuses the elision"
+    true
+    (Coverage.check_witnesses m r.Elide.elisions <> []);
+  Alcotest.check_raises "enforce raises Unsound"
+    (Coverage.Unsound
+       (List.map Coverage.violation_to_string (Coverage.check_module m)))
+    (fun () -> Coverage.enforce m)
+
+let test_coverage_diagnostics_name_function () =
+  (* the violation string names the enclosing function, not just the
+     block — multi-function modules are otherwise undebuggable *)
+  let m = Ir.create_module () in
+  let bh = Builder.create m ~name:"inner_helper" ~nparams:1 in
+  ignore (Builder.load bh (Builder.arg 0));
+  Builder.ret bh None;
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b "inner_helper" [ p ]);
+  Builder.ret b None;
+  Verifier.check_module m;
+  match Coverage.check_module m with
+  | [ viol ] ->
+      let s = Coverage.violation_to_string viol in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "names the function" true
+        (contains s "inner_helper")
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
 (* -- guard pass report invariant --------------------------------------- *)
 
 let test_guard_report_invariant () =
@@ -406,4 +516,12 @@ let suite =
         test_witness_recheck_rejects_tampering;
       Alcotest.test_case "guard report invariant" `Quick
         test_guard_report_invariant;
+      Alcotest.test_case "cross-call elision needs summaries" `Quick
+        test_cross_call_elision_needs_summaries;
+      Alcotest.test_case "cross-call elision respects impure helper" `Quick
+        test_cross_call_elision_respects_impure_helper;
+      Alcotest.test_case "checker catches tampered summary" `Quick
+        test_checker_catches_tampered_summary;
+      Alcotest.test_case "coverage diagnostics name function" `Quick
+        test_coverage_diagnostics_name_function;
     ] )

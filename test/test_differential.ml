@@ -125,6 +125,7 @@ let run_tfm ?size_classes m ~object_size ~budget ~chunk_mode =
       profile = None;
       cost = Cost_model.default;
       elide = true;
+      summaries = true;
       check = true;
       dump_after = None;
     }

@@ -82,6 +82,19 @@ let test_function_args_and_calls () =
   Builder.ret b (Some r);
   Alcotest.(check int) "call with args" 6 (run m)
 
+let test_float_arg_helper_call () =
+  (* a defined IR function with float parameters must dispatch directly,
+     not through the intrinsic path (whose int coercion would trap) *)
+  let m = Ir.create_module () in
+  let bh = Builder.create m ~name:"fmadd" ~nparams:2 in
+  let prod = Builder.fbinop bh Ir.Fmul (Builder.arg 0) (Builder.arg 1) in
+  Builder.ret bh (Some (Builder.fbinop bh Ir.Fadd prod (Ir.Constf 0.5)))
+  ;
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let r = Builder.call b "fmadd" [ Ir.Constf 2.0; Ir.Constf 3.0 ] in
+  Builder.ret b (Some (Builder.fp_to_si b (Builder.fbinop b Ir.Fmul r (Ir.Constf 10.0))));
+  Alcotest.(check int) "float helper result" 65 (run m)
+
 let test_entry_args () =
   let m = Ir.create_module () in
   let b = Builder.create m ~name:"main" ~nparams:2 in
@@ -280,6 +293,8 @@ let suite =
       Alcotest.test_case "globals" `Quick test_globals;
       Alcotest.test_case "alloca frames" `Quick test_alloca_frames_restored;
       Alcotest.test_case "function calls" `Quick test_function_args_and_calls;
+      Alcotest.test_case "float-arg helper call" `Quick
+        test_float_arg_helper_call;
       Alcotest.test_case "entry args" `Quick test_entry_args;
       Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
       Alcotest.test_case "unknown function" `Quick test_unknown_function_traps;

@@ -201,6 +201,43 @@ let test_printer_golden () =
   Alcotest.(check string) "golden IR text" expected
     (Printer.func_to_string (Ir.find_func m "f"))
 
+let test_printer_annotated_roundtrip () =
+  (* annotated dump = plain dump + "  ; ..." suffixes on annotated
+     lines; stripping the suffixes must round-trip exactly *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 16 ] in
+  ignore (Builder.call b "helper" [ p ]);
+  ignore (Builder.load b p);
+  Builder.ret b None;
+  let bh = Builder.create m ~name:"helper" ~nparams:1 in
+  Builder.ret bh (Some (Builder.arg 0));
+  let annot (i : Ir.instr) =
+    match i.kind with
+    | Ir.Call { callee = "helper"; _ } -> Some "!summary ret=arg0 pure"
+    | _ -> None
+  in
+  let annotated = Printer.module_to_string_annotated annot m in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "annotation present" true
+    (contains annotated "  ; !summary ret=arg0 pure");
+  let strip line =
+    match String.index_opt line ';' with
+    | Some k when k >= 2 && String.sub line (k - 2) 2 = "  " ->
+        String.sub line 0 (k - 2)
+    | _ -> line
+  in
+  let stripped =
+    String.concat "\n"
+      (List.map strip (String.split_on_char '\n' annotated))
+  in
+  Alcotest.(check string) "stripping annotations round-trips"
+    (Printer.module_to_string m) stripped
+
 let suite =
   ( "ir",
     [
@@ -214,6 +251,8 @@ let suite =
       Alcotest.test_case "cfg postorder" `Quick test_cfg_postorder_entry_last;
       Alcotest.test_case "printer content" `Quick test_printer_roundtrip_content;
       Alcotest.test_case "printer golden" `Quick test_printer_golden;
+      Alcotest.test_case "printer annotated round-trip" `Quick
+        test_printer_annotated_roundtrip;
       Alcotest.test_case "instr count / map operands" `Quick
         test_instr_count_and_map_operands;
       Alcotest.test_case "while loop acc" `Quick test_while_loop_acc;

@@ -474,8 +474,8 @@ let test_pipeline_dump_after () =
   ignore (Trackfm.Pipeline.run config m);
   Alcotest.(check (list string)) "pass order"
     [
-      "runtime-init"; "loop-chunking"; "guard-transform"; "guard-elision";
-      "libc-transform";
+      "runtime-init"; "loop-chunking"; "summaries"; "guard-transform";
+      "guard-elision"; "libc-transform";
     ]
     (List.rev !seen)
 
