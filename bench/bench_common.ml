@@ -134,6 +134,77 @@ let table_json t =
              (Tfm_util.Table.rows t)) );
     ]
 
+(* -- span attribution export ---------------------------------------------
+
+   With --attribution-dir DIR, span-traced experiment runs also write one
+   attribution JSON per (workload, system) pair as
+   DIR/<experiment>-<label>.json — the same document `run --attribution`
+   emits, so successive harness invocations produce comparable
+   latency-breakdown trajectories alongside the BENCH_*.json tables. *)
+
+let attribution_dir : string option ref = ref None
+
+let span_sink ~op_classes =
+  let sink = ref Telemetry.Sink.nop in
+  let factory clock =
+    let s =
+      Telemetry.Sink.recording ~trace:false ~series_interval:250_000
+        ~spans:true ~op_classes clock
+    in
+    sink := s;
+    s
+  in
+  (sink, factory)
+
+(* TrackFM / Fastswap runs with the causal span tracker on; the returned
+   sink carries the per-class attribution for reporting/export. *)
+let tfm_spans ?blobs ?(object_size = 4096) ~op_classes ~budget build =
+  let opts =
+    {
+      Driver.object_size;
+      local_budget = budget;
+      chunk_mode = `Gated;
+      prefetch = true;
+      use_state_table = true;
+      profile_gate = true;
+      elide_guards = true;
+      use_summaries = true;
+      size_classes = [];
+      faults = active_faults ();
+      replicas = !replicas;
+      ack = !ack;
+    }
+  in
+  let sink, telemetry = span_sink ~op_classes in
+  let o, _ = Driver.run_trackfm ?blobs ~telemetry build opts in
+  Telemetry.Sink.final_sample !sink;
+  (o, !sink)
+
+let fastswap_spans ?blobs ~op_classes ~budget build =
+  let sink, telemetry = span_sink ~op_classes in
+  let o =
+    Driver.run_fastswap ?blobs ~faults:(active_faults ())
+      ~replicas:!replicas ~ack:!ack ~telemetry ~local_budget:budget build
+  in
+  Telemetry.Sink.final_sample !sink;
+  (o, !sink)
+
+let write_attribution ~experiment ~label sink ~meta =
+  match !attribution_dir with
+  | None -> ()
+  | Some dir -> (
+      match Telemetry.Sink.attribution_json sink ~meta with
+      | None -> ()
+      | Some j ->
+          let file =
+            Filename.concat dir (Printf.sprintf "%s-%s.json" experiment label)
+          in
+          let oc = open_out file in
+          Telemetry.Json.to_channel oc j;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "[attribution -> %s]\n" file)
+
 let flush_metrics ~experiment ~elapsed_s =
   let tables = List.rev !pending_tables in
   pending_tables := [];

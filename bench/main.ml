@@ -45,6 +45,8 @@ let experiments =
       Exp_faults.faults_goodput);
     ("durability", "Robustness: replicated tier vs crash faults",
       Exp_durability.durability);
+    ("attribution", "Observability: per-class latency attribution",
+      Exp_attribution.attribution);
   ]
 
 let () =
@@ -111,17 +113,25 @@ let () =
       !Bench_common.replicas;
     exit 1
   end;
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
   let args, dirs = extract_metrics_dir args in
   (match List.filter_map Fun.id dirs with
   | dir :: _ ->
-      let rec mkdir_p d =
-        if not (Sys.file_exists d) then begin
-          mkdir_p (Filename.dirname d);
-          Sys.mkdir d 0o755
-        end
-      in
       mkdir_p dir;
       Bench_common.metrics_dir := Some dir
+  | [] -> ());
+  (* --attribution-dir DIR: span-traced experiments also write their
+     per-run attribution JSON there. *)
+  let args, attr_dirs = extract_opt "--attribution-dir" args in
+  (match List.filter_map Fun.id attr_dirs with
+  | dir :: _ ->
+      mkdir_p dir;
+      Bench_common.attribution_dir := Some dir
   | [] -> ());
   let named =
     List.filter (fun a -> a <> "--quick" && a <> "--bechamel") args

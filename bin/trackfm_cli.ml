@@ -16,6 +16,8 @@ type workload = {
   blobs : (int * Bytes.t) list;
   working_set : int;
   expected : int;
+  op_classes : (int * string) list;
+      (* span operation classes the program marks with !op_begin/!op_end *)
 }
 
 let workloads () =
@@ -28,6 +30,7 @@ let workloads () =
       blobs = [];
       working_set = Stream.working_set_bytes ~n ~kernel ();
       expected = Stream.checksum ~n ~kernel ();
+      op_classes = [];
     }
   in
   let kme =
@@ -39,6 +42,7 @@ let workloads () =
       blobs = [];
       working_set = Kmeans.working_set_bytes p;
       expected = Kmeans.checksum p;
+      op_classes = Kmeans.op_classes;
     }
   in
   let hm =
@@ -50,6 +54,7 @@ let workloads () =
       blobs = [ (0, Hashmap.trace_blob p) ];
       working_set = Hashmap.working_set_bytes p;
       expected = Hashmap.checksum p;
+      op_classes = Hashmap.op_classes;
     }
   in
   let mc =
@@ -61,6 +66,7 @@ let workloads () =
       blobs = [ (0, Memcached.trace_blob p) ];
       working_set = Memcached.working_set_bytes p;
       expected = Memcached.checksum p;
+      op_classes = Memcached.op_classes;
     }
   in
   let an =
@@ -72,6 +78,7 @@ let workloads () =
       blobs = [];
       working_set = Analytics.working_set_bytes p;
       expected = Analytics.checksum p;
+      op_classes = [];
     }
   in
   let nas kernel =
@@ -84,6 +91,7 @@ let workloads () =
       blobs = [];
       working_set = Nas.working_set_bytes p;
       expected = Nas.checksum p;
+      op_classes = [];
     }
   in
   List.map stream [ Stream.Sum; Stream.Copy; Stream.Scale; Stream.Triad ]
@@ -208,18 +216,35 @@ let write_counters_json file ~workload ~system ~fault_cfg ~fault_seed ~replicas
 (* -- telemetry plumbing -- *)
 
 (* The drivers create their clocks internally, so the sink is captured
-   from inside the factory for post-run reporting. *)
-let capture_sink ~want_trace ~sample_interval =
+   from inside the factory for post-run reporting. [flight] arms the
+   flight recorder at sink creation so triggers fired mid-run (the first
+   retry, a breaker opening, a node crash) dump immediately. *)
+let capture_sink ~want_trace ~sample_interval ?(spans = false)
+    ?(op_classes = []) ?flight () =
   let sink = ref Telemetry.Sink.nop in
   let factory clock =
     let s =
       Telemetry.Sink.recording ~trace:want_trace
-        ~series_interval:sample_interval clock
+        ~series_interval:sample_interval ~spans ~op_classes clock
     in
+    Option.iter
+      (fun (path, meta) -> Telemetry.Sink.set_flight_recorder s ~path ~meta)
+      flight;
     sink := s;
     s
   in
   (sink, factory)
+
+(* Run identity carried into attribution and flight-recorder files, so a
+   dump names the configuration that produced it. *)
+let run_meta ~workload ~system ~fault_cfg ~fault_seed =
+  let open Telemetry.Json in
+  [
+    ("workload", String workload);
+    ("system", String system);
+    ("faults", String (Faults.to_string fault_cfg));
+    ("fault_seed", Int fault_seed);
+  ]
 
 let write_trace_file file (r : Telemetry.Sink.recorder) =
   match r.Telemetry.Sink.trace with
@@ -265,9 +290,76 @@ let export_telemetry sink trace_file metrics_file =
         Printf.eprintf "cannot write telemetry output: %s\n" msg;
         1)
 
+(* The sums-to-wall-clock invariant, asserted wherever spans are
+   reported or exported: a violation is a tracing bug, never silent. *)
+let assert_span_invariant sink =
+  match Telemetry.Sink.spans sink with
+  | None -> 0
+  | Some sp ->
+      if Telemetry.Span.violations sp = 0 then 0
+      else begin
+        Printf.eprintf
+          "span invariant VIOLATED (%d): %s — attribution does not sum to \
+           wall clock\n"
+          (Telemetry.Span.violations sp)
+          (Telemetry.Span.violation_note sp);
+        1
+      end
+
+let export_attribution sink file ~meta =
+  match file with
+  | None -> 0
+  | Some f -> (
+      match Telemetry.Sink.attribution_json sink ~meta with
+      | None -> 0
+      | Some j -> (
+          try
+            let oc = open_out f in
+            Telemetry.Json.to_channel oc j;
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "attribution: %s (%d epochs)\n" f
+              (Telemetry.Sink.epoch_count sink);
+            0
+          with Sys_error msg ->
+            Printf.eprintf "cannot write attribution JSON: %s\n" msg;
+            1))
+
+(* The guard-coverage checker raises before the run's sink exists (the
+   pipeline runs at compile time), so an armed flight recorder gets a
+   minimal dump written here instead of via a sink trigger. *)
+let write_minimal_flight file ~meta ~reason ~details =
+  let open Telemetry.Json in
+  let j =
+    Obj
+      (meta
+      @ [
+          ("kind", String "trackfm-flight-recorder");
+          ("version", Int 1);
+          ("reason", String reason);
+          ("at", Int 0);
+          ("details", List (List.map (fun s -> String s) details));
+          ("spans", List []);
+          ("events", List []);
+        ])
+  in
+  try
+    let oc = open_out file in
+    to_channel oc j;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "flight recorder: dumped to %s (%s)\n" file reason
+  with Sys_error msg ->
+    Printf.eprintf "cannot write flight-recorder dump: %s\n" msg
+
+let report_flight_dump sink =
+  Option.iter
+    (fun p -> Printf.printf "flight recorder: dumped to %s\n" p)
+    (Telemetry.Sink.flight_dumped sink)
+
 let run_cmd workload_name system local_pct object_size chunk prefetch summaries
     o1 fault_spec fault_seed replicas ack counters_json trace_file metrics_file
-    sample_interval =
+    sample_interval attribution_file flight_file =
   match (find_workload workload_name, Faults.parse fault_spec) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -287,16 +379,32 @@ let run_cmd workload_name system local_pct object_size chunk prefetch summaries
       if replicas > 1 then
         Printf.printf "replicas %d, ack %d\n" replicas ack;
       print_newline ();
+      let want_spans = attribution_file <> None || flight_file <> None in
+      let meta = run_meta ~workload:w.wname ~system ~fault_cfg ~fault_seed in
       let sink, telemetry =
-        if trace_file = None && metrics_file = None then
+        if trace_file = None && metrics_file = None && not want_spans then
           (ref Telemetry.Sink.nop, Driver.no_telemetry)
-        else capture_sink ~want_trace:(trace_file <> None) ~sample_interval
+        else
+          capture_sink ~want_trace:(trace_file <> None) ~sample_interval
+            ~spans:want_spans ~op_classes:w.op_classes
+            ?flight:(Option.map (fun f -> (f, meta)) flight_file)
+            ()
       in
       match
         exec_system w system ~budget ~object_size
           ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
           ~replicas ~ack ~telemetry (build_of w o1)
       with
+      | exception Tfm_checker.Coverage.Unsound errs ->
+          Printf.eprintf "checker: UNSOUND transform (%d violation(s)):\n"
+            (List.length errs);
+          List.iter (fun e -> Printf.eprintf "  %s\n" e) errs;
+          Option.iter
+            (fun f ->
+              write_minimal_flight f ~meta ~reason:"checker-unsound"
+                ~details:errs)
+            flight_file;
+          1
       | Error e ->
           prerr_endline e;
           1
@@ -310,7 +418,14 @@ let run_cmd workload_name system local_pct object_size chunk prefetch summaries
                   ~fault_seed ~replicas ~ack o)
               counters_json
           with
-          | () -> export_telemetry !sink trace_file metrics_file
+          | () ->
+              let rc_tel = export_telemetry !sink trace_file metrics_file in
+              let rc_attr = export_attribution !sink attribution_file ~meta in
+              let rc_inv =
+                if want_spans then assert_span_invariant !sink else 0
+              in
+              report_flight_dump !sink;
+              max rc_tel (max rc_attr rc_inv)
           | exception Sys_error msg ->
               Printf.eprintf "cannot write counters JSON: %s\n" msg;
               1))
@@ -422,7 +537,7 @@ let report_cmd workload_name system local_pct object_size chunk prefetch
              fault_seed
          else "");
       let sink, telemetry =
-        capture_sink ~want_trace:(trace_file <> None) ~sample_interval
+        capture_sink ~want_trace:(trace_file <> None) ~sample_interval ()
       in
       match
         exec_system w system ~budget ~object_size
@@ -445,6 +560,387 @@ let report_cmd workload_name system local_pct object_size chunk prefetch
               print_histograms r;
               print_sparklines r);
           export_telemetry !sink trace_file metrics_file)
+
+(* -- report critical-path / report slo: span-attribution views -- *)
+
+let cyc = Tfm_util.Units.cycles_to_string
+
+(* Both views print from one normalized row shape, filled either from a
+   live span tracker or from an attribution JSON read back with --from.
+   [cq] takes a percentile in (0, 100). *)
+type cp_class = {
+  cname : string;
+  cops : int;
+  cwall_total : int;
+  cwall_mean : float;
+  cq : float -> int option;
+  cwall_max : int;
+  ccats : (string * int) list;
+  cslowest : (int * int * (string * int) list) option; (* id, wall, cats *)
+}
+
+let cp_of_span sp =
+  let open Telemetry in
+  let cats_of arr =
+    List.map (fun c -> (Span.cat_name c, arr.(Span.cat_index c))) Span.categories
+  in
+  let rows =
+    List.map
+      (fun (cls, st) ->
+        let h = st.Span.wall_hist in
+        {
+          cname = Span.class_name sp cls;
+          cops = st.Span.ops;
+          cwall_total = Histogram.total h;
+          cwall_mean = Histogram.mean h;
+          cq = (fun p -> Histogram.percentile_opt h p);
+          cwall_max = Histogram.max_value h;
+          ccats = cats_of st.Span.cat_totals;
+          cslowest =
+            Option.map
+              (fun (r : Span.record) ->
+                (r.Span.id, r.Span.wall, cats_of r.Span.cats))
+              st.Span.slowest;
+        })
+      (Span.classes sp)
+  in
+  ( rows,
+    cats_of (Span.background sp),
+    Span.violations sp,
+    Span.violation_note sp )
+
+let cp_of_json j =
+  let module J = Telemetry.Json in
+  let int_of v =
+    match v with
+    | Some (J.Int n) -> n
+    | Some (J.Float f) -> int_of_float f
+    | _ -> 0
+  in
+  let float_of v =
+    match v with
+    | Some (J.Float f) -> f
+    | Some (J.Int n) -> float_of_int n
+    | _ -> 0.0
+  in
+  let cats_of v =
+    match v with
+    | Some (J.Obj kvs) ->
+        List.filter_map
+          (fun (k, x) -> match x with J.Int n -> Some (k, n) | _ -> None)
+          kvs
+    | _ -> []
+  in
+  let classes = match J.member "classes" j with Some (J.List l) -> l | _ -> [] in
+  let rows =
+    List.map
+      (fun c ->
+        let wmem k = Option.bind (J.member "wall" c) (J.member k) in
+        {
+          cname =
+            (match J.member "name" c with Some (J.String s) -> s | _ -> "?");
+          cops = int_of (J.member "ops" c);
+          cwall_total = int_of (wmem "total");
+          cwall_mean = float_of (wmem "mean");
+          cq =
+            (fun p ->
+              (* wall_json keys its percentiles the way the SLO grammar
+                 spells them (p50 ... p999), so reuse that rendering. *)
+              match wmem (Telemetry.Slo.metric_name (Telemetry.Slo.P p)) with
+              | Some (J.Int n) -> Some n
+              | _ -> None);
+          cwall_max = int_of (wmem "max");
+          ccats = cats_of (J.member "cycles" c);
+          cslowest =
+            (match J.member "slowest" c with
+            | Some (J.Obj _ as s) ->
+                Some
+                  ( int_of (J.member "id" s),
+                    int_of (J.member "wall" s),
+                    cats_of (J.member "cycles" s) )
+            | _ -> None);
+        })
+      classes
+  in
+  let inv = J.member "invariant" j in
+  ( rows,
+    cats_of (J.member "background" j),
+    int_of (Option.bind inv (J.member "violations")),
+    match Option.bind inv (J.member "note") with
+    | Some (J.String s) -> s
+    | _ -> "" )
+
+let print_critical_path ~title rows ~background ~violations ~note =
+  if rows = [] then begin
+    print_endline
+      "no operation spans recorded (the workload marks no operations with \
+       !op_begin, or the measured region ran none)";
+    0
+  end
+  else begin
+    let pct part whole =
+      if whole = 0 then 0.0
+      else 100.0 *. float_of_int part /. float_of_int whole
+    in
+    let lat =
+      Tfm_util.Table.create ~title:(title ^ ": per-class latency (cycles)")
+        ~columns:
+          [ "class"; "ops"; "mean"; "p50"; "p90"; "p99"; "p999"; "max" ]
+    in
+    List.iter
+      (fun c ->
+        let q p = match c.cq p with Some v -> cyc v | None -> "-" in
+        Tfm_util.Table.add_rowf lat "%s | %d | %.0f | %s | %s | %s | %s | %s"
+          c.cname c.cops c.cwall_mean (q 50.0) (q 90.0) (q 99.0) (q 99.9)
+          (cyc c.cwall_max))
+      rows;
+    Tfm_util.Table.print lat;
+    print_newline ();
+    let br =
+      Tfm_util.Table.create
+        ~title:"critical-path decomposition (share of wall cycles)"
+        ~columns:("class" :: "wall" :: Telemetry.Span.cat_names)
+    in
+    List.iter
+      (fun c ->
+        let cells =
+          List.map
+            (fun n ->
+              let v = try List.assoc n c.ccats with Not_found -> 0 in
+              Printf.sprintf "%.1f%%" (pct v c.cwall_total))
+            Telemetry.Span.cat_names
+        in
+        Tfm_util.Table.add_rowf br "%s | %s | %s" c.cname (cyc c.cwall_total)
+          (String.concat " | " cells))
+      rows;
+    Tfm_util.Table.print br;
+    let nonzero cats =
+      String.concat ", "
+        (List.filter_map
+           (fun (n, v) ->
+             if v > 0 then Some (Printf.sprintf "%s %s" n (cyc v)) else None)
+           cats)
+    in
+    List.iter
+      (fun c ->
+        match c.cslowest with
+        | None -> ()
+        | Some (id, wall, cats) ->
+            Printf.printf "slowest %-10s op #%d: %s wall = %s\n" c.cname id
+              (cyc wall) (nonzero cats))
+      rows;
+    if List.exists (fun (_, v) -> v > 0) background then
+      Printf.printf "outside spans (setup/background): %s\n"
+        (nonzero background);
+    if violations = 0 then begin
+      print_endline
+        "invariant: per-span category cycles sum exactly to wall clock (0 \
+         violations)";
+      0
+    end
+    else begin
+      Printf.printf "INVARIANT VIOLATED (%d): %s\n" violations note;
+      1
+    end
+  end
+
+(* Reading back an exported attribution file: every failure mode (absent,
+   unreadable, not JSON, wrong document) is a clear error naming the
+   path, exit 1 — never a backtrace. *)
+let load_attribution path =
+  match
+    try Ok (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error msg -> Error msg
+  with
+  | Error msg ->
+      Error (Printf.sprintf "cannot read attribution file %s: %s" path msg)
+  | Ok contents -> (
+      match Telemetry.Json.parse contents with
+      | Error e ->
+          Error (Printf.sprintf "attribution file %s is garbled: %s" path e)
+      | Ok j -> (
+          match Telemetry.Json.member "kind" j with
+          | Some (Telemetry.Json.String "trackfm-attribution") -> Ok j
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "attribution file %s is not a trackfm-attribution document \
+                    (wrong or missing \"kind\"; was it written by run \
+                    --attribution?)"
+                   path)))
+
+(* Shared live-run plumbing for the span-based report views. *)
+let with_live_spans w ~system ~local_pct ~object_size ~chunk ~prefetch
+    ~summaries ~o1 ~fault_cfg ~fault_seed k =
+  let faults = Faults.create ~seed:fault_seed fault_cfg in
+  let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
+  let sink, telemetry =
+    capture_sink ~want_trace:false ~sample_interval:250_000 ~spans:true
+      ~op_classes:w.op_classes ()
+  in
+  match
+    exec_system w system ~budget ~object_size
+      ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
+      ~replicas:1 ~ack:1 ~telemetry (build_of w o1)
+  with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok (o, _report) -> (
+      Telemetry.Sink.final_sample !sink;
+      if o.Driver.ret <> w.expected then
+        Printf.eprintf "warning: checksum %d does not match expected %d\n"
+          o.Driver.ret w.expected;
+      match Telemetry.Sink.spans !sink with
+      | None ->
+          prerr_endline "internal error: span tracker missing";
+          1
+      | Some sp -> k sp)
+
+let critical_path_cmd workload_opt system local_pct object_size chunk prefetch
+    summaries o1 fault_spec fault_seed from_file =
+  match from_file with
+  | Some path -> (
+      match load_attribution path with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok j ->
+          let rows, background, violations, note = cp_of_json j in
+          print_critical_path ~title:path rows ~background ~violations ~note)
+  | None -> (
+      match workload_opt with
+      | None ->
+          prerr_endline
+            "report critical-path: pass -w WORKLOAD (live run) or --from FILE";
+          1
+      | Some name -> (
+          match (find_workload name, Faults.parse fault_spec) with
+          | Error e, _ | _, Error e ->
+              prerr_endline e;
+              1
+          | Ok w, Ok fault_cfg ->
+              Printf.printf
+                "critical-path report: %s under %s, faults %s, seed %d\n\n"
+                w.wname system (Faults.to_string fault_cfg) fault_seed;
+              with_live_spans w ~system ~local_pct ~object_size ~chunk
+                ~prefetch ~summaries ~o1 ~fault_cfg ~fault_seed (fun sp ->
+                  let rows, background, violations, note = cp_of_span sp in
+                  print_critical_path
+                    ~title:(w.wname ^ " under " ^ system)
+                    rows ~background ~violations ~note)))
+
+let print_slo_outcomes outcomes =
+  let open Telemetry in
+  let t =
+    Tfm_util.Table.create ~title:"SLO evaluation"
+      ~columns:[ "class"; "metric"; "limit"; "actual"; "verdict" ]
+  in
+  List.iter
+    (fun o ->
+      Tfm_util.Table.add_rowf t "%s | %s | %s | %s | %s" o.Slo.o_cls
+        (Slo.metric_name o.Slo.o_metric)
+        (cyc o.Slo.o_limit)
+        (match o.Slo.o_actual with Some v -> cyc v | None -> "-")
+        (if o.Slo.o_pass then "PASS" else "FAIL"))
+    outcomes;
+  Tfm_util.Table.print t;
+  if Slo.all_pass outcomes then begin
+    print_endline "all SLOs met";
+    0
+  end
+  else begin
+    print_endline "SLO violations present";
+    1
+  end
+
+let lookup_rows rows ~cls ~metric =
+  match List.find_opt (fun r -> r.cname = cls) rows with
+  | None -> None
+  | Some r -> (
+      match metric with
+      | Telemetry.Slo.P p -> r.cq p
+      | Telemetry.Slo.Mean ->
+          if r.cops = 0 then None
+          else Some (int_of_float (r.cwall_mean +. 0.5))
+      | Telemetry.Slo.Max -> if r.cops = 0 then None else Some r.cwall_max)
+
+let slo_cmd workload_opt system local_pct object_size chunk prefetch summaries
+    o1 fault_spec fault_seed from_file slo_spec =
+  match Telemetry.Slo.parse slo_spec with
+  | Error e ->
+      Printf.eprintf "bad --slo spec: %s\n" e;
+      1
+  | Ok rules -> (
+      let evaluate rows violations note =
+        let rc_slo =
+          print_slo_outcomes
+            (Telemetry.Slo.evaluate rules
+               ~lookup:(fun ~cls metric -> lookup_rows rows ~cls ~metric))
+        in
+        if violations = 0 then rc_slo
+        else begin
+          Printf.printf "INVARIANT VIOLATED (%d): %s\n" violations note;
+          1
+        end
+      in
+      match from_file with
+      | Some path -> (
+          match load_attribution path with
+          | Error e ->
+              prerr_endline e;
+              1
+          | Ok j ->
+              let rows, _, violations, note = cp_of_json j in
+              evaluate rows violations note)
+      | None -> (
+          match workload_opt with
+          | None ->
+              prerr_endline
+                "report slo: pass -w WORKLOAD (live run) or --from FILE";
+              1
+          | Some name -> (
+              match (find_workload name, Faults.parse fault_spec) with
+              | Error e, _ | _, Error e ->
+                  prerr_endline e;
+                  1
+              | Ok w, Ok fault_cfg ->
+                  Printf.printf "SLO report: %s under %s, spec %s\n\n" w.wname
+                    system slo_spec;
+                  with_live_spans w ~system ~local_pct ~object_size ~chunk
+                    ~prefetch ~summaries ~o1 ~fault_cfg ~fault_seed (fun sp ->
+                      let rows, _, violations, note = cp_of_span sp in
+                      evaluate rows violations note))))
+
+(* -- validate: JSON schema check (CI validates exported traces) -- *)
+
+let validate_cmd schema_file input_file =
+  let read what path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | contents -> Ok contents
+    | exception Sys_error msg ->
+        Error (Printf.sprintf "cannot read %s %s: %s" what path msg)
+  in
+  let parse what path contents =
+    match Telemetry.Json.parse contents with
+    | Ok j -> Ok j
+    | Error e -> Error (Printf.sprintf "%s %s is not valid JSON: %s" what path e)
+  in
+  let load what path =
+    Result.bind (read what path) (parse what path)
+  in
+  match (load "schema" schema_file, load "input" input_file) with
+  | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+  | Ok schema, Ok v -> (
+      match Telemetry.Json.validate ~schema v with
+      | Ok () ->
+          Printf.printf "%s: valid against %s\n" input_file schema_file;
+          0
+      | Error e ->
+          Printf.eprintf "%s: schema violation: %s\n" input_file e;
+          1)
 
 let sweep_cmd workload_name object_size =
   match find_workload workload_name with
@@ -769,14 +1265,35 @@ let sample_interval_arg =
     & info [ "sample-interval" ] ~docv:"CYCLES"
         ~doc:"Simulated cycles between counter snapshots.")
 
+let attribution_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attribution" ] ~docv:"FILE"
+        ~doc:
+          "Enable causal span tracing and write the per-class critical-path \
+           attribution summary (JSON) to $(docv); read it back with report \
+           critical-path --from or report slo --from.")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:
+          "Arm the flight recorder: on the first fault, breaker opening, \
+           node crash or checker violation, dump the recent span and event \
+           rings to $(docv).")
+
 let run_term =
   Term.(
-    const (fun w s m o c np ns o1 fs fseed repl ack cj tr me si ->
-        run_cmd w s m o c (not np) (not ns) o1 fs fseed repl ack cj tr me si)
+    const (fun w s m o c np ns o1 fs fseed repl ack cj tr me si attr fl ->
+        run_cmd w s m o c (not np) (not ns) o1 fs fseed repl ack cj tr me si
+          attr fl)
     $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
     $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg $ fault_seed_arg
     $ replicas_arg $ ack_arg $ counters_json_arg $ trace_arg $ metrics_arg
-    $ sample_interval_arg)
+    $ sample_interval_arg $ attribution_arg $ flight_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
 
@@ -792,7 +1309,87 @@ let report_info =
   Cmd.info "report"
     ~doc:
       "Run a workload with telemetry and print guard-site hotspots, latency \
-       histograms and counter sparklines"
+       histograms and counter sparklines (subcommands: critical-path, slo)"
+
+let workload_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Workload to run live (omit when reading --from).")
+
+let from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from" ] ~docv:"FILE"
+        ~doc:
+          "Read a previously exported attribution JSON (run --attribution) \
+           instead of running a workload.")
+
+let critical_path_term =
+  Term.(
+    const (fun w s m o c np ns o1 fs fseed from ->
+        critical_path_cmd w s m o c (not np) (not ns) o1 fs fseed from)
+    $ workload_opt_arg $ system_arg $ local_mem_arg $ object_size_arg
+    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
+    $ fault_seed_arg $ from_arg)
+
+let critical_path_info =
+  Cmd.info "critical-path"
+    ~doc:
+      "Per-operation-class latency percentiles and the exact per-category \
+       cycle decomposition (compute, guard paths, queueing, retry, failover, \
+       eviction), live or from an attribution file"
+
+let slo_spec_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Declarative SLOs: semicolon-separated class:objectives, each \
+           objective metric<=limit (metrics pNN, mean, max; limits in \
+           cycles with k/m/g suffixes), e.g. \
+           'lookup:p99<=250k,p50<=40k;get:p999<=2m'.")
+
+let slo_term =
+  Term.(
+    const (fun w s m o c np ns o1 fs fseed from spec ->
+        slo_cmd w s m o c (not np) (not ns) o1 fs fseed from spec)
+    $ workload_opt_arg $ system_arg $ local_mem_arg $ object_size_arg
+    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
+    $ fault_seed_arg $ from_arg $ slo_spec_arg)
+
+let slo_info =
+  Cmd.info "slo"
+    ~doc:
+      "Evaluate declarative latency SLOs against per-class span percentiles; \
+       exit 1 on any violation"
+
+let report_group =
+  Cmd.group ~default:report_term report_info
+    [ Cmd.v critical_path_info critical_path_term; Cmd.v slo_info slo_term ]
+
+let schema_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "schema" ] ~docv:"FILE" ~doc:"Schema file (JSON).")
+
+let validate_input_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"INPUT" ~doc:"JSON file to validate.")
+
+let validate_term = Term.(const validate_cmd $ schema_arg $ validate_input_arg)
+
+let validate_info =
+  Cmd.info "validate"
+    ~doc:
+      "Validate a JSON file (exported trace, attribution) against a \
+       checked-in structural schema"
 
 let list_info = Cmd.info "list" ~doc:"List available workloads"
 
@@ -845,12 +1442,13 @@ let main =
        ~doc:"TrackFM far-memory reproduction driver")
     [
       Cmd.v run_info run_term;
-      Cmd.v report_info report_term;
+      report_group;
       Cmd.v list_info Term.(const list_cmd $ const ());
       Cmd.v sweep_info sweep_term;
       Cmd.v autotune_info autotune_term;
       Cmd.v check_info check_term;
       Cmd.v summaries_info summaries_term;
+      Cmd.v validate_info validate_term;
     ]
 
 let () = exit (Cmd.eval' main)

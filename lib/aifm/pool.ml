@@ -157,19 +157,27 @@ let evict_one t = evict_one_with ~allow_writeback:true t
    top). Only a pinned-everything state with a reachable remote is a
    genuine OOM. *)
 let evict_until_fits t =
-  (* The evacuator doubles as the recovery driver: each pressure event
-     advances background re-replication onto any recovering node. *)
-  ignore (Net.resync_step t.net : int);
-  let deferred = ref false in
-  while (not !deferred) && t.used > t.budget do
-    let allow_writeback = Net.remote_available t.net in
-    if evict_one_with ~allow_writeback t then ()
-    else if allow_writeback then raise Out_of_local_memory
-    else begin
-      Clock.count t.clock "aifm.evictions_deferred" 1;
-      deferred := true
-    end
-  done
+  (* Making room is charged to the eviction-stall category: resync
+     orchestration, CLOCK sweeps, writeback enqueues and the eviction
+     ticks themselves (transport stalls nested inside keep their own
+     retry/failover attribution). *)
+  Telemetry.Sink.cat_enter t.telemetry Telemetry.Span.Evict_stall;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Sink.cat_exit t.telemetry)
+    (fun () ->
+      (* The evacuator doubles as the recovery driver: each pressure event
+         advances background re-replication onto any recovering node. *)
+      ignore (Net.resync_step t.net : int);
+      let deferred = ref false in
+      while (not !deferred) && t.used > t.budget do
+        let allow_writeback = Net.remote_available t.net in
+        if evict_one_with ~allow_writeback t then ()
+        else if allow_writeback then raise Out_of_local_memory
+        else begin
+          Clock.count t.clock "aifm.evictions_deferred" 1;
+          deferred := true
+        end
+      done)
 
 let make_local t id m =
   set_meta t id (m lor bit_exists lor bit_local lor bit_hot);

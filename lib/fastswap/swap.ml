@@ -16,6 +16,7 @@ type t = {
   state : (int, int) Hashtbl.t; (* page index -> bits *)
   lru : int Queue.t;
   mutable present : int;
+  telemetry : Telemetry.Sink.t;
 }
 
 let create ?(readahead = 0) ?(faults = Faults.disabled) ?cluster
@@ -36,6 +37,7 @@ let create ?(readahead = 0) ?(faults = Faults.disabled) ?cluster
     state = Hashtbl.create 4096;
     lru = Queue.create ();
     present = 0;
+    telemetry;
   }
 
 let net t = t.net
@@ -84,25 +86,32 @@ let reclaim_one_with ~allow_writeback t =
   go ()
 
 let reclaim_until_fits t =
-  (* The reclaim core doubles as the recovery driver (Fastswap's
-     dedicated reclaim CPU): each pass advances re-replication onto any
-     recovering remote node. *)
-  ignore (Net.resync_step t.net : int);
-  let deferred = ref false in
-  while (not !deferred) && t.present > t.budget_pages do
-    let allow_writeback = Net.remote_available t.net in
-    if reclaim_one_with ~allow_writeback t then ()
-    else if allow_writeback then
-      (* Nothing reclaimable: a kernel would OOM; surface it. *)
-      failwith "Fastswap: local memory exhausted with nothing reclaimable"
-    else begin
-      (* Outage: every reclaimable page is dirty and the writeback path
-         is down. Defer — present pages overshoot the budget until the
-         remote recovers and the next reclaim drains the excess. *)
-      Clock.count t.clock "fastswap.reclaim_deferred" 1;
-      deferred := true
-    end
-  done
+  (* Reclaim work is the swap path's eviction stall; transport stalls
+     nested inside keep their own retry/failover attribution. *)
+  Telemetry.Sink.cat_enter t.telemetry Telemetry.Span.Evict_stall;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Sink.cat_exit t.telemetry)
+    (fun () ->
+      (* The reclaim core doubles as the recovery driver (Fastswap's
+         dedicated reclaim CPU): each pass advances re-replication onto
+         any recovering remote node. *)
+      ignore (Net.resync_step t.net : int);
+      let deferred = ref false in
+      while (not !deferred) && t.present > t.budget_pages do
+        let allow_writeback = Net.remote_available t.net in
+        if reclaim_one_with ~allow_writeback t then ()
+        else if allow_writeback then
+          (* Nothing reclaimable: a kernel would OOM; surface it. *)
+          failwith "Fastswap: local memory exhausted with nothing reclaimable"
+        else begin
+          (* Outage: every reclaimable page is dirty and the writeback
+             path is down. Defer — present pages overshoot the budget
+             until the remote recovers and the next reclaim drains the
+             excess. *)
+          Clock.count t.clock "fastswap.reclaim_deferred" 1;
+          deferred := true
+        end
+      done)
 
 (* A write fault maps the PTE dirty immediately (as the kernel does), so
    the map-time reclaim pass already sees the new page as unevictable
@@ -117,7 +126,13 @@ let map_page t p ~hot ~dirty =
   Queue.push p t.lru;
   reclaim_until_fits t
 
+(* Page faults are the paging analogue of the guard slow path: the
+   whole fault (kernel software cost, RDMA read, readahead, map-time
+   reclaim) is one slow-path window on the open span. *)
 let fault_page t p ~write =
+  Telemetry.Sink.cat_enter t.telemetry Telemetry.Span.Guard_slow;
+  Fun.protect ~finally:(fun () -> Telemetry.Sink.cat_exit t.telemetry)
+  @@ fun () ->
   let s = get_state t p in
   if s land bit_swapped <> 0 then begin
     (* Major fault: kernel software path plus the RDMA page read. *)

@@ -33,6 +33,14 @@ let base_intrinsics ?(telemetry = Telemetry.Sink.nop) clock name
          instruction. Never touches remotable memory. *)
       Memsim.Clock.tick clock args.(0);
       Some 0
+  | "!op_begin" ->
+      (* Span boundary: one operation of class args.(0) starts here.
+         Free of simulated cycles — tracing must not perturb timing. *)
+      Telemetry.Sink.op_begin telemetry ~cls:args.(0);
+      Some 0
+  | "!op_end" ->
+      Telemetry.Sink.op_end telemetry;
+      Some 0
   | _ -> None
 
 let local ?(telemetry = Telemetry.Sink.nop) cost clock store =
@@ -148,7 +156,7 @@ let trackfm rt store =
         | "!tfm_init" ->
             initialized := true;
             Some 0
-        | "!bench_begin" | "!cpu_work" ->
+        | "!bench_begin" | "!cpu_work" | "!op_begin" | "!op_end" ->
             base_intrinsics ~telemetry:(R.telemetry rt) clock name args
         | "tfm_malloc" ->
             require_init name;

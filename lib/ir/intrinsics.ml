@@ -43,8 +43,9 @@ let classify = function
       Alloc
   | "free" | "tfm_free" -> Free
   | name when String.length name > 0 && name.[0] = '!' ->
-      (* !tfm_init, !tfm_chunk_init, !bench_begin, !cpu_work, !load_blob:
-         simulator/bookkeeping hooks that never evict. *)
+      (* !tfm_init, !tfm_chunk_init, !bench_begin, !cpu_work, !load_blob,
+         !op_begin, !op_end: simulator/bookkeeping hooks that never
+         evict. *)
       Neutral
   | _ -> Unknown
 

@@ -50,6 +50,12 @@ type t = {
   mutable breaker : breaker;
   mutable stall_handler : cycles:int -> unit;
   mutable on_event : event -> unit;
+  (* Causal-attribution scope hooks (installed by the telemetry sink):
+     cycles charged between [span_enter k] and [span_leave ()] belong to
+     fault-path retries or to replica failover, not to the fetch itself.
+     Default no-ops; the fault-free fetch path never calls them. *)
+  mutable span_enter : [ `Retry | `Failover ] -> unit;
+  mutable span_leave : unit -> unit;
 }
 
 let create ?(faults = Faults.disabled) ?cluster ?(policy = default_policy)
@@ -72,12 +78,25 @@ let create ?(faults = Faults.disabled) ?cluster ?(policy = default_policy)
     breaker = Closed;
     stall_handler = (fun ~cycles:_ -> ());
     on_event = (fun _ -> ());
+    span_enter = (fun _ -> ());
+    span_leave = (fun () -> ());
   }
 
 let faults t = t.faults
 let cluster t = t.cluster
 let set_stall_handler t f = t.stall_handler <- f
 let on_event t f = t.on_event <- f
+
+let set_span_scope t ~enter ~leave =
+  t.span_enter <- enter;
+  t.span_leave <- leave
+
+(* Run [f] inside an attribution scope, even across exceptions (none of
+   the fault paths raise today, but the hook contract must not depend on
+   that). *)
+let in_scope t kind f =
+  t.span_enter kind;
+  Fun.protect ~finally:t.span_leave f
 let remote_available t = t.breaker = Closed
 
 (* Sleeping (backoff, waiting out an open breaker) charges the simulated
@@ -128,11 +147,11 @@ let close_breaker t =
    their overlap, so every failure costs wire-level cycles. *)
 let wire_attempt t ~bytes ~success_latency ~prefetched =
   let now = Clock.cycles t.clock in
-  if Faults.in_outage t.faults ~now then begin
-    Clock.tick t.clock t.policy.attempt_timeout;
-    Clock.count t.clock "net.timeouts" 1;
-    `Failed `Timeout
-  end
+  if Faults.in_outage t.faults ~now then
+    in_scope t `Retry (fun () ->
+        Clock.tick t.clock t.policy.attempt_timeout;
+        Clock.count t.clock "net.timeouts" 1;
+        `Failed `Timeout)
   else
     match Faults.attempt t.faults with
     | Faults.Deliver extra ->
@@ -147,13 +166,15 @@ let wire_attempt t ~bytes ~success_latency ~prefetched =
         `Delivered
     | Faults.Nack ->
         (* The remote answered with a refusal: one round trip burned. *)
-        Clock.tick t.clock t.latency;
-        Clock.count t.clock "net.nacks" 1;
-        `Failed `Nack
+        in_scope t `Retry (fun () ->
+            Clock.tick t.clock t.latency;
+            Clock.count t.clock "net.nacks" 1;
+            `Failed `Nack)
     | Faults.Timeout ->
-        Clock.tick t.clock t.policy.attempt_timeout;
-        Clock.count t.clock "net.timeouts" 1;
-        `Failed `Timeout
+        in_scope t `Retry (fun () ->
+            Clock.tick t.clock t.policy.attempt_timeout;
+            Clock.count t.clock "net.timeouts" 1;
+            `Failed `Timeout)
 
 (* Exponential backoff with deterministic decorrelating jitter: sleep in
    [backoff/2, backoff], doubling per retry up to the cap. *)
@@ -169,7 +190,8 @@ let try_fetch_faulted t ~bytes ~success_latency ~prefetched =
   match t.breaker with
   | Open { probe_at; _ } when now < probe_at ->
       (* Fail fast: no wire traffic while the breaker is open. *)
-      Clock.tick t.clock t.policy.fail_fast_cycles;
+      in_scope t `Retry (fun () ->
+          Clock.tick t.clock t.policy.fail_fast_cycles);
       Clock.count t.clock "net.fail_fast" 1;
       Error (Unreachable { probe_at })
   | Open _ -> (
@@ -216,7 +238,7 @@ let try_fetch_faulted t ~bytes ~success_latency ~prefetched =
               Clock.count t.clock "net.retries" 1;
               Clock.count t.clock "net.backoff_cycles" backoff;
               t.on_event (Retry { attempt; backoff; reason });
-              stall t backoff;
+              in_scope t `Retry (fun () -> stall t backoff);
               attempt_loop (attempt + 1)
             end
       in
@@ -240,10 +262,11 @@ let rec fetch_blocking t ~bytes ~success_latency ~prefetched =
   match try_fetch_with t ~bytes ~success_latency ~prefetched with
   | Ok () -> ()
   | Error e ->
-      (match e with
-      | Unreachable { probe_at } ->
-          stall t (probe_at - Clock.cycles t.clock)
-      | Budget_exhausted _ -> stall t t.policy.backoff_cap);
+      in_scope t `Retry (fun () ->
+          match e with
+          | Unreachable { probe_at } ->
+              stall t (probe_at - Clock.cycles t.clock)
+          | Budget_exhausted _ -> stall t t.policy.backoff_cap);
       (* After the first failed op the overlap window is long gone. *)
       fetch_blocking t ~bytes ~success_latency:t.latency ~prefetched
 
@@ -297,12 +320,13 @@ let replicated_fetch t c ~key ~bytes ~success_latency ~prefetched =
         | Some at ->
             (* Every visible copy is down, but a lagged replica write is
                in flight: wait for it to apply, then retry. *)
-            stall t (max 1 (at - Clock.monotonic t.clock));
+            in_scope t `Failover (fun () ->
+                stall t (max 1 (at - Clock.monotonic t.clock)));
             go ~excluded ~success_latency:t.latency
         | None ->
             (* No copy anywhere, none coming: the object is gone. One
                round trip to learn it; the workload reads zeroes. *)
-            Clock.tick t.clock t.latency;
+            in_scope t `Failover (fun () -> Clock.tick t.clock t.latency);
             (match Cluster.declare_lost c ~key with
             | `Lost ->
                 Clock.count t.clock "net.lost_objects" 1;
@@ -319,10 +343,11 @@ let replicated_fetch t c ~key ~bytes ~success_latency ~prefetched =
         end;
         match try_fetch_with t ~bytes ~success_latency ~prefetched with
         | Error (Unreachable { probe_at }) ->
-            stall t (probe_at - Clock.cycles t.clock);
+            in_scope t `Failover (fun () ->
+                stall t (probe_at - Clock.cycles t.clock));
             go ~excluded ~success_latency:t.latency
         | Error (Budget_exhausted _) ->
-            stall t t.policy.backoff_cap;
+            in_scope t `Failover (fun () -> stall t t.policy.backoff_cap);
             go ~excluded ~success_latency:t.latency
         | Ok () ->
             if Cluster.corrupt_draw c ~node then begin

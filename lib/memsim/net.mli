@@ -154,6 +154,15 @@ val on_event : t -> (event -> unit) -> unit
 (** Observe fault-path events (telemetry bridge). One handler; the last
     installed wins. *)
 
+val set_span_scope :
+  t -> enter:([ `Retry | `Failover ] -> unit) -> leave:(unit -> unit) -> unit
+(** Causal-attribution hooks (installed by the telemetry sink): cycles
+    the transport charges between [enter kind] and the matching [leave]
+    belong to fault-path retries/backoff/breaker waits ([`Retry]) or to
+    replica-ladder walks, lag waits and loss declaration ([`Failover])
+    rather than to the fetch itself. Scopes nest; the fault-free fetch
+    path never calls them. Defaults are no-ops. *)
+
 val bytes_in : t -> int
 val bytes_out : t -> int
 val fetches : t -> int

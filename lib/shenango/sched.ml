@@ -17,17 +17,37 @@ let try_block l = try block l; true with Effect.Unhandled _ -> false
 
 (* A runnable continuation becomes ready at [wake_at]; the single core
    executes at [core_time], advancing over Work and jumping forward when
-   every task is still blocked. *)
-type runnable = { wake_at : int; seq : int; k : (unit, unit) Effect.Deep.continuation option }
+   every task is still blocked. [ctx] is the switch-hook token saved
+   when the task left the core. *)
+type runnable = {
+  wake_at : int;
+  seq : int;
+  k : (unit, unit) Effect.Deep.continuation option;
+  ctx : int option;
+}
+
+(* Context-switch hooks (telemetry glue, e.g. span save/restore): [save]
+   captures whatever per-task state the observer keeps and returns a
+   token; [restore] reinstates it just before the task resumes, with
+   [queued] the cycles the task sat runnable waiting for the core. *)
+type switch_hooks = {
+  save : unit -> int;
+  restore : token:int -> queued:int -> unit;
+}
 
 type t = {
   mutable tasks : (unit -> unit) list;
   mutable queue : runnable list; (* sorted by (wake_at, seq) *)
   mutable core_time : int;
   mutable next_seq : int;
+  mutable hooks : switch_hooks option;
 }
 
-let create () = { tasks = []; queue = []; core_time = 0; next_seq = 0 }
+let create () =
+  { tasks = []; queue = []; core_time = 0; next_seq = 0; hooks = None }
+
+let set_switch_hooks t h = t.hooks <- h
+let time t = t.core_time
 
 let spawn t f = t.tasks <- t.tasks @ [ f ]
 
@@ -46,7 +66,10 @@ let run t =
   let enqueue_ready wake_at k =
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    push t { wake_at; seq; k }
+    (* The task is leaving the core: detach its observer context so the
+       next task to run does not inherit its open span/frames. *)
+    let ctx = Option.map (fun h -> h.save ()) t.hooks in
+    push t { wake_at; seq; k; ctx }
   in
   (* Start a task under the scheduler's handler. *)
   let start f =
@@ -89,6 +112,11 @@ let run t =
     | [], r :: rest ->
         t.queue <- rest;
         if r.wake_at > t.core_time then t.core_time <- r.wake_at;
+        (match (t.hooks, r.ctx) with
+        | Some h, Some token ->
+            (* [queued]: ready at [wake_at] but only scheduled now. *)
+            h.restore ~token ~queued:(t.core_time - r.wake_at)
+        | _ -> ());
         (match r.k with
         | Some k -> continue k ()
         | None -> ());

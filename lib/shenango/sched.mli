@@ -22,7 +22,23 @@
 
 type t
 
+type switch_hooks = {
+  save : unit -> int;
+  restore : token:int -> queued:int -> unit;
+}
+(** Context-switch observer (telemetry glue): [save] is called when a
+    task leaves the core (block or yield) and returns a token;
+    [restore ~token ~queued] is called just before that task resumes,
+    with [queued] the cycles it sat runnable waiting for the core. The
+    span tracker threads per-request contexts through the scheduler with
+    exactly this pair. *)
+
 val create : unit -> t
+
+val set_switch_hooks : t -> switch_hooks option -> unit
+
+val time : t -> int
+(** Current core time (also valid outside {!run}, e.g. after it). *)
 
 val spawn : t -> (unit -> unit) -> unit
 (** Register a task. Tasks only run inside {!run}. *)

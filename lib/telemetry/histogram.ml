@@ -106,6 +106,12 @@ let quantile t q =
 
 let percentile t p = quantile t (p /. 100.0)
 
+let quantile_opt t q =
+  if t.count = 0 || not (q >= 0.0 && q <= 1.0) then None
+  else Some (quantile t q)
+
+let percentile_opt t p = quantile_opt t (p /. 100.0)
+
 let merge_into ~dst src =
   Array.iteri
     (fun i n -> if n > 0 then dst.counts.(i) <- dst.counts.(i) + n)

@@ -38,6 +38,14 @@ val quantile : t -> float -> int
 val percentile : t -> float -> int
 (** [percentile t p = quantile t (p /. 100.)]. *)
 
+val quantile_opt : t -> float -> int option
+(** Like {!quantile} but [None] on an empty histogram or [q] outside
+    [0, 1] — the form report code should use, since empty inputs are
+    routine there. *)
+
+val percentile_opt : t -> float -> int option
+(** [percentile_opt t p = quantile_opt t (p /. 100.)]. *)
+
 val merge_into : dst:t -> t -> unit
 
 val buckets : t -> (int * int * int) list

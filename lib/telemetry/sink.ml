@@ -2,6 +2,16 @@ type path = [ `Fast | `Slow | `Locality | `Custody ]
 
 let unknown_site = { Site.func = "<unknown>"; instr = -1 }
 
+(* Per-epoch per-site activity deltas (the hybrid selector's data feed);
+   slots follow [epoch_fields]. *)
+type epoch = { eat : int; erows : (Site.key * int array) list }
+
+let epoch_fields =
+  [|
+    "fast"; "slow"; "locality"; "custody"; "writes"; "bytes_in"; "bytes_out";
+    "guard_cycles";
+  |]
+
 type recorder = {
   clock : Memsim.Clock.t;
   sites : Site.t;
@@ -10,6 +20,11 @@ type recorder = {
   retry_backoff : Histogram.t;
   series : Series.t option;
   trace : Trace.t option;
+  mutable spans : Span.t option;
+  epoch_prev : (Site.key, int array) Hashtbl.t;
+  mutable epochs : epoch list; (* newest first *)
+  mutable flight : (string * (string * Json.t) list) option;
+  mutable flight_dumped : string option;
   mutable cur : Site.key;
   mutable ts_base : int;
   mutable last_sample_at : int;
@@ -35,6 +50,33 @@ let trace_counter_groups =
     ("memory", [ "net.fetches"; "aifm.evictions"; "aifm.writebacks" ]);
   ]
 
+(* Close one site-profile epoch: the delta of every site's counters
+   since the previous sample, sorted by site key so export order never
+   depends on hash-table iteration. All-zero rows (and epochs) are
+   dropped. *)
+let epoch_snap (s : Site.stat) =
+  [|
+    s.Site.fast; s.Site.slow; s.Site.locality; s.Site.custody; s.Site.writes;
+    s.Site.bytes_in; s.Site.bytes_out; s.Site.guard_cycles;
+  |]
+
+let epoch_sample r ~at =
+  let rows =
+    List.filter_map
+      (fun (k, s) ->
+        let cur = epoch_snap s in
+        let d =
+          match Hashtbl.find_opt r.epoch_prev k with
+          | None -> cur
+          | Some prev -> Array.mapi (fun i v -> v - prev.(i)) cur
+        in
+        Hashtbl.replace r.epoch_prev k cur;
+        if Array.exists (fun x -> x <> 0) d then Some (k, d) else None)
+      (Site.rows r.sites)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if rows <> [] then r.epochs <- { eat = at; erows = rows } :: r.epochs
+
 (* Idempotent per simulated instant, so an extra [final_sample] (e.g.
    report printing and then file export) does not duplicate counter
    events in the trace. *)
@@ -47,6 +89,7 @@ let take_sample r =
   (match r.series with
   | Some s -> Series.record s ~at counters
   | None -> ());
+  if r.spans <> None then epoch_sample r ~at;
   match r.trace with
   | None -> ()
   | Some tr ->
@@ -65,7 +108,8 @@ let take_sample r =
   end
 
 let recording ?(trace = true) ?(trace_limit = 1_000_000)
-    ?(series_interval = 250_000) clock =
+    ?(series_interval = 250_000) ?(spans = false) ?(op_classes = [])
+    ?(span_ring = 256) clock =
   let r =
     {
       clock;
@@ -77,13 +121,26 @@ let recording ?(trace = true) ?(trace_limit = 1_000_000)
         (if series_interval > 0 then Some (Series.create ~interval:series_interval)
          else None);
       trace = (if trace then Some (Trace.create ~limit:trace_limit ()) else None);
+      spans = None;
+      epoch_prev = Hashtbl.create 64;
+      epochs = [];
+      flight = None;
+      flight_dumped = None;
       cur = unknown_site;
       ts_base = 0;
       last_sample_at = -1;
     }
   in
+  if spans then
+    r.spans <-
+      Some
+        (Span.create ~ring:span_ring ~classes:op_classes
+           ~now:(fun () -> now r)
+           ());
   let wants_sampler =
-    match (r.series, r.trace) with None, None -> false | _ -> true
+    match (r.series, r.trace, r.spans) with
+    | None, None, None -> false
+    | _ -> true
   in
   if wants_sampler then
     Memsim.Clock.set_sampler clock
@@ -113,9 +170,54 @@ let note_reset = function
          too — the hotspot totals must keep matching the clock — while
          the trace and time-series keep the whole run. *)
       Site.clear r.sites;
+      Hashtbl.reset r.epoch_prev;
       Histogram.clear r.guard_cycles;
       Histogram.clear r.fetch_bytes;
       Histogram.clear r.retry_backoff
+
+(* -- spans ---------------------------------------------------------------- *)
+
+let spans = function Nop -> None | Rec r -> r.spans
+
+let with_spans t f =
+  match t with
+  | Nop -> ()
+  | Rec { spans = None; _ } -> ()
+  | Rec { spans = Some sp; _ } -> f sp
+
+let op_begin t ~cls = with_spans t (fun sp -> Span.op_begin sp ~cls)
+let op_end t = with_spans t (fun sp -> Span.op_end sp)
+let cat_enter t cat = with_spans t (fun sp -> Span.enter sp cat)
+let cat_exit t = with_spans t (fun sp -> Span.exit sp)
+let cat_reclass t cat = with_spans t (fun sp -> Span.reclass sp cat)
+
+(* -- flight recorder ------------------------------------------------------ *)
+
+let set_flight_recorder t ~path ~meta =
+  match t with Nop -> () | Rec r -> r.flight <- Some (path, meta)
+
+let flight_dumped = function Nop -> None | Rec r -> r.flight_dumped
+
+(* Dump-once: the ring is serialized at the instant of the first
+   trigger, so the file shows the system's state when things first went
+   wrong, not at exit. Write failures warn instead of killing the run —
+   the recorder must never take down what it is observing. *)
+let flight_trigger t ~reason =
+  match t with
+  | Nop -> ()
+  | Rec r -> (
+      match (r.flight, r.spans, r.flight_dumped) with
+      | Some (path, meta), Some sp, None -> (
+          let json = Span.flight_json sp ~reason ~meta in
+          try
+            let oc = open_out path in
+            Json.to_channel oc json;
+            output_char oc '\n';
+            close_out oc;
+            r.flight_dumped <- Some path
+          with Sys_error e ->
+            Printf.eprintf "warning: flight recorder write failed: %s\n%!" e)
+      | _ -> ())
 
 (* -- events -------------------------------------------------------------- *)
 
@@ -207,7 +309,45 @@ let prefetch_event t ~from ~stride ~depth =
 (* Fabric-fault events from the transport (Net installs this bridge via
    its [on_event] hook): retry backoffs feed a histogram, breaker
    open/close pairs become outage spans on the trace's fault track. *)
+(* Fault events feed the flight recorder twice over: every one lands in
+   the span event ring, and the first one that signals real trouble (a
+   retry, an exhausted ladder, an opened breaker, data loss) triggers
+   the dump. *)
+let span_note_net t (e : Memsim.Net.event) =
+  match spans t with
+  | None -> ()
+  | Some sp -> (
+      let note name detail = Span.note sp ~name ~detail in
+      match e with
+      | Memsim.Net.Retry { attempt; backoff; reason } ->
+          note "net.retry"
+            (Printf.sprintf "attempt=%d backoff=%d reason=%s" attempt backoff
+               (match reason with `Nack -> "nack" | `Timeout -> "timeout"));
+          flight_trigger t ~reason:"net.retry"
+      | Memsim.Net.Breaker_opened { at; probe_at } ->
+          note "net.breaker_open"
+            (Printf.sprintf "at=%d probe_at=%d" at probe_at);
+          flight_trigger t ~reason:"net.breaker_open"
+      | Memsim.Net.Breaker_closed { opened_at; at } ->
+          note "net.breaker_close"
+            (Printf.sprintf "opened_at=%d at=%d" opened_at at)
+      | Memsim.Net.Fetch_failed { attempts } ->
+          note "net.fetch_failed" (Printf.sprintf "attempts=%d" attempts);
+          flight_trigger t ~reason:"net.fetch_failed"
+      | Memsim.Net.Failover { key; primary; replica } ->
+          note "net.failover"
+            (Printf.sprintf "key=%d primary=%d replica=%d" key primary replica)
+      | Memsim.Net.Corruption_detected { key; node } ->
+          note "net.corruption" (Printf.sprintf "key=%d node=%d" key node);
+          flight_trigger t ~reason:"net.corruption"
+      | Memsim.Net.Repaired { key; node } ->
+          note "net.repair" (Printf.sprintf "key=%d node=%d" key node)
+      | Memsim.Net.Object_lost { key } ->
+          note "net.object_lost" (Printf.sprintf "key=%d" key);
+          flight_trigger t ~reason:"net.object_lost")
+
 let net_event t (e : Memsim.Net.event) =
+  span_note_net t e;
   match t with
   | Nop -> ()
   | Rec r -> (
@@ -290,12 +430,37 @@ let net_event t (e : Memsim.Net.event) =
                 ~args:[ ("key", Json.Int key) ]
                 ()))
 
-let attach_net t net = Memsim.Net.on_event net (fun e -> net_event t e)
+let attach_net t net =
+  Memsim.Net.on_event net (fun e -> net_event t e);
+  (* Fault-path and failover cost windows inside the transport become
+     category frames on the open span; with spans disabled the closures
+     hit the Nop arm and nothing happens. *)
+  Memsim.Net.set_span_scope net
+    ~enter:(fun kind ->
+      cat_enter t
+        (match kind with `Retry -> Span.Retry | `Failover -> Span.Failover))
+    ~leave:(fun () -> cat_exit t)
 
 (* Cluster events carry monotonic timestamps, which coincide with the
    trace timeline ([ts_base] accumulates exactly what [Clock.reset]
    folds away), so [at]/[until] can be used directly. *)
+let span_note_cluster t (e : Memsim.Cluster.event) =
+  match spans t with
+  | None -> ()
+  | Some sp -> (
+      match e with
+      | Memsim.Cluster.Node_crashed { node; at; until; lost } ->
+          Span.note sp ~name:"cluster.node_crashed"
+            ~detail:
+              (Printf.sprintf "node=%d at=%d until=%d lost=%d" node at until
+                 lost);
+          flight_trigger t ~reason:"cluster.node_crashed"
+      | Memsim.Cluster.Node_recovered { node; at; missing } ->
+          Span.note sp ~name:"cluster.node_recovered"
+            ~detail:(Printf.sprintf "node=%d at=%d missing=%d" node at missing))
+
 let cluster_event t (e : Memsim.Cluster.event) =
+  span_note_cluster t e;
   match t with
   | Nop -> ()
   | Rec r -> (
@@ -332,9 +497,61 @@ let span t ~name ?(cat = "interp") ~start () =
           Trace.complete tr ~name ~cat ~ts:start ~dur:(stop - start) ())
 
 let phase_mark t name =
+  with_spans t (fun sp -> Span.note sp ~name ~detail:"");
   match t with
   | Nop -> ()
   | Rec r -> (
       match r.trace with
       | None -> ()
       | Some tr -> Trace.instant tr ~name ~cat:"phase" ~ts:(now r) ())
+
+(* -- attribution export --------------------------------------------------- *)
+
+let epochs_json r =
+  Json.List
+    (List.rev_map
+       (fun e ->
+         Json.Obj
+           [
+             ("at", Json.Int e.eat);
+             ( "sites",
+               Json.List
+                 (List.map
+                    (fun (k, d) ->
+                      Json.Obj
+                        (("site", Json.String (Site.key_to_string k))
+                        :: Array.to_list
+                             (Array.mapi
+                                (fun i name -> (name, Json.Int d.(i)))
+                                epoch_fields)))
+                    e.erows) );
+           ])
+       r.epochs)
+
+let epoch_count = function Nop -> 0 | Rec r -> List.length r.epochs
+
+(* The machine-readable summary [run --attribution] writes and
+   [report critical-path/slo --from] read back: per-class wall-clock
+   percentiles and exact category decomposition, the invariant verdict,
+   out-of-span background attribution, and the per-site epoch feed. *)
+let attribution_json t ~meta =
+  match t with
+  | Nop -> None
+  | Rec ({ spans = Some sp; _ } as r) ->
+      Some
+        (Json.Obj
+           ([
+              ("kind", Json.String "trackfm-attribution");
+              ("version", Json.Int 1);
+            ]
+           @ meta
+           @ [
+               ("invariant", Span.invariant_json sp);
+               ( "categories",
+                 Json.List
+                   (List.map (fun n -> Json.String n) Span.cat_names) );
+               ("classes", Span.classes_json sp);
+               ("background", Span.cats_json (Span.background sp));
+               ("epochs", epochs_json r);
+             ]))
+  | Rec _ -> None

@@ -18,6 +18,12 @@
 
 type path = [ `Fast | `Slow | `Locality | `Custody ]
 
+type epoch = { eat : int; erows : (Site.key * int array) list }
+(** One closed site-profile epoch: per-site activity deltas since the
+    previous sample, slots following {!epoch_fields}. *)
+
+val epoch_fields : string array
+
 type recorder = {
   clock : Memsim.Clock.t;
   sites : Site.t;
@@ -26,6 +32,11 @@ type recorder = {
   retry_backoff : Histogram.t; (** fault-path retry backoffs, cycles *)
   series : Series.t option;
   trace : Trace.t option;
+  mutable spans : Span.t option;  (** causal span tracker, when enabled *)
+  epoch_prev : (Site.key, int array) Hashtbl.t;
+  mutable epochs : epoch list;    (** newest first *)
+  mutable flight : (string * (string * Json.t) list) option;
+  mutable flight_dumped : string option;
   mutable cur : Site.key;      (** site of the instruction executing now *)
   mutable ts_base : int;
       (** cycles folded in from clock resets, so trace time is monotone
@@ -42,13 +53,18 @@ val recording :
   ?trace:bool ->
   ?trace_limit:int ->
   ?series_interval:int ->
+  ?spans:bool ->
+  ?op_classes:(int * string) list ->
+  ?span_ring:int ->
   Memsim.Clock.t ->
   t
 (** A live recorder on [clock]. [series_interval] (simulated cycles,
     default 250k; [<= 0] disables the series) installs the clock sampler
     that snapshots counters — call {!detach} before reusing the clock
     with another sink. [trace] (default true) enables the Chrome-trace
-    event log. *)
+    event log. [spans] (default false) enables the causal span tracker
+    and the per-site epoch profiles; [op_classes] names its operation
+    classes and [span_ring] bounds the flight-recorder rings. *)
 
 val is_active : t -> bool
 val recorder : t -> recorder option
@@ -117,4 +133,52 @@ val span : t -> name:string -> ?cat:string -> start:int -> unit -> unit
     earlier) and ending now. *)
 
 val phase_mark : t -> string -> unit
-(** Instant marker on the phase track (e.g. ["bench_begin"]). *)
+(** Instant marker on the phase track (e.g. ["bench_begin"]); also noted
+    in the span event ring when spans are on. *)
+
+(** {1 Causal spans} (all no-ops unless {!recording} had [~spans:true]) *)
+
+val spans : t -> Span.t option
+
+val op_begin : t -> cls:int -> unit
+(** Open the span for one operation of class [cls] (the [!op_begin]
+    intrinsic lands here). *)
+
+val op_end : t -> unit
+
+val cat_enter : t -> Span.category -> unit
+(** Open a category frame: cycles until the matching {!cat_exit} that no
+    nested frame claims are charged to this category. *)
+
+val cat_exit : t -> unit
+
+val cat_reclass : t -> Span.category -> unit
+(** Recategorize the innermost open frame (a guard opens as
+    {!Span.Guard_fast} and flips once the miss is known). *)
+
+(** {1 Flight recorder} *)
+
+val set_flight_recorder :
+  t -> path:string -> meta:(string * Json.t) list -> unit
+(** Arm the recorder: the first {!flight_trigger} serializes the span
+    and event rings to [path] (with [meta] leading the object). *)
+
+val flight_trigger : t -> reason:string -> unit
+(** Dump now unless already dumped. Fired automatically on the first
+    retry, breaker open, fetch failure, corruption, object loss or node
+    crash; callable directly for triggers the sink cannot see (the
+    checker raising [Unsound]). *)
+
+val flight_dumped : t -> string option
+(** The dump path, once a trigger has fired. *)
+
+(** {1 Attribution export} *)
+
+val epoch_count : t -> int
+
+val attribution_json : t -> meta:(string * Json.t) list -> Json.t option
+(** The machine-readable attribution summary ([run --attribution]):
+    per-class wall-clock percentiles and exact category decomposition,
+    the sums-to-wall-clock invariant verdict, background (out-of-span)
+    attribution, and the per-site epoch profile feed. [None] when spans
+    are disabled. *)

@@ -1,0 +1,32 @@
+(** Declarative latency SLOs over span operation classes.
+
+    A spec is one CLI-friendly string:
+    ["lookup:p99<=250k,p50<=40k;get:p999<=2m"] — semicolon-separated
+    rules, each a class name and comma-separated [metric<=limit]
+    objectives. Metrics are [pNN] (two integer digits then decimals, so
+    [p999] is 99.9), [mean], or [max]; limits are cycles with an
+    optional [k]/[m]/[g] suffix. *)
+
+type metric = P of float  (** percentile in (0, 100) *) | Mean | Max
+
+type objective = { metric : metric; limit : int }
+type rule = { cls : string; objectives : objective list }
+
+type outcome = {
+  o_cls : string;
+  o_metric : metric;
+  o_limit : int;
+  o_actual : int option;  (** [None]: the run has no such class *)
+  o_pass : bool;
+}
+
+val metric_name : metric -> string
+val parse : string -> (rule list, string) result
+
+val evaluate :
+  rule list -> lookup:(cls:string -> metric -> int option) -> outcome list
+(** [lookup] maps a class name and metric to the observed value; a class
+    the run never exercised fails its objectives (an SLO on a missing
+    operation is a misconfiguration, not a pass). *)
+
+val all_pass : outcome list -> bool

@@ -246,8 +246,10 @@ let guard t ~ptr ~size ~write =
   let bin0 = if active then Clock.get t.clock "net.bytes_in" else 0 in
   let bout0 = if active then Clock.get t.clock "net.bytes_out" else 0 in
   if not (Nc_ptr.is_tracked ptr) then begin
+    Telemetry.Sink.cat_enter tel Telemetry.Span.Guard_fast;
     Clock.tick t.clock t.cost.Cost_model.custody_check;
     Clock.count t.clock "tfm.custody_skips" 1;
+    Telemetry.Sink.cat_exit tel;
     log_event t
       { ptr; object_id = -1; size_class = -1; path = `Custody_skip; write };
     if active then
@@ -255,6 +257,10 @@ let guard t ~ptr ~size ~write =
         ~cycles:(Clock.cycles t.clock - c0) ~bytes_in:0 ~bytes_out:0
   end
   else begin
+    (* The guard opens as a fast-path frame and reclassifies once the
+       miss is known, so metadata-lookup cycles land with the outcome
+       they led to. *)
+    Telemetry.Sink.cat_enter tel Telemetry.Span.Guard_fast;
     let cls_idx, c = cls_of_ptr t ptr in
     let id = object_id c ptr in
     metadata_lookup t cls_idx id;
@@ -268,6 +274,7 @@ let guard t ~ptr ~size ~write =
         { ptr; object_id = id; size_class = cls_idx; path = `Fast; write }
     end
     else begin
+      Telemetry.Sink.cat_reclass tel Telemetry.Span.Guard_slow;
       Clock.tick t.clock
         (if write then t.cost.Cost_model.slow_guard_write_local
          else t.cost.Cost_model.slow_guard_read_local);
@@ -305,6 +312,7 @@ let guard t ~ptr ~size ~write =
     (* An access that straddles an object boundary needs both halves. *)
     let id_last = object_id c (ptr + size - 1) in
     if id_last <> id then localize_for_access c id_last ~write;
+    Telemetry.Sink.cat_exit tel;
     if active then
       Telemetry.Sink.guard_event tel
         ~path:(if fast then `Fast else `Slow)
@@ -350,8 +358,10 @@ let issue_prefetch t (c : size_class) id stride_objects =
 
 let chunk_access t ~handle ~ptr ~size ~write =
   if not (Nc_ptr.is_tracked ptr) then begin
+    Telemetry.Sink.cat_enter t.telemetry Telemetry.Span.Guard_fast;
     Clock.tick t.clock t.cost.Cost_model.custody_check;
     Clock.count t.clock "tfm.custody_skips" 1;
+    Telemetry.Sink.cat_exit t.telemetry;
     if Telemetry.Sink.is_active t.telemetry then
       Telemetry.Sink.guard_event t.telemetry ~path:`Custody ~write
         ~cycles:t.cost.Cost_model.custody_check ~bytes_in:0 ~bytes_out:0
@@ -360,6 +370,9 @@ let chunk_access t ~handle ~ptr ~size ~write =
     let s = chunk_state t handle in
     let cls_idx, c = cls_of_ptr t ptr in
     let id = object_id c ptr in
+    (* Per-access overhead is fast-path work; a boundary crossing that
+       has to pull the object reclassifies to the slow path below. *)
+    Telemetry.Sink.cat_enter t.telemetry Telemetry.Span.Guard_fast;
     Clock.tick t.clock t.cost.Cost_model.boundary_check;
     Clock.count t.clock "tfm.boundary_checks" 1;
     (match s.cur with
@@ -377,6 +390,8 @@ let chunk_access t ~handle ~ptr ~size ~write =
         metadata_lookup t cls_idx id;
         Clock.tick t.clock t.cost.Cost_model.locality_guard;
         Clock.count t.clock "tfm.locality_guards" 1;
+        if not (Pool.is_local c.pool id) then
+          Telemetry.Sink.cat_reclass tel Telemetry.Span.Guard_slow;
         Pool.ensure_local c.pool id;
         Pool.pin c.pool id;
         s.cur <- Some (cls_idx, id);
@@ -394,7 +409,8 @@ let chunk_access t ~handle ~ptr ~size ~write =
             ~bytes_out:(Clock.get t.clock "net.bytes_out" - bout0));
     if write then Pool.mark_dirty c.pool id;
     let id_last = object_id c (ptr + size - 1) in
-    if id_last <> id then localize_for_access c id_last ~write
+    if id_last <> id then localize_for_access c id_last ~write;
+    Telemetry.Sink.cat_exit t.telemetry
   end
 
 let chunk_end t ~handle =

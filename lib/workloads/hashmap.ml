@@ -32,6 +32,7 @@ let trace_blob p =
   bytes
 
 let working_set_bytes p = (slots p * 8) + (p.lookups * 4)
+let op_classes = [ (0, "lookup") ]
 
 (* Table layout: 8 bytes per slot: key+1 in the low 4 bytes (0 = empty),
    value in the high 4 bytes. *)
@@ -82,6 +83,7 @@ let build p () =
       ~bound:(Ir.Const p.lookups) ~accs:[ Ir.Const 0 ]
       (fun b ~iv:j ~accs ->
         let acc = match accs with [ a ] -> a | _ -> assert false in
+        ignore (Builder.call b "!op_begin" [ Ir.Const 0 ]);
         let tptr = Builder.gep b trace ~index:j ~scale:4 () in
         let key = Builder.load b ~size:4 tptr in
         let probe = Builder.add b key (Ir.Const 1) in
@@ -107,6 +109,7 @@ let build p () =
         let slot = match final with [ s ] -> s | _ -> assert false in
         let vptr = Builder.gep b table ~index:slot ~scale:8 ~offset:4 () in
         let v = Builder.load b ~size:4 vptr in
+        ignore (Builder.call b "!op_end" []);
         [ Builder.binop b Ir.And (Builder.add b acc v) (Ir.Const checksum_mask) ])
   in
   let ck = match accs with [ a ] -> a | _ -> assert false in

@@ -32,4 +32,8 @@ val build : params -> unit -> Ir.modul
 val working_set_bytes : params -> int
 (** Table plus trace array. *)
 
+val op_classes : (int * string) list
+(** Span operation classes the program marks with [!op_begin]/[!op_end]:
+    class 0 = one lookup. *)
+
 val checksum : params -> int

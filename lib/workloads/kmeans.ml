@@ -13,6 +13,8 @@ let working_set_bytes p =
   + (2 * p.clusters * p.dims * 8)
   + (p.clusters * 8)
 
+let op_classes = [ (0, "iteration") ]
+
 let build p () =
   let { n; dims; clusters = k; iters } = p in
   let m = Ir.create_module () in
@@ -64,6 +66,7 @@ let build p () =
   ignore (Builder.call b "!bench_begin" []);
   Builder.for_loop b ~hint:"lloyd" ~init:(Ir.Const 0) ~bound:(Ir.Const iters)
     (fun b _it ->
+      ignore (Builder.call b "!op_begin" [ Ir.Const 0 ]);
       (* Phase Z: clear the distance matrix (long unit-stride scan). *)
       Builder.for_loop b ~hint:"zero" ~init:(Ir.Const 0)
         ~bound:(Ir.Const (n * k)) (fun b i ->
@@ -166,7 +169,8 @@ let build p () =
                   let dptr = Builder.gep b cent ~index:idx ~scale:f64 () in
                   Builder.store b ~is_float:true
                     (Builder.fbinop b Ir.Fdiv sv cntf)
-                    ~ptr:dptr))));
+                    ~ptr:dptr)));
+      ignore (Builder.call b "!op_end" []));
   (* Checksum: assignments plus quantized centroids. *)
   let accs =
     Builder.for_loop_acc b ~hint:"ck" ~init:(Ir.Const 0) ~bound:(Ir.Const n)

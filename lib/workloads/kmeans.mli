@@ -26,5 +26,8 @@ val build : params -> unit -> Ir.modul
 
 val working_set_bytes : params -> int
 
+val op_classes : (int * string) list
+(** Span operation classes: class 0 = one Lloyd iteration. *)
+
 val checksum : params -> int
 (** Expected return value (reference implementation). *)

@@ -38,6 +38,8 @@ let trace_blob p =
 let working_set_bytes p =
   (slots p * 16) + (p.keys * p.value_size) + (p.gets * 4)
 
+let op_classes = [ (0, "get") ]
+
 (* Table layout: 16 bytes per slot: key+1 (8B) then value pointer (8B). *)
 let build p () =
   assert (p.value_size mod 8 = 0 && p.value_size > 0);
@@ -95,6 +97,7 @@ let build p () =
       ~bound:(Ir.Const p.gets) ~accs:[ Ir.Const 0 ]
       (fun b ~iv:j ~accs ->
         let acc = match accs with [ a ] -> a | _ -> assert false in
+        ignore (Builder.call b "!op_begin" [ Ir.Const 0 ]);
         ignore (Builder.call b "!cpu_work" [ Ir.Const p.service_cycles ]);
         let tptr = Builder.gep b trace ~index:j ~scale:4 () in
         let key = Builder.load b ~size:4 tptr in
@@ -131,6 +134,7 @@ let build p () =
               [ Builder.binop b Ir.And (Builder.add b acc v)
                   (Ir.Const checksum_mask) ])
         in
+        ignore (Builder.call b "!op_end" []);
         [ (match vaccs with [ a ] -> a | _ -> assert false) ])
   in
   let ck = match accs with [ a ] -> a | _ -> assert false in

@@ -32,4 +32,7 @@ val build : params -> unit -> Ir.modul
 
 val working_set_bytes : params -> int
 
+val op_classes : (int * string) list
+(** Span operation classes: class 0 = one get request. *)
+
 val checksum : params -> int

@@ -16,6 +16,7 @@ let () =
       Test_interp.suite;
       Test_workloads.suite;
       Test_telemetry.suite;
+      Test_span.suite;
       Test_differential.suite;
       Test_integration.suite;
     ]
