@@ -3,6 +3,12 @@
 
 let quick = ref false
 
+(* --engine interp|compiled: execution engine for every run the harness
+   performs. Results are engine-independent (the engines CI stage proves
+   it), so this only moves wall-clock time — compiled makes full-size
+   sweeps practical. *)
+let engine = ref Engine.Interp
+
 (* Scale factor applied to workload sizes: full size by default, quartered
    with --quick. *)
 let scaled n = if !quick then max 1 (n / 4) else n
@@ -62,7 +68,7 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
       ack = !ack;
     }
   in
-  fst (Driver.run_trackfm ?blobs build opts)
+  fst (Driver.run_trackfm ~engine:!engine ?blobs build opts)
 
 let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
     ?(profile_gate = true) ?(elide = true) ?(summaries = true) ~budget build =
@@ -82,16 +88,16 @@ let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
       ack = !ack;
     }
   in
-  Driver.run_trackfm ?blobs build opts
+  Driver.run_trackfm ~engine:!engine ?blobs build opts
 
 let fastswap ?blobs ?faults ~budget build =
   let faults =
     match faults with Some f -> f | None -> active_faults ()
   in
-  Driver.run_fastswap ?blobs ~faults ~replicas:!replicas ~ack:!ack
-    ~local_budget:budget build
+  Driver.run_fastswap ~engine:!engine ?blobs ~faults ~replicas:!replicas
+    ~ack:!ack ~local_budget:budget build
 
-let local ?blobs build = Driver.run_local ?blobs build
+let local ?blobs build = Driver.run_local ~engine:!engine ?blobs build
 
 let gb bytes = float_of_int bytes /. 1e9
 let mops ops cycles = float_of_int ops /. (cycles_to_seconds cycles *. 1e6)
@@ -176,14 +182,14 @@ let tfm_spans ?blobs ?(object_size = 4096) ~op_classes ~budget build =
     }
   in
   let sink, telemetry = span_sink ~op_classes in
-  let o, _ = Driver.run_trackfm ?blobs ~telemetry build opts in
+  let o, _ = Driver.run_trackfm ~engine:!engine ?blobs ~telemetry build opts in
   Telemetry.Sink.final_sample !sink;
   (o, !sink)
 
 let fastswap_spans ?blobs ~op_classes ~budget build =
   let sink, telemetry = span_sink ~op_classes in
   let o =
-    Driver.run_fastswap ?blobs ~faults:(active_faults ())
+    Driver.run_fastswap ~engine:!engine ?blobs ~faults:(active_faults ())
       ~replicas:!replicas ~ack:!ack ~telemetry ~local_budget:budget build
   in
   Telemetry.Sink.final_sample !sink;

@@ -47,6 +47,8 @@ let experiments =
       Exp_durability.durability);
     ("attribution", "Observability: per-class latency attribution",
       Exp_attribution.attribution);
+    ("engine_speedup", "Infrastructure: compiled engine dispatch throughput",
+      Exp_engine.engine_speedup);
   ]
 
 let () =
@@ -108,6 +110,16 @@ let () =
   in
   let args = int_opt "--replicas" Bench_common.replicas args in
   let args = int_opt "--ack" Bench_common.ack args in
+  (* --engine interp|compiled: execution engine for every run. *)
+  let args, engines = extract_opt "--engine" args in
+  (match List.filter_map Fun.id engines with
+  | name :: _ -> (
+      match Tfm_interp.Engine.of_string name with
+      | Some e -> Bench_common.engine := e
+      | None ->
+          Printf.eprintf "unknown engine %s (interp|compiled)\n" name;
+          exit 1)
+  | [] -> ());
   if !Bench_common.ack > !Bench_common.replicas then begin
     Printf.eprintf "--ack %d exceeds --replicas %d\n" !Bench_common.ack
       !Bench_common.replicas;

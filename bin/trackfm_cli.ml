@@ -132,14 +132,15 @@ let build_of w o1 =
    (for trackfm) the compile report. The telemetry factory is applied to
    the run's fresh clock inside the driver. [faults] is the injector for
    this run (fresh per run: its random stream is stateful). *)
-let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~summaries
-    ~faults ~replicas ~ack ~telemetry build =
+let exec_system ?(engine = Engine.Interp) w system ~budget ~object_size
+    ~chunk_mode ~prefetch ~summaries ~faults ~replicas ~ack ~telemetry build =
   match system with
-  | "local" -> Ok (Driver.run_local ~blobs:w.blobs ~telemetry build, None)
+  | "local" ->
+      Ok (Driver.run_local ~engine ~blobs:w.blobs ~telemetry build, None)
   | "fastswap" ->
       Ok
-        ( Driver.run_fastswap ~blobs:w.blobs ~faults ~replicas ~ack ~telemetry
-            ~local_budget:budget build,
+        ( Driver.run_fastswap ~engine ~blobs:w.blobs ~faults ~replicas ~ack
+            ~telemetry ~local_budget:budget build,
           None )
   | "trackfm" ->
       let opts =
@@ -158,7 +159,9 @@ let exec_system w system ~budget ~object_size ~chunk_mode ~prefetch ~summaries
           ack;
         }
       in
-      let o, report = Driver.run_trackfm ~blobs:w.blobs ~telemetry build opts in
+      let o, report =
+        Driver.run_trackfm ~engine ~blobs:w.blobs ~telemetry build opts
+      in
       Ok (o, Some report)
   | other ->
       Error (Printf.sprintf "unknown system %s (local|trackfm|fastswap)" other)
@@ -357,9 +360,19 @@ let report_flight_dump sink =
     (fun p -> Printf.printf "flight recorder: dumped to %s\n" p)
     (Telemetry.Sink.flight_dumped sink)
 
-let run_cmd workload_name system local_pct object_size chunk prefetch summaries
-    o1 fault_spec fault_seed replicas ack counters_json trace_file metrics_file
-    sample_interval attribution_file flight_file =
+(* [--engine] parsing shared by every executing subcommand: unknown
+   names are a clean one-line error, not an exception. *)
+let with_engine engine_name k =
+  match Engine.of_string engine_name with
+  | Some engine -> k engine
+  | None ->
+      Printf.eprintf "unknown engine %s (interp|compiled)\n" engine_name;
+      1
+
+let run_cmd workload_name system engine_name local_pct object_size chunk
+    prefetch summaries o1 fault_spec fault_seed replicas ack counters_json
+    trace_file metrics_file sample_interval attribution_file flight_file =
+  with_engine engine_name @@ fun engine ->
   match (find_workload workload_name, Faults.parse fault_spec) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -378,6 +391,8 @@ let run_cmd workload_name system local_pct object_size chunk prefetch summaries
           fault_seed;
       if replicas > 1 then
         Printf.printf "replicas %d, ack %d\n" replicas ack;
+      if engine <> Engine.Interp then
+        Printf.printf "engine %s\n" (Engine.to_string engine);
       print_newline ();
       let want_spans = attribution_file <> None || flight_file <> None in
       let meta = run_meta ~workload:w.wname ~system ~fault_cfg ~fault_seed in
@@ -391,7 +406,7 @@ let run_cmd workload_name system local_pct object_size chunk prefetch summaries
             ()
       in
       match
-        exec_system w system ~budget ~object_size
+        exec_system ~engine w system ~budget ~object_size
           ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
           ~replicas ~ack ~telemetry (build_of w o1)
       with
@@ -518,9 +533,10 @@ let print_sparklines (r : Telemetry.Sink.recorder) =
           names
       end
 
-let report_cmd workload_name system local_pct object_size chunk prefetch
-    summaries o1 fault_spec fault_seed trace_file metrics_file sample_interval
-    =
+let report_cmd workload_name system engine_name local_pct object_size chunk
+    prefetch summaries o1 fault_spec fault_seed trace_file metrics_file
+    sample_interval =
+  with_engine engine_name @@ fun engine ->
   match (find_workload workload_name, Faults.parse fault_spec) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -540,7 +556,7 @@ let report_cmd workload_name system local_pct object_size chunk prefetch
         capture_sink ~want_trace:(trace_file <> None) ~sample_interval ()
       in
       match
-        exec_system w system ~budget ~object_size
+        exec_system ~engine w system ~budget ~object_size
           ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
           ~replicas:1 ~ack:1 ~telemetry (build_of w o1)
       with
@@ -770,7 +786,7 @@ let load_attribution path =
                    path)))
 
 (* Shared live-run plumbing for the span-based report views. *)
-let with_live_spans w ~system ~local_pct ~object_size ~chunk ~prefetch
+let with_live_spans w ~system ~engine ~local_pct ~object_size ~chunk ~prefetch
     ~summaries ~o1 ~fault_cfg ~fault_seed k =
   let faults = Faults.create ~seed:fault_seed fault_cfg in
   let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
@@ -779,7 +795,7 @@ let with_live_spans w ~system ~local_pct ~object_size ~chunk ~prefetch
       ~op_classes:w.op_classes ()
   in
   match
-    exec_system w system ~budget ~object_size
+    exec_system ~engine w system ~budget ~object_size
       ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
       ~replicas:1 ~ack:1 ~telemetry (build_of w o1)
   with
@@ -797,8 +813,9 @@ let with_live_spans w ~system ~local_pct ~object_size ~chunk ~prefetch
           1
       | Some sp -> k sp)
 
-let critical_path_cmd workload_opt system local_pct object_size chunk prefetch
-    summaries o1 fault_spec fault_seed from_file =
+let critical_path_cmd workload_opt system engine_name local_pct object_size
+    chunk prefetch summaries o1 fault_spec fault_seed from_file =
+  with_engine engine_name @@ fun engine ->
   match from_file with
   | Some path -> (
       match load_attribution path with
@@ -823,7 +840,7 @@ let critical_path_cmd workload_opt system local_pct object_size chunk prefetch
               Printf.printf
                 "critical-path report: %s under %s, faults %s, seed %d\n\n"
                 w.wname system (Faults.to_string fault_cfg) fault_seed;
-              with_live_spans w ~system ~local_pct ~object_size ~chunk
+              with_live_spans w ~system ~engine ~local_pct ~object_size ~chunk
                 ~prefetch ~summaries ~o1 ~fault_cfg ~fault_seed (fun sp ->
                   let rows, background, violations, note = cp_of_span sp in
                   print_critical_path
@@ -865,8 +882,9 @@ let lookup_rows rows ~cls ~metric =
           else Some (int_of_float (r.cwall_mean +. 0.5))
       | Telemetry.Slo.Max -> if r.cops = 0 then None else Some r.cwall_max)
 
-let slo_cmd workload_opt system local_pct object_size chunk prefetch summaries
-    o1 fault_spec fault_seed from_file slo_spec =
+let slo_cmd workload_opt system engine_name local_pct object_size chunk
+    prefetch summaries o1 fault_spec fault_seed from_file slo_spec =
+  with_engine engine_name @@ fun engine ->
   match Telemetry.Slo.parse slo_spec with
   | Error e ->
       Printf.eprintf "bad --slo spec: %s\n" e;
@@ -907,8 +925,9 @@ let slo_cmd workload_opt system local_pct object_size chunk prefetch summaries
               | Ok w, Ok fault_cfg ->
                   Printf.printf "SLO report: %s under %s, spec %s\n\n" w.wname
                     system slo_spec;
-                  with_live_spans w ~system ~local_pct ~object_size ~chunk
-                    ~prefetch ~summaries ~o1 ~fault_cfg ~fault_seed (fun sp ->
+                  with_live_spans w ~system ~engine ~local_pct ~object_size
+                    ~chunk ~prefetch ~summaries ~o1 ~fault_cfg ~fault_seed
+                    (fun sp ->
                       let rows, _, violations, note = cp_of_span sp in
                       evaluate rows violations note))))
 
@@ -1025,7 +1044,8 @@ let autotune_cmd workload_name local_pct =
    verifier plus the elision-witness re-check over the transformed IR.
    Compile-only (no execution, no profile run), so this is fast enough
    for a CI lint stage. Exits non-zero on any violation. *)
-let check_cmd workload_filter =
+let check_cmd workload_filter engine_name =
+  with_engine engine_name @@ fun engine ->
   let selected =
     List.filter
       (fun w ->
@@ -1104,6 +1124,27 @@ let check_cmd workload_filter =
               [ true; false ])
           [ ("off", `Off); ("gated", `Gated) ])
       selected;
+    (* With --engine compiled, also run each workload's raw module under
+       both engines and require identical results: the static lint plus
+       a runtime differential against the interpreter oracle. *)
+    if engine = Engine.Compiled then begin
+      print_newline ();
+      List.iter
+        (fun w ->
+          let run engine =
+            let o = Driver.run_local ~engine ~blobs:w.blobs w.build in
+            ( o.Driver.ret,
+              o.Driver.cycles,
+              o.Driver.instrs,
+              List.sort compare (Clock.counters o.Driver.clock) )
+          in
+          let oracle = run Engine.Interp and compiled = run Engine.Compiled in
+          let ok = oracle = compiled in
+          Printf.printf "%-14s engine-diff %s\n" w.wname
+            (if ok then "OK" else "DIVERGED");
+          if not ok then incr failures)
+        selected
+    end;
     if !failures > 0 then begin
       Printf.printf "\n%d unsound configuration(s)\n" !failures;
       1
@@ -1233,6 +1274,15 @@ let ack_arg =
            (1 <= K <= replicas); the remaining copies apply after a \
            replication lag.")
 
+let engine_arg =
+  Arg.(
+    value & opt string "interp"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: interp (the tree-walking reference \
+           interpreter, the differential oracle) or compiled (closure-\
+           compiled, same observable behaviour, ~10x faster dispatch).")
+
 let counters_json_arg =
   Arg.(
     value
@@ -1287,23 +1337,23 @@ let flight_arg =
 
 let run_term =
   Term.(
-    const (fun w s m o c np ns o1 fs fseed repl ack cj tr me si attr fl ->
-        run_cmd w s m o c (not np) (not ns) o1 fs fseed repl ack cj tr me si
+    const (fun w s e m o c np ns o1 fs fseed repl ack cj tr me si attr fl ->
+        run_cmd w s e m o c (not np) (not ns) o1 fs fseed repl ack cj tr me si
           attr fl)
-    $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg $ fault_seed_arg
-    $ replicas_arg $ ack_arg $ counters_json_arg $ trace_arg $ metrics_arg
-    $ sample_interval_arg $ attribution_arg $ flight_arg)
+    $ workload_arg $ system_arg $ engine_arg $ local_mem_arg $ object_size_arg
+    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
+    $ fault_seed_arg $ replicas_arg $ ack_arg $ counters_json_arg $ trace_arg
+    $ metrics_arg $ sample_interval_arg $ attribution_arg $ flight_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
 
 let report_term =
   Term.(
-    const (fun w s m o c np ns o1 fs fseed tr me si ->
-        report_cmd w s m o c (not np) (not ns) o1 fs fseed tr me si)
-    $ workload_arg $ system_arg $ local_mem_arg $ object_size_arg $ chunk_arg
-    $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg $ fault_seed_arg
-    $ trace_arg $ metrics_arg $ sample_interval_arg)
+    const (fun w s e m o c np ns o1 fs fseed tr me si ->
+        report_cmd w s e m o c (not np) (not ns) o1 fs fseed tr me si)
+    $ workload_arg $ system_arg $ engine_arg $ local_mem_arg $ object_size_arg
+    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
+    $ fault_seed_arg $ trace_arg $ metrics_arg $ sample_interval_arg)
 
 let report_info =
   Cmd.info "report"
@@ -1329,11 +1379,11 @@ let from_arg =
 
 let critical_path_term =
   Term.(
-    const (fun w s m o c np ns o1 fs fseed from ->
-        critical_path_cmd w s m o c (not np) (not ns) o1 fs fseed from)
-    $ workload_opt_arg $ system_arg $ local_mem_arg $ object_size_arg
-    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
-    $ fault_seed_arg $ from_arg)
+    const (fun w s e m o c np ns o1 fs fseed from ->
+        critical_path_cmd w s e m o c (not np) (not ns) o1 fs fseed from)
+    $ workload_opt_arg $ system_arg $ engine_arg $ local_mem_arg
+    $ object_size_arg $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg
+    $ faults_arg $ fault_seed_arg $ from_arg)
 
 let critical_path_info =
   Cmd.info "critical-path"
@@ -1355,11 +1405,11 @@ let slo_spec_arg =
 
 let slo_term =
   Term.(
-    const (fun w s m o c np ns o1 fs fseed from spec ->
-        slo_cmd w s m o c (not np) (not ns) o1 fs fseed from spec)
-    $ workload_opt_arg $ system_arg $ local_mem_arg $ object_size_arg
-    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
-    $ fault_seed_arg $ from_arg $ slo_spec_arg)
+    const (fun w s e m o c np ns o1 fs fseed from spec ->
+        slo_cmd w s e m o c (not np) (not ns) o1 fs fseed from spec)
+    $ workload_opt_arg $ system_arg $ engine_arg $ local_mem_arg
+    $ object_size_arg $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg
+    $ faults_arg $ fault_seed_arg $ from_arg $ slo_spec_arg)
 
 let slo_info =
   Cmd.info "slo"
@@ -1412,14 +1462,16 @@ let check_workload_arg =
     & info [ "w"; "workload" ] ~docv:"NAME"
         ~doc:"Check only this workload (default: all).")
 
-let check_term = Term.(const check_cmd $ check_workload_arg)
+let check_term = Term.(const check_cmd $ check_workload_arg $ engine_arg)
 
 let check_info =
   Cmd.info "check"
     ~doc:
       "Compile every workload and run the guard-coverage verifier and \
        elision-witness re-check over the transformed IR, with and without \
-       interprocedural summaries (CI lint stage)"
+       interprocedural summaries (CI lint stage). With --engine compiled, \
+       also run each workload under both engines and require identical \
+       results and counters (runtime differential)."
 
 let ir_arg =
   Arg.(

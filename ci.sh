@@ -2,9 +2,14 @@
 # Staged CI pipeline. Mirrors what the driver runs on every PR; keep it
 # green.
 #
-#   ./ci.sh                 # all stages: build fmt lint test smoke faults durability tracing
+#   ./ci.sh                 # all stages: build fmt lint test smoke faults durability tracing engines
 #   ./ci.sh build test      # just those stages
+#   ./ci.sh --list          # list stages with one-line descriptions
 #   ./ci.sh --update-golden # refresh ci/golden/ from the current build
+#
+# Each stage is wall-clock timed; a failing stage is named in a
+# trailing "== stage X: FAILED ==" line so the culprit is the last
+# thing in the log.
 #
 # Stages:
 #   build      - dune build @all
@@ -26,6 +31,12 @@
 #                Chrome trace must validate against ci/trace_schema.json,
 #                and fixed-seed attribution exports must be byte-identical
 #                across two runs (workloads x seeds matrix)
+#   engines    - execution-engine differential gate: workloads x chunk
+#                modes x fault seeds run under both the interpreter and
+#                the compiled engine with byte-identical counters JSON
+#                (compiled additionally diffed against ci/golden/), the
+#                check matrix re-run with --engine compiled, and the
+#                engine_speedup dispatch-throughput experiment must PASS
 set -eu
 
 cd "$(dirname "$0")"
@@ -267,6 +278,68 @@ stage_tracing() {
     fi
 }
 
+ENGINE_WORKLOADS="stream-sum hashmap"
+ENGINE_SEEDS="1 2 3"
+
+stage_engines() {
+    echo "== stage engines: interp-vs-compiled differential matrix ($FAULT_SPEC; seeds $ENGINE_SEEDS) =="
+    dune build bin/trackfm_cli.exe bench/main.exe
+    mkdir -p _ci/engines
+    fail=0
+    # Every cell runs the identical workload/chunk-mode/fault-seed under
+    # both engines; the deterministic counters JSON (inputs, checksum,
+    # cycles, every counter) must be byte-identical. Gated-chunking
+    # cells are additionally diffed against the checked-in goldens, so
+    # the compiled engine is pinned to the same record the interpreter
+    # has been pinned to since the faults stage landed.
+    for w in $ENGINE_WORKLOADS; do
+        for chunk in gated off; do
+            for seed in $ENGINE_SEEDS; do
+                base="_ci/engines/$w-$chunk-seed$seed"
+                "$CLI" run -w "$w" -s trackfm -m 25 -c "$chunk" \
+                    --faults "$FAULT_SPEC" --fault-seed "$seed" \
+                    --engine interp --counters-json "$base-interp.json" >/dev/null
+                "$CLI" run -w "$w" -s trackfm -m 25 -c "$chunk" \
+                    --faults "$FAULT_SPEC" --fault-seed "$seed" \
+                    --engine compiled --counters-json "$base-compiled.json" >/dev/null
+                if ! cmp -s "$base-interp.json" "$base-compiled.json"; then
+                    echo "engines: DIVERGED: $w chunk=$chunk seed $seed interp vs compiled" >&2
+                    diff "$base-interp.json" "$base-compiled.json" >&2 || true
+                    fail=1
+                fi
+                if [ "$chunk" = gated ]; then
+                    golden="ci/golden/$w-seed$seed.json"
+                    if ! cmp -s "$golden" "$base-compiled.json"; then
+                        echo "engines: DRIFT: $w seed $seed compiled differs from $golden" >&2
+                        diff "$golden" "$base-compiled.json" >&2 || true
+                        fail=1
+                    fi
+                fi
+            done
+        done
+    done
+    # The check matrix must also hold under the compiled engine (check
+    # re-runs every workload under both engines and requires identical
+    # results and counters).
+    "$CLI" check --engine compiled
+    # Dispatch-throughput gate: engine_speedup must report PASS (at
+    # least two cases >= 5x); full-size, not --quick, so the ratio is
+    # measured on runs long enough to be stable.
+    if ! dune exec bench/main.exe -- engine_speedup >_ci/engines/bench.log 2>&1; then
+        cat _ci/engines/bench.log >&2
+        echo "engines: engine_speedup experiment failed" >&2
+        fail=1
+    elif ! grep -q "engine_speedup PASS" _ci/engines/bench.log; then
+        cat _ci/engines/bench.log >&2
+        echo "engines: dispatch-throughput gate did not PASS" >&2
+        fail=1
+    fi
+    if [ "$fail" -ne 0 ]; then
+        echo "engines stage failed" >&2
+        exit 1
+    fi
+}
+
 # Refresh the checked-in goldens from the current build (run after an
 # intentional counter/format change, then commit the diff).
 update_golden() {
@@ -288,9 +361,37 @@ if [ "${1:-}" = "--update-golden" ]; then
     exit 0
 fi
 
-STAGES="${*:-build fmt lint test smoke faults durability tracing}"
+if [ "${1:-}" = "--list" ]; then
+    cat <<'EOF'
+build       dune build @all
+fmt         dune build @fmt (skipped when ocamlformat is not installed)
+lint        guard-coverage verifier + elision witnesses + summary determinism
+test        dune runtest (tier-1 unit/property/integration suites)
+smoke       quick bench-harness run with metrics JSON export
+faults      fault-injection determinism matrix vs ci/golden/
+durability  replicated-tier crash matrix (r=1 must lose data, r=3 must not)
+tracing     span tracing must not perturb counters; trace schema + attribution
+engines     interp-vs-compiled differential matrix + dispatch-throughput gate
+EOF
+    exit 0
+fi
+
+STAGES="${*:-build fmt lint test smoke faults durability tracing engines}"
+
+# Name the failing stage at the very end of the log, where it is hardest
+# to miss (set -e aborts mid-stage, possibly far above).
+CURRENT_STAGE=""
+report_failure() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "$CURRENT_STAGE" ]; then
+        echo "== stage $CURRENT_STAGE: FAILED ==" >&2
+    fi
+}
+trap report_failure EXIT
 
 for s in $STAGES; do
+    CURRENT_STAGE=$s
+    stage_t0=$(date +%s)
     case "$s" in
         build)      stage_build ;;
         fmt)        stage_fmt ;;
@@ -300,11 +401,14 @@ for s in $STAGES; do
         faults)     stage_faults ;;
         durability) stage_durability ;;
         tracing)    stage_tracing ;;
+        engines)    stage_engines ;;
         *)
-            echo "unknown stage '$s' (build fmt lint test smoke faults durability tracing)" >&2
+            echo "unknown stage '$s' (see ./ci.sh --list)" >&2
             exit 2
             ;;
     esac
+    echo "== stage $s: ok in $(($(date +%s) - stage_t0))s =="
 done
+CURRENT_STAGE=""
 
 echo "CI OK"

@@ -13,6 +13,11 @@ type t = {
 
 let heap_base = 1 lsl 44
 
+(* The canonical do-nothing access hook. Backends that charge every
+   access at local cost use this shared closure, so engines can detect
+   it by physical equality and compile the hook call away entirely. *)
+let no_access ~addr:_ ~size:_ ~write:_ = ()
+
 let plain_alloc_cost = 60
 
 let base_intrinsics ?(telemetry = Telemetry.Sink.nop) clock name
@@ -73,7 +78,7 @@ let local ?(telemetry = Telemetry.Sink.nop) cost clock store =
             fresh
           end
         end);
-    on_access = (fun ~addr:_ ~size:_ ~write:_ -> ());
+    on_access = no_access;
     intrinsic = (fun name args -> base_intrinsics ~telemetry clock name args);
   }
 
@@ -149,7 +154,7 @@ let trackfm rt store =
     malloc = (fun _ -> untransformed "malloc");
     free = (fun _ -> untransformed "free");
     realloc = (fun _ _ -> untransformed "realloc");
-    on_access = (fun ~addr:_ ~size:_ ~write:_ -> ());
+    on_access = no_access;
     intrinsic =
       (fun name args ->
         match name with

@@ -54,3 +54,9 @@ val trackfm : Trackfm.Runtime.t -> Memstore.t -> t
 
 val heap_base : int
 (** Base address of the untracked (local/fastswap) heap segment. *)
+
+val no_access : addr:int -> size:int -> write:bool -> unit
+(** The canonical do-nothing [on_access] hook, shared by the backends
+    that charge every access at local cost ({!local}, {!trackfm}).
+    Compiled engines compare against it by physical equality to elide
+    the per-access hook call. *)

@@ -1,0 +1,20 @@
+(* Execution-engine selection: the tree-walking interpreter (reference
+   semantics, the differential oracle) or the compiled closure engine
+   (same observable behaviour, ~an order of magnitude faster dispatch).
+   The interpreter stays the default so every existing entry point and
+   golden file keeps its meaning; callers opt into [Compiled]. *)
+
+type t = Interp | Compiled
+
+let all = [ Interp; Compiled ]
+let to_string = function Interp -> "interp" | Compiled -> "compiled"
+
+let of_string = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+let run ?profile ?fuel ?args ~engine backend m ~entry =
+  match engine with
+  | Interp -> Interp.run ?profile ?fuel ?args backend m ~entry
+  | Compiled -> Compile.run ?profile ?fuel ?args backend m ~entry

@@ -1,0 +1,23 @@
+(** Execution-engine selection.
+
+    [Interp] is the tree-walking reference interpreter and the
+    differential oracle; [Compiled] is the closure-compiled engine with
+    identical observable behaviour ({!Compile}). The interpreter is the
+    default everywhere so goldens and existing callers are unaffected. *)
+
+type t = Interp | Compiled
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val run :
+  ?profile:Profile.t ->
+  ?fuel:int ->
+  ?args:int list ->
+  engine:t ->
+  Backend.t ->
+  Ir.modul ->
+  entry:string ->
+  Interp.result
+(** Dispatch to {!Interp.run} or {!Compile.run}. *)

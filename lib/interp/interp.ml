@@ -9,14 +9,19 @@ type v = I of int | F of float
 let as_int = function I n -> n | F _ -> trap "expected int, got float"
 let as_float = function F x -> x | I _ -> trap "expected float, got int"
 
-(* Prepared (array-indexed) function representation for execution speed. *)
-type pblock = {
+(* Prepared (array-indexed) function representation for execution speed.
+   Call instructions carry a resolution slot: direct calls to defined IR
+   functions are bound to their prepared representation once, at prepare
+   time, so the hot path never consults the name table again. *)
+type pinstr = { pi : Ir.instr; mutable ptarget : pfunc option }
+
+and pblock = {
   plabel : string;
-  pinstrs : Ir.instr array;
+  pinstrs : pinstr array;
   pterm : Ir.terminator;
 }
 
-type pfunc = {
+and pfunc = {
   src : Ir.func;
   blocks : pblock array;
   index : (string, int) Hashtbl.t;
@@ -39,7 +44,7 @@ let max_call_depth = 10_000
 let global_base = 1 lsl 28
 let stack_base = 1 lsl 30
 
-let prepare st fname =
+let rec prepare st fname =
   match Hashtbl.find_opt st.prepared fname with
   | Some p -> p
   | None ->
@@ -53,7 +58,9 @@ let prepare st fname =
              (fun (b : Ir.block) ->
                {
                  plabel = b.label;
-                 pinstrs = Array.of_list b.instrs;
+                 pinstrs =
+                   Array.of_list
+                     (List.map (fun i -> { pi = i; ptarget = None }) b.instrs);
                  pterm = b.term;
                })
              f.blocks)
@@ -61,7 +68,24 @@ let prepare st fname =
       let index = Hashtbl.create 16 in
       Array.iteri (fun i b -> Hashtbl.replace index b.plabel i) blocks;
       let p = { src = f; blocks; index } in
+      (* Publish before resolving call targets so recursion (direct or
+         mutual) terminates; each direct callee is prepared at most
+         once. *)
       Hashtbl.replace st.prepared fname p;
+      Array.iter
+        (fun blk ->
+          Array.iter
+            (fun pin ->
+              match pin.pi.Ir.kind with
+              | Ir.Call { callee; _ }
+                when Intrinsics.classify callee = Intrinsics.Unknown
+                     && List.exists
+                          (fun (f : Ir.func) -> f.fname = callee)
+                          st.m.Ir.funcs ->
+                  pin.ptarget <- Some (prepare st callee)
+              | _ -> ())
+            blk.pinstrs)
+        blocks;
       p
 
 let layout_globals st =
@@ -133,8 +157,11 @@ and exec_fcmp op (a : float) (b : float) =
   if c then 1 else 0
 
 and call_function st fname (actuals : v array) =
-  let p = prepare st fname in
+  call_prepared st (prepare st fname) actuals
+
+and call_prepared st p (actuals : v array) =
   let f = p.src in
+  let fname = f.fname in
   if Array.length actuals <> f.nparams then
     trap "%s expects %d arguments, got %d" fname f.nparams
       (Array.length actuals);
@@ -168,14 +195,6 @@ and exec_call st env args callee actual_values =
   | "free" ->
       b.Backend.free (as_int actual_values.(0));
       I 0
-  | _
-    when Intrinsics.classify callee = Intrinsics.Unknown
-         && List.exists (fun (f : Ir.func) -> f.fname = callee) st.m.Ir.funcs
-    ->
-      (* Defined IR function: dispatch before the intrinsic path, whose
-         argument coercion would trap on float parameters. *)
-      Memsim.Clock.tick b.Backend.clock 5 (* call overhead *);
-      call_function st callee actual_values
   | _ -> begin
       let int_args = Array.map as_int actual_values in
       match b.Backend.intrinsic callee int_args with
@@ -218,7 +237,8 @@ and exec_blocks st p env args =
        below. *)
     Memsim.Clock.tick clock ((n + 4) / 4);
     for k = 0 to n - 1 do
-      let i = blk.pinstrs.(k) in
+      let pin = blk.pinstrs.(k) in
+      let i = pin.pi in
       let result =
         match i.kind with
         | Ir.Binop (op, a, b) ->
@@ -263,7 +283,7 @@ and exec_blocks st p env args =
             let addr = st.stack_ptr in
             st.stack_ptr <- st.stack_ptr + ((bytes + 15) land lnot 15);
             I addr
-        | Ir.Call { callee; args = call_args } ->
+        | Ir.Call { callee; args = call_args } -> (
             let actuals =
               Array.of_list (List.map (eval st env args) call_args)
             in
@@ -271,7 +291,13 @@ and exec_blocks st p env args =
                attributed to this call site (function + instruction id)
                via the sink — the guard-site hotspot table's key. *)
             Telemetry.Sink.set_site tel ~func:fname ~instr:i.id;
-            exec_call st env args callee actuals
+            match pin.ptarget with
+            | Some target ->
+                (* Direct call to a defined IR function, bound at prepare
+                   time: no per-call name-table lookup. *)
+                Memsim.Clock.tick clock 5 (* call overhead *);
+                call_prepared st target actuals
+            | None -> exec_call st env args callee actuals)
         | Ir.Phi incoming -> begin
             match
               List.find_opt (fun (l, _) -> l = prev_label) incoming

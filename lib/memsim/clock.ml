@@ -32,7 +32,9 @@ let rec fire t =
       t.next_sample <- t.next_sample + t.sample_interval;
       if t.cycles >= t.next_sample then fire t
 
-let tick t n =
+(* [@inline] so the add-and-compare lands inside the interpreter and
+   compiled-engine hot loops instead of costing a call per charge. *)
+let[@inline] tick t n =
   assert (n >= 0);
   t.cycles <- t.cycles + n;
   if t.cycles >= t.next_sample then fire t

@@ -14,6 +14,11 @@ let page t idx =
       Hashtbl.replace t.pages idx p;
       p
 
+(* Pages are only ever created, never dropped or replaced, so a handle
+   returned here stays the backing store of its index for the lifetime of
+   [t] — the compiled engine's per-site page caches rely on that. *)
+let page_of t idx = page t idx
+
 let rec load t ~addr ~size =
   let off = addr land page_mask in
   if off + size <= page_size then begin

@@ -31,3 +31,16 @@ val blit : t -> src:int -> dst:int -> len:int -> unit
 
 val page_size : int
 (** Granularity of lazy materialization (4096). *)
+
+val page_bits : int
+(** [log2 page_size]. *)
+
+val page_mask : int
+(** [page_size - 1]. *)
+
+val page_of : t -> int -> Bytes.t
+(** [page_of t idx] is the backing bytes of page [idx], materializing a
+    zeroed page on first touch. Pages are never dropped or replaced, so
+    the handle stays valid (and authoritative) for the lifetime of [t];
+    the compiled execution engine caches it per access site to skip the
+    hash lookup on page-local streaks. *)

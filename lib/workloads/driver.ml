@@ -80,27 +80,29 @@ let finish (clock : Clock.t) (r : Interp.result) =
    for reporting. *)
 let no_telemetry : Clock.t -> Telemetry.Sink.t = fun _ -> Telemetry.Sink.nop
 
-let run_local ?(cost = Cost_model.default) ?(blobs = [])
-    ?(telemetry = no_telemetry) build =
+let run_local ?(engine = Engine.Interp) ?(cost = Cost_model.default)
+    ?(blobs = []) ?(telemetry = no_telemetry) build =
   let clock = Clock.create () in
   let store = Memstore.create () in
   let backend =
     with_blobs blobs (Backend.local ~telemetry:(telemetry clock) cost clock store)
   in
-  finish clock (Interp.run backend (build ()) ~entry:"main")
+  finish clock (Engine.run ~engine backend (build ()) ~entry:"main")
 
-let profile_of ?(cost = Cost_model.default) ?(blobs = []) build =
+let profile_of ?(engine = Engine.Interp) ?(cost = Cost_model.default)
+    ?(blobs = []) build =
   let profile = Profile.create () in
   let clock = Clock.create () in
   let store = Memstore.create () in
   let backend = with_blobs blobs (Backend.local cost clock store) in
-  ignore (Interp.run ~profile backend (build ()) ~entry:"main");
+  ignore (Engine.run ~engine ~profile backend (build ()) ~entry:"main");
   profile
 
-let run_trackfm ?(cost = Cost_model.default) ?(blobs = [])
-    ?(telemetry = no_telemetry) build opts =
+let run_trackfm ?(engine = Engine.Interp) ?(cost = Cost_model.default)
+    ?(blobs = []) ?(telemetry = no_telemetry) build opts =
   let profile =
-    if opts.profile_gate then Some (profile_of ~cost ~blobs build) else None
+    if opts.profile_gate then Some (profile_of ~engine ~cost ~blobs build)
+    else None
   in
   let m = build () in
   let config =
@@ -133,11 +135,11 @@ let run_trackfm ?(cost = Cost_model.default) ?(blobs = [])
       ~object_size:opts.object_size ~local_budget:opts.local_budget
   in
   let backend = with_blobs blobs (Backend.trackfm rt store) in
-  (finish clock (Interp.run backend m ~entry:"main"), report)
+  (finish clock (Engine.run ~engine backend m ~entry:"main"), report)
 
-let run_fastswap ?(cost = Cost_model.default) ?readahead
-    ?(faults = Faults.disabled) ?(replicas = 1) ?(ack = 1) ?(blobs = [])
-    ?(telemetry = no_telemetry) ~local_budget build =
+let run_fastswap ?(engine = Engine.Interp) ?(cost = Cost_model.default)
+    ?readahead ?(faults = Faults.disabled) ?(replicas = 1) ?(ack = 1)
+    ?(blobs = []) ?(telemetry = no_telemetry) ~local_budget build =
   let clock = Clock.create () in
   let store = Memstore.create () in
   let sink = telemetry clock in
@@ -148,7 +150,7 @@ let run_fastswap ?(cost = Cost_model.default) ?readahead
       (Backend.fastswap ?readahead ~faults ?cluster ~telemetry:sink cost clock
          store ~local_budget)
   in
-  finish clock (Interp.run backend (build ()) ~entry:"main")
+  finish clock (Engine.run ~engine backend (build ()) ~entry:"main")
 
 let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
     ?(candidates = [ 64; 128; 256; 512; 1024; 2048; 4096 ]) build ~local_budget

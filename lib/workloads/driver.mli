@@ -59,6 +59,7 @@ val no_telemetry : Clock.t -> Telemetry.Sink.t
     from inside the factory to read the recordings afterwards. *)
 
 val run_local :
+  ?engine:Engine.t ->
   ?cost:Cost_model.t ->
   ?blobs:(int * Bytes.t) list ->
   ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
@@ -66,6 +67,7 @@ val run_local :
   outcome
 
 val run_trackfm :
+  ?engine:Engine.t ->
   ?cost:Cost_model.t ->
   ?blobs:(int * Bytes.t) list ->
   ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
@@ -74,6 +76,7 @@ val run_trackfm :
   outcome * Trackfm.Pipeline.report
 
 val run_fastswap :
+  ?engine:Engine.t ->
   ?cost:Cost_model.t ->
   ?readahead:int ->
   ?faults:Faults.t ->
@@ -89,6 +92,7 @@ val run_fastswap :
     (see {!Memsim.Cluster.create_opt}). *)
 
 val profile_of :
+  ?engine:Engine.t ->
   ?cost:Cost_model.t ->
   ?blobs:(int * Bytes.t) list ->
   (unit -> Ir.modul) ->

@@ -1,0 +1,259 @@
+(* Differential tests between the tree-walking interpreter (the oracle)
+   and the compiled closure engine: every workload, faults on and off,
+   guard elision on and off, must produce identical results, identical
+   clock counters, and identical span-attribution category splits. A
+   negative test proves the diff actually bites: a deliberately
+   miscompiled closure (Compile.test_miscompile) must be caught. *)
+
+open Workloads
+
+let engines = [ (Engine.Interp, "interp"); (Engine.Compiled, "compiled") ]
+
+let medium_faults ~seed =
+  match Faults.parse "medium" with
+  | Ok cfg -> Faults.create ~seed cfg
+  | Error e -> Alcotest.failf "faults spec: %s" e
+
+(* Everything observable from one run: result triple, every clock
+   counter, and the per-class span category decomposition. *)
+type observation = {
+  ret : int;
+  cycles : int;
+  instrs : int;
+  counters : (string * int) list;
+  spans : (int * int list) list;
+}
+
+let observe_tfm ?blobs ?(op_classes = []) ~engine ~faults ~elide build
+    ~local_budget =
+  let sink = ref Telemetry.Sink.nop in
+  let telemetry clock =
+    let s =
+      Telemetry.Sink.recording ~trace:false ~series_interval:0 ~spans:true
+        ~op_classes clock
+    in
+    sink := s;
+    s
+  in
+  let opts =
+    {
+      (Driver.tfm_defaults ~local_budget) with
+      Driver.faults;
+      elide_guards = elide;
+    }
+  in
+  let outcome, _report = Driver.run_trackfm ~engine ?blobs ~telemetry build opts in
+  let spans =
+    match Telemetry.Sink.spans !sink with
+    | None -> []
+    | Some sp ->
+        List.map
+          (fun (cls, st) ->
+            (cls, Array.to_list st.Telemetry.Span.cat_totals))
+          (Telemetry.Span.classes sp)
+  in
+  {
+    ret = outcome.Driver.ret;
+    cycles = outcome.Driver.cycles;
+    instrs = outcome.Driver.instrs;
+    counters =
+      List.sort compare (Clock.counters outcome.Driver.clock);
+    spans;
+  }
+
+let check_equal label (a : observation) (b : observation) =
+  Alcotest.(check int) (label ^ ": ret") a.ret b.ret;
+  Alcotest.(check int) (label ^ ": cycles") a.cycles b.cycles;
+  Alcotest.(check int) (label ^ ": instrs") a.instrs b.instrs;
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": counters") a.counters b.counters;
+  Alcotest.(check (list (pair int (list int))))
+    (label ^ ": span splits") a.spans b.spans
+
+(* The workload matrix at miniature scale. Each entry: name, builder,
+   blobs, span op classes, working-set-derived local budget. *)
+let matrix () =
+  let stream =
+    let n = 20_000 in
+    ( "stream-sum",
+      (fun () -> Stream.build ~n ~kernel:Stream.Sum ()),
+      [],
+      [],
+      Stream.working_set_bytes ~n ~kernel:Stream.Sum () / 4 )
+  in
+  let kmeans =
+    let p = Kmeans.default_params ~n:1_000 in
+    ( "kmeans",
+      Kmeans.build p,
+      [],
+      Kmeans.op_classes,
+      Kmeans.working_set_bytes p / 2 )
+  in
+  let hashmap =
+    let p = Hashmap.default_params ~keys:2_000 ~lookups:4_000 in
+    ( "hashmap",
+      Hashmap.build p,
+      [ (0, Hashmap.trace_blob p) ],
+      Hashmap.op_classes,
+      Hashmap.working_set_bytes p / 4 )
+  in
+  let memcached =
+    let p = Memcached.default_params ~keys:1_000 ~gets:1_500 ~skew:0.9 in
+    ( "memcached",
+      Memcached.build p,
+      [ (0, Memcached.trace_blob p) ],
+      Memcached.op_classes,
+      Memcached.working_set_bytes p / 2 )
+  in
+  let analytics =
+    let p = Analytics.default_params ~rows:2_000 in
+    ( "analytics",
+      Analytics.build p,
+      [],
+      [],
+      Analytics.working_set_bytes p / 3 )
+  in
+  let nas =
+    let p = { Nas.kernel = Nas.IS; scale = 1 } in
+    ("nas-is", Nas.build p, [], [], Nas.working_set_bytes p / 2)
+  in
+  [ stream; kmeans; hashmap; memcached; analytics; nas ]
+
+let test_trackfm_matrix () =
+  List.iter
+    (fun (name, build, blobs, op_classes, local_budget) ->
+      List.iter
+        (fun (faults, fault_tag) ->
+          List.iter
+            (fun elide ->
+              let obs engine =
+                (* a Faults.t carries PRNG state: each run needs a fresh
+                   one or the second engine sees a shifted schedule *)
+                observe_tfm ~blobs ~op_classes ~engine ~faults:(faults ())
+                  ~elide build ~local_budget
+              in
+              let label =
+                Printf.sprintf "%s/%s/elide=%b" name fault_tag elide
+              in
+              check_equal label (obs Engine.Interp) (obs Engine.Compiled))
+            [ true; false ])
+        [
+          ((fun () -> Faults.disabled), "nofault");
+          ((fun () -> medium_faults ~seed:1), "medium");
+        ])
+    (matrix ())
+
+let test_local_and_fastswap () =
+  let n = 20_000 in
+  let build () = Stream.build ~n ~kernel:Stream.Sum () in
+  let budget = Stream.working_set_bytes ~n ~kernel:Stream.Sum () / 4 in
+  let local engine =
+    let o = Driver.run_local ~engine build in
+    (o.Driver.ret, o.Driver.cycles, o.Driver.instrs,
+     List.sort compare (Clock.counters o.Driver.clock))
+  in
+  let fastswap engine =
+    let o = Driver.run_fastswap ~engine ~local_budget:budget build in
+    (o.Driver.ret, o.Driver.cycles, o.Driver.instrs,
+     List.sort compare (Clock.counters o.Driver.clock))
+  in
+  Alcotest.(check bool) "local engines agree" true
+    (local Engine.Interp = local Engine.Compiled);
+  Alcotest.(check bool) "fastswap engines agree" true
+    (fastswap Engine.Interp = fastswap Engine.Compiled);
+  let expected = Stream.checksum ~n ~kernel:Stream.Sum () in
+  let ret, _, _, _ = local Engine.Compiled in
+  Alcotest.(check int) "compiled checksum" expected ret
+
+(* The float path deserves its own direct check: kmeans is the only
+   heavily-float workload, and its checksum is a bit-exact reference. *)
+let test_float_checksum () =
+  let p = Kmeans.default_params ~n:800 in
+  let o = Driver.run_local ~engine:Engine.Compiled (Kmeans.build p) in
+  Alcotest.(check int) "kmeans checksum" (Kmeans.checksum p) o.Driver.ret
+
+let test_miscompile_is_caught () =
+  let n = 5_000 in
+  let build () = Stream.build ~n ~kernel:Stream.Sum () in
+  let run engine = (Driver.run_local ~engine build).Driver.ret in
+  let reference = run Engine.Interp in
+  Fun.protect
+    ~finally:(fun () -> Compile.test_miscompile := false)
+    (fun () ->
+      Compile.test_miscompile := true;
+      let broken = run Engine.Compiled in
+      Alcotest.(check bool) "diff catches the miscompiled closure" true
+        (broken <> reference));
+  (* and with the knob back off, equivalence is restored *)
+  Alcotest.(check int) "restored" reference (run Engine.Compiled)
+
+let test_recursion_and_traps () =
+  (* Direct-call binding, recursion depth and trap parity on a tiny
+     hand-built module: fib(18) recursive. *)
+  let m =
+    let m = Ir.create_module () in
+    let b = Builder.create m ~name:"fib" ~nparams:1 in
+    let n = Builder.arg 0 in
+    let base = Builder.add_block b "base" in
+    let recb = Builder.add_block b "rec" in
+    let c = Builder.icmp b Ir.Lt n (Ir.Const 2) in
+    Builder.cbr b c base recb;
+    Builder.set_block b base;
+    Builder.ret b (Some n);
+    Builder.set_block b recb;
+    let n1 = Builder.sub b n (Ir.Const 1) in
+    let a = Builder.call b "fib" [ n1 ] in
+    let n2 = Builder.sub b n (Ir.Const 2) in
+    let bb = Builder.call b "fib" [ n2 ] in
+    let s = Builder.add b a bb in
+    Builder.ret b (Some s);
+    let bm = Builder.create m ~name:"main" ~nparams:0 in
+    let r = Builder.call bm "fib" [ Ir.Const 18 ] in
+    Builder.ret bm (Some r);
+    m
+  in
+  let clock () = Clock.create () in
+  let run engine =
+    Engine.run ~engine
+      (Backend.local Cost_model.default (clock ()) (Memstore.create ()))
+      m ~entry:"main"
+  in
+  let a = run Engine.Interp and b = run Engine.Compiled in
+  Alcotest.(check int) "fib ret" a.Interp.ret b.Interp.ret;
+  Alcotest.(check int) "fib cycles" a.Interp.cycles b.Interp.cycles;
+  Alcotest.(check int) "fib instrs" a.Interp.instrs_executed
+    b.Interp.instrs_executed;
+  (* trap parity: division by zero surfaces identically *)
+  let div_m =
+    let m = Ir.create_module () in
+    let b = Builder.create m ~name:"main" ~nparams:0 in
+    let z = Builder.add b (Ir.Const 0) (Ir.Const 0) in
+    let d = Builder.binop b Ir.Sdiv (Ir.Const 1) z in
+    Builder.ret b (Some d);
+    m
+  in
+  let trap_of engine =
+    try
+      ignore
+        (Engine.run ~engine
+           (Backend.local Cost_model.default (clock ()) (Memstore.create ()))
+           div_m ~entry:"main");
+      "no trap"
+    with Interp.Trap msg -> msg
+  in
+  Alcotest.(check string) "trap parity"
+    (trap_of Engine.Interp) (trap_of Engine.Compiled)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "trackfm matrix: engines agree" `Slow
+        test_trackfm_matrix;
+      Alcotest.test_case "local/fastswap: engines agree" `Quick
+        test_local_and_fastswap;
+      Alcotest.test_case "compiled float checksum" `Quick test_float_checksum;
+      Alcotest.test_case "miscompiled closure is caught" `Quick
+        test_miscompile_is_caught;
+      Alcotest.test_case "recursion and trap parity" `Quick
+        test_recursion_and_traps;
+    ] )

@@ -18,5 +18,6 @@ let () =
       Test_telemetry.suite;
       Test_span.suite;
       Test_differential.suite;
+      Test_engine.suite;
       Test_integration.suite;
     ]
