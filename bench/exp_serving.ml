@@ -1,0 +1,200 @@
+(* Robustness: SLO vs offered load for the multi-tenant serving tier.
+
+   The capacity-planning question the closed-loop experiments cannot ask:
+   what happens when offered load exceeds capacity? An open-loop
+   generator (arrivals never slow down under backlog) sweeps offered
+   load across the knee for each far-memory backend, once with the
+   control plane off (the hockey stick: unbounded queues, p99 diverges,
+   goodput collapses because everything finishes late) and once with
+   admission control + load shedding + graceful degradation on (rejects
+   are cheap, completions stay near the deadline, goodput plateaus at
+   capacity). A second table holds the rate just past the knee and adds
+   node-crash windows on top of the fault preset: with the controls on,
+   breaker-open traffic is shed at the door and previously seen keys are
+   served stale, so goodput degrades instead of cliffing.
+
+   Every run is driven by Serving.run: Poisson arrivals, Zipf keys, two
+   equal tenants, costs on the simulated clock — deterministic under the
+   fixed seed, so PASS/FAIL verdicts below are stable. *)
+
+open Bench_common
+
+let backends = [ Serving.Trackfm; Serving.Fastswap; Serving.Aifm ]
+let rates = [ 10.0; 40.0; 70.0; 100.0; 130.0 ]
+
+(* Just past every backend's knee (capacity is ~100 req/Mcyc core-bound
+   minus wire queueing): where the off/on curves have visibly split. *)
+let crash_rate = 110.0
+
+let fleet_p99 r =
+  match Telemetry.Histogram.percentile_opt r.Serving.fleet 99.0 with
+  | Some v -> v
+  | None -> 0
+
+let tot r f = List.fold_left (fun a s -> a + f s) 0 r.Serving.stats
+
+let refused r =
+  tot r (fun s -> s.Serving.rejected + s.Serving.shed + s.Serving.throttled)
+
+let run_one ?(budget = 1 lsl 15) ?(keys = 65_536) ?(skew = 0.99) backend
+    rate controls faults =
+  Serving.run
+    {
+      Serving.default_params with
+      backend;
+      rate;
+      requests = scaled 8_000;
+      tenants =
+        List.map
+          (fun t -> { t with Serving.skew })
+          (Serving.default_tenants ~n:2 ~keys ~budget);
+      controls;
+      faults;
+      fault_seed = !fault_seed;
+    }
+
+let preset name =
+  match Faults.parse name with
+  | Ok cfg -> cfg
+  | Error e -> failwith ("exp_serving: bad fault spec " ^ name ^ ": " ^ e)
+
+let serving_slo () =
+  let deadline = Serving.default_controls.Serving.deadline in
+  let faults = preset "medium" in
+  let all_pass = ref true in
+  List.iter
+    (fun backend ->
+      let t =
+        Tfm_util.Table.create
+          ~title:
+            (Printf.sprintf
+               "%s: SLO vs offered load, faults medium (deadline %s, seed %d)"
+               (Serving.backend_name backend)
+               (Tfm_util.Units.cycles_to_string deadline)
+               !fault_seed)
+          ~columns:
+            [
+              "offered/Mcyc"; "off goodput"; "off p99"; "on goodput";
+              "on p99"; "refused"; "degraded"; "max q off/on";
+            ]
+      in
+      let sweep =
+        List.map
+          (fun rate ->
+            let off = run_one backend rate Serving.open_loop faults in
+            let on = run_one backend rate Serving.default_controls faults in
+            Tfm_util.Table.add_rowf t "%.0f | %.1f | %s | %.1f | %s | %d | %d | %d/%d"
+              rate off.Serving.goodput
+              (Tfm_util.Units.cycles_to_string (fleet_p99 off))
+              on.Serving.goodput
+              (Tfm_util.Units.cycles_to_string (fleet_p99 on))
+              (refused on)
+              (tot on (fun s -> s.Serving.degraded))
+              off.Serving.max_queue on.Serving.max_queue;
+            (rate, off, on))
+          rates
+      in
+      report_table t;
+      (* Verdicts: (1) the uncontrolled curve is a hockey stick — p99
+         within the deadline at the low end, many multiples of it at the
+         top; (2) with controls on, p99 stays bounded near the deadline
+         at every offered load; (3) controls-on goodput at the top of
+         the sweep holds within 10% of its knee (its best value). *)
+      let _, off_lo, _ = List.hd sweep in
+      let _, off_hi, on_hi =
+        List.nth sweep (List.length sweep - 1)
+      in
+      let best_on =
+        List.fold_left (fun a (_, _, on) -> max a on.Serving.goodput) 0.0 sweep
+      in
+      let stick =
+        fleet_p99 off_lo <= 2 * deadline
+        && fleet_p99 off_hi >= 8 * deadline
+        && fleet_p99 off_hi >= 4 * fleet_p99 off_lo
+      in
+      let bounded =
+        List.for_all (fun (_, _, on) -> fleet_p99 on <= 4 * deadline) sweep
+      in
+      let plateau = on_hi.Serving.goodput >= 0.9 *. best_on in
+      let verdict ok name detail =
+        if not ok then all_pass := false;
+        Printf.printf "  %-28s %s (%s)\n" name
+          (if ok then "PASS" else "FAIL")
+          detail
+      in
+      verdict stick "hockey stick (controls off)"
+        (Printf.sprintf "p99 %s at %.0f -> %s at %.0f"
+           (Tfm_util.Units.cycles_to_string (fleet_p99 off_lo))
+           (List.hd rates)
+           (Tfm_util.Units.cycles_to_string (fleet_p99 off_hi))
+           (List.nth rates (List.length rates - 1)));
+      verdict bounded "bounded p99 (controls on)"
+        (Printf.sprintf "worst on-p99 %s vs deadline %s"
+           (Tfm_util.Units.cycles_to_string
+              (List.fold_left (fun a (_, _, on) -> max a (fleet_p99 on)) 0 sweep))
+           (Tfm_util.Units.cycles_to_string deadline));
+      verdict plateau "goodput plateau (controls on)"
+        (Printf.sprintf "%.1f at top vs best %.1f" on_hi.Serving.goodput
+           best_on);
+      print_newline ())
+    backends;
+  (* Crash on top: periodic node crashes take the (sole) remote down
+     and lose whatever it held, plus a fabric outage on a staggered
+     schedule. The stagger matters: when crash and outage coincide, a
+     dead node makes misses observe instant loss (no wire op), so no
+     retry ladder ever runs. Offset windows give both behaviors — the
+     outage alone exhausts retry ladders (the wire is shared, so
+     concurrent ladders consume the window jointly at one 128k
+     attempt-timeout per tick) and opens the breaker, turning misses
+     into stale serves; the crash alone loses data observably. A
+     smaller key space at lower skew keeps real miss traffic flowing so
+     there is something to degrade. *)
+  let crash =
+    {
+      (preset "medium") with
+      Faults.crash_period = 16_000_000;
+      crash_downtime = 3_000_000;
+      outage_period = 12_000_000;
+      outage_len = 4_000_000;
+    }
+  in
+  let t =
+    Tfm_util.Table.create
+      ~title:
+        (Printf.sprintf
+           "crash windows at %.0f req/Mcyc: medium faults + \
+            crash 16M:3M + outage 12M:4M (seed %d)"
+           crash_rate !fault_seed)
+      ~columns:
+        [
+          "backend"; "ctl"; "goodput"; "p99"; "refused"; "degraded";
+          "breaker opens";
+        ]
+  in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (label, controls) ->
+          let r =
+            run_one ~budget:(1 lsl 14) ~keys:4_096 ~skew:0.6 backend
+              crash_rate controls crash
+          in
+          Tfm_util.Table.add_rowf t "%s | %s | %.1f | %s | %d | %d | %d"
+            (Serving.backend_name backend)
+            label r.Serving.goodput
+            (Tfm_util.Units.cycles_to_string (fleet_p99 r))
+            (refused r)
+            (tot r (fun s -> s.Serving.degraded))
+            (Clock.get r.Serving.clock "net.breaker_opens"))
+        [ ("off", Serving.open_loop); ("on", Serving.default_controls) ])
+    backends;
+  report_table t;
+  Printf.printf "\noverall: %s\n" (if !all_pass then "PASS" else "FAIL");
+  print_expectation
+    ~paper:"(no overload study; closed-loop clients only)"
+    ~ours:
+      "without controls the open-loop sweep is a hockey stick (p99 \
+       diverges past the knee, goodput collapses); with admission \
+       control and shedding on, p99 stays bounded near the deadline and \
+       goodput plateaus within 10% of the knee, under faults and crash \
+       windows alike"

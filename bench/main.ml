@@ -47,6 +47,8 @@ let experiments =
       Exp_durability.durability);
     ("attribution", "Observability: per-class latency attribution",
       Exp_attribution.attribution);
+    ("serving_slo", "Robustness: SLO vs offered load per backend",
+      Exp_serving.serving_slo);
     ("engine_speedup", "Infrastructure: compiled engine dispatch throughput",
       Exp_engine.engine_speedup);
   ]

@@ -882,14 +882,38 @@ let lookup_rows rows ~cls ~metric =
           else Some (int_of_float (r.cwall_mean +. 0.5))
       | Telemetry.Slo.Max -> if r.cops = 0 then None else Some r.cwall_max)
 
+(* The SLO rules come from exactly one of --slo SPEC (inline) or
+   --slo-file FILE (one class:objectives spec per line, '#' comments);
+   a file error names the offending line. *)
+let load_slo_rules slo_spec slo_file =
+  match (slo_spec, slo_file) with
+  | None, None -> Error "report slo: pass --slo SPEC or --slo-file FILE"
+  | Some _, Some _ ->
+      Error "report slo: --slo and --slo-file are mutually exclusive"
+  | Some spec, None -> (
+      match Telemetry.Slo.parse spec with
+      | Ok rules -> Ok (spec, rules)
+      | Error e -> Error (Printf.sprintf "bad --slo spec: %s" e))
+  | None, Some file -> (
+      match
+        try Ok (In_channel.with_open_bin file In_channel.input_lines)
+        with Sys_error msg -> Error msg
+      with
+      | Error msg ->
+          Error (Printf.sprintf "cannot read SLO file %s: %s" file msg)
+      | Ok lines -> (
+          match Telemetry.Slo.parse_lines lines with
+          | Ok rules -> Ok (file, rules)
+          | Error e -> Error (Printf.sprintf "bad SLO file %s: %s" file e)))
+
 let slo_cmd workload_opt system engine_name local_pct object_size chunk
-    prefetch summaries o1 fault_spec fault_seed from_file slo_spec =
+    prefetch summaries o1 fault_spec fault_seed from_file slo_spec slo_file =
   with_engine engine_name @@ fun engine ->
-  match Telemetry.Slo.parse slo_spec with
+  match load_slo_rules slo_spec slo_file with
   | Error e ->
-      Printf.eprintf "bad --slo spec: %s\n" e;
+      prerr_endline e;
       1
-  | Ok rules -> (
+  | Ok (spec_name, rules) -> (
       let evaluate rows violations note =
         let rc_slo =
           print_slo_outcomes
@@ -924,12 +948,151 @@ let slo_cmd workload_opt system engine_name local_pct object_size chunk
                   1
               | Ok w, Ok fault_cfg ->
                   Printf.printf "SLO report: %s under %s, spec %s\n\n" w.wname
-                    system slo_spec;
+                    system spec_name;
                   with_live_spans w ~system ~engine ~local_pct ~object_size
                     ~chunk ~prefetch ~summaries ~o1 ~fault_cfg ~fault_seed
                     (fun sp ->
                       let rows, _, violations, note = cp_of_span sp in
                       evaluate rows violations note))))
+
+(* -- serve: the overload-robust multi-tenant serving scenario -- *)
+
+let print_serving_result (r : Serving.result) =
+  let p = r.Serving.rp in
+  Printf.printf
+    "backend %s, offered %.1f req/Mcyc, %d arrivals, %d connections\n"
+    (Serving.backend_name p.Serving.backend)
+    p.Serving.rate p.Serving.requests p.Serving.connections;
+  let c = p.Serving.controls in
+  Printf.printf
+    "controls: admission %s, shedding %s, degradation %s (queue cap %d, \
+     deadline %s)\n"
+    (if c.Serving.admission then "on" else "off")
+    (if c.Serving.shedding then "on" else "off")
+    (if c.Serving.degradation then "on" else "off")
+    c.Serving.queue_cap (cyc c.Serving.deadline);
+  if Faults.enabled (Faults.create ~seed:p.Serving.fault_seed p.Serving.faults)
+  then
+    Printf.printf "faults %s, seed %d\n"
+      (Faults.to_string p.Serving.faults)
+      p.Serving.fault_seed;
+  if p.Serving.replicas > 1 then
+    Printf.printf "replicas %d, ack %d\n" p.Serving.replicas p.Serving.ack;
+  print_newline ();
+  let t =
+    Tfm_util.Table.create ~title:"per-tenant outcomes"
+      ~columns:
+        [
+          "tenant"; "offered"; "admitted"; "completed"; "good"; "degraded";
+          "rejected"; "shed"; "throttled"; "p50"; "p99"; "p999";
+        ]
+  in
+  let q h p =
+    match Telemetry.Histogram.percentile_opt h p with
+    | Some v -> cyc v
+    | None -> "-"
+  in
+  List.iter
+    (fun s ->
+      Tfm_util.Table.add_rowf t
+        "%s | %d | %d | %d | %d | %d | %d | %d | %d | %s | %s | %s"
+        s.Serving.tenant.Serving.tn_name s.Serving.offered s.Serving.admitted
+        s.Serving.completed s.Serving.good s.Serving.degraded
+        s.Serving.rejected s.Serving.shed s.Serving.throttled
+        (q s.Serving.latency 50.0) (q s.Serving.latency 99.0)
+        (q s.Serving.latency 99.9))
+    r.Serving.stats;
+  Tfm_util.Table.print t;
+  Printf.printf
+    "\nduration %s, goodput %.2f good/Mcyc, fleet p99 %s, max queue %d\n"
+    (cyc r.Serving.duration) r.Serving.goodput (q r.Serving.fleet 99.0)
+    r.Serving.max_queue
+
+let serving_meta (p : Serving.params) =
+  let open Telemetry.Json in
+  [
+    ("scenario", String "serving");
+    ("backend", String (Serving.backend_name p.Serving.backend));
+    ("rate_per_mcyc", Float p.Serving.rate);
+    ("faults", String (Faults.to_string p.Serving.faults));
+    ("fault_seed", Int p.Serving.fault_seed);
+    ("seed", Int p.Serving.seed);
+  ]
+
+let serve_cmd backend_name rate requests tenants keys skew value_size budget
+    connections service_cycles readahead queue_cap deadline no_admission
+    no_shedding no_degradation open_loop fault_spec fault_seed replicas ack
+    seed serving_json attribution_file flight_file =
+  match (Serving.backend_of_string backend_name, Faults.parse fault_spec) with
+  | None, _ ->
+      Printf.eprintf "unknown backend %s (trackfm|fastswap|aifm)\n"
+        backend_name;
+      1
+  | _, Error e ->
+      prerr_endline e;
+      1
+  | Some backend, Ok fault_cfg -> (
+      let controls =
+        if open_loop then Serving.open_loop
+        else
+          {
+            Serving.admission = not no_admission;
+            shedding = not no_shedding;
+            degradation = not no_degradation;
+            queue_cap;
+            deadline;
+          }
+      in
+      let p =
+        {
+          Serving.backend;
+          tenants = Serving.default_tenants ~n:tenants ~keys ~budget
+                    |> List.map (fun t -> { t with Serving.skew });
+          rate;
+          requests;
+          service_cycles;
+          value_size;
+          connections;
+          readahead;
+          seed;
+          controls;
+          faults = fault_cfg;
+          fault_seed;
+          replicas;
+          ack;
+        }
+      in
+      let meta = serving_meta p in
+      let want_spans = attribution_file <> None || flight_file <> None in
+      match
+        Serving.run ~spans:want_spans
+          ?flight:(Option.map (fun f -> (f, meta)) flight_file)
+          p
+      with
+      | exception Invalid_argument msg ->
+          prerr_endline msg;
+          1
+      | r -> (
+          print_serving_result r;
+          let rc_attr = export_attribution r.Serving.sink attribution_file ~meta in
+          let rc_inv =
+            if want_spans then assert_span_invariant r.Serving.sink else 0
+          in
+          report_flight_dump r.Serving.sink;
+          match
+            Option.iter
+              (fun f ->
+                let oc = open_out f in
+                Telemetry.Json.to_channel oc (Serving.result_json r);
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "serving JSON: %s\n" f)
+              serving_json
+          with
+          | () -> max rc_attr rc_inv
+          | exception Sys_error msg ->
+              Printf.eprintf "cannot write serving JSON: %s\n" msg;
+              1))
 
 (* -- validate: JSON schema check (CI validates exported traces) -- *)
 
@@ -1394,7 +1557,7 @@ let critical_path_info =
 
 let slo_spec_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
     & info [ "slo" ] ~docv:"SPEC"
         ~doc:
@@ -1403,13 +1566,23 @@ let slo_spec_arg =
            cycles with k/m/g suffixes), e.g. \
            'lookup:p99<=250k,p50<=40k;get:p999<=2m'.")
 
+let slo_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo-file" ] ~docv:"FILE"
+        ~doc:
+          "Read the SLO rules from $(docv) instead of --slo: one \
+           class:objectives spec per line, '#' starts a comment, blank \
+           lines ignored; parse errors name the offending line.")
+
 let slo_term =
   Term.(
-    const (fun w s e m o c np ns o1 fs fseed from spec ->
-        slo_cmd w s e m o c (not np) (not ns) o1 fs fseed from spec)
+    const (fun w s e m o c np ns o1 fs fseed from spec file ->
+        slo_cmd w s e m o c (not np) (not ns) o1 fs fseed from spec file)
     $ workload_opt_arg $ system_arg $ engine_arg $ local_mem_arg
     $ object_size_arg $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg
-    $ faults_arg $ fault_seed_arg $ from_arg $ slo_spec_arg)
+    $ faults_arg $ fault_seed_arg $ from_arg $ slo_spec_arg $ slo_file_arg)
 
 let slo_info =
   Cmd.info "slo"
@@ -1488,12 +1661,145 @@ let summaries_info =
       "Print the call graph (SCCs marked), every function's interprocedural \
        summary, and the summary-coverage lint for a workload"
 
+let backend_arg =
+  Arg.(
+    value & opt string "trackfm"
+    & info [ "b"; "backend" ] ~docv:"BACKEND"
+        ~doc:"Far-memory backend: trackfm, fastswap or aifm.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "rate" ] ~docv:"R"
+        ~doc:
+          "Offered load in requests per Mcycle across all tenants (open \
+           loop: arrivals never slow down under backlog).")
+
+let requests_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "requests" ] ~docv:"N" ~doc:"Arrivals to generate.")
+
+let tenants_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "tenants" ] ~docv:"N" ~doc:"Number of equal-weight tenants.")
+
+let keys_arg =
+  Arg.(
+    value & opt int 65_536
+    & info [ "keys" ] ~docv:"N" ~doc:"Key-space size per tenant.")
+
+let skew_arg =
+  Arg.(
+    value & opt float 0.99
+    & info [ "skew" ] ~docv:"S" ~doc:"Zipf skew of key popularity.")
+
+let value_size_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "value-size" ] ~docv:"BYTES"
+        ~doc:"Bytes per value (multiple of 8, divides the 4 KiB page).")
+
+let budget_arg =
+  Arg.(
+    value & opt int 65_536
+    & info [ "budget" ] ~docv:"BYTES"
+        ~doc:"Per-tenant local-memory budget in bytes.")
+
+let connections_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "connections" ] ~docv:"N"
+        ~doc:"Concurrent connection-handler tasks.")
+
+let service_cycles_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "service-cycles" ] ~docv:"CYC"
+        ~doc:"CPU cost of one request (parse, hash, respond).")
+
+let readahead_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "readahead" ] ~docv:"PAGES"
+        ~doc:"Fastswap readahead pages per fault (0 disables).")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Accept-queue bound for admission control.")
+
+let deadline_arg =
+  Arg.(
+    value & opt int 500_000
+    & info [ "deadline" ] ~docv:"CYC"
+        ~doc:"Per-request latency deadline in cycles.")
+
+let no_admission_arg =
+  Arg.(
+    value & flag
+    & info [ "no-admission" ] ~doc:"Disable admission control.")
+
+let no_shedding_arg =
+  Arg.(value & flag & info [ "no-shedding" ] ~doc:"Disable load shedding.")
+
+let no_degradation_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degradation" ]
+        ~doc:"Disable graceful degradation (serve-stale, readahead shed).")
+
+let open_loop_arg =
+  Arg.(
+    value & flag
+    & info [ "open-loop" ]
+        ~doc:
+          "Disable the whole control plane (equivalent to --no-admission \
+           --no-shedding --no-degradation): the hockey-stick baseline.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Traffic seed (arrival gaps, tenant and key picks); a fixed seed \
+           makes the whole run byte-for-byte reproducible.")
+
+let serving_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serving-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the deterministic machine-readable summary (params echo, \
+           per-tenant counts and percentiles, goodput, counters) to \
+           $(docv); the CI serving stage diffs these against goldens.")
+
+let serve_term =
+  Term.(
+    const serve_cmd $ backend_arg $ rate_arg $ requests_arg $ tenants_arg
+    $ keys_arg $ skew_arg $ value_size_arg $ budget_arg $ connections_arg
+    $ service_cycles_arg $ readahead_arg $ queue_cap_arg $ deadline_arg
+    $ no_admission_arg $ no_shedding_arg $ no_degradation_arg $ open_loop_arg
+    $ faults_arg $ fault_seed_arg $ replicas_arg $ ack_arg $ seed_arg
+    $ serving_json_arg $ attribution_arg $ flight_arg)
+
+let serve_info =
+  Cmd.info "serve"
+    ~doc:
+      "Run the overload-robust multi-tenant serving scenario: open-loop \
+       Poisson/Zipf traffic against a chosen far-memory backend, with \
+       admission control, load shedding and graceful degradation"
+
 let main =
   Cmd.group
     (Cmd.info "trackfm_cli" ~version:"1.0"
        ~doc:"TrackFM far-memory reproduction driver")
     [
       Cmd.v run_info run_term;
+      Cmd.v serve_info serve_term;
       report_group;
       Cmd.v list_info Term.(const list_cmd $ const ());
       Cmd.v sweep_info sweep_term;

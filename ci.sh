@@ -2,7 +2,7 @@
 # Staged CI pipeline. Mirrors what the driver runs on every PR; keep it
 # green.
 #
-#   ./ci.sh                 # all stages: build fmt lint test smoke faults durability tracing engines
+#   ./ci.sh                 # all stages: build fmt lint test smoke faults durability tracing engines serving
 #   ./ci.sh build test      # just those stages
 #   ./ci.sh --list          # list stages with one-line descriptions
 #   ./ci.sh --update-golden # refresh ci/golden/ from the current build
@@ -37,6 +37,10 @@
 #                (compiled additionally diffed against ci/golden/), the
 #                check matrix re-run with --engine compiled, and the
 #                engine_speedup dispatch-throughput experiment must PASS
+#   serving    - overload-robustness gate: a short fixed-seed offered-load
+#                sweep of the serving tier (backends x rates, faults
+#                medium, controls on), each run twice (byte-identical
+#                serving JSON required) and diffed against ci/golden/
 set -eu
 
 cd "$(dirname "$0")"
@@ -281,6 +285,48 @@ stage_tracing() {
 ENGINE_WORKLOADS="stream-sum hashmap"
 ENGINE_SEEDS="1 2 3"
 
+SERVING_BACKENDS="trackfm fastswap aifm"
+SERVING_RATES="40 130"
+SERVING_ARGS="--requests 1500 --keys 4096 --budget 32768 --faults medium --fault-seed 1 --seed 42"
+
+serving_run() {
+    # $1 backend, $2 rate, $3 output JSON
+    "$CLI" serve -b "$1" --rate "$2" $SERVING_ARGS \
+        --serving-json "$3" >/dev/null
+}
+
+stage_serving() {
+    echo "== stage serving: overload sweep determinism (rates $SERVING_RATES; faults medium, seed 1) =="
+    dune build bin/trackfm_cli.exe
+    mkdir -p _ci/serving
+    fail=0
+    for b in $SERVING_BACKENDS; do
+        for rate in $SERVING_RATES; do
+            out="_ci/serving/$b-r$rate.json"
+            serving_run "$b" "$rate" "$out"
+            serving_run "$b" "$rate" "$out.rerun"
+            if ! cmp -s "$out" "$out.rerun"; then
+                echo "serving: NONDETERMINISTIC: $b rate $rate differs between two runs" >&2
+                diff "$out" "$out.rerun" >&2 || true
+                fail=1
+            fi
+            golden="ci/golden/serving-$b-r$rate.json"
+            if [ ! -f "$golden" ]; then
+                echo "serving: missing golden $golden (regenerate with: ./ci.sh --update-golden)" >&2
+                fail=1
+            elif ! cmp -s "$golden" "$out"; then
+                echo "serving: DRIFT: $b rate $rate differs from $golden" >&2
+                diff "$golden" "$out" >&2 || true
+                fail=1
+            fi
+        done
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "serving stage failed" >&2
+        exit 1
+    fi
+}
+
 stage_engines() {
     echo "== stage engines: interp-vs-compiled differential matrix ($FAULT_SPEC; seeds $ENGINE_SEEDS) =="
     dune build bin/trackfm_cli.exe bench/main.exe
@@ -354,6 +400,12 @@ update_golden() {
             echo "  ci/golden/$w-seed$seed.json"
         done
     done
+    for b in $SERVING_BACKENDS; do
+        for rate in $SERVING_RATES; do
+            serving_run "$b" "$rate" "ci/golden/serving-$b-r$rate.json"
+            echo "  ci/golden/serving-$b-r$rate.json"
+        done
+    done
 }
 
 if [ "${1:-}" = "--update-golden" ]; then
@@ -372,11 +424,12 @@ faults      fault-injection determinism matrix vs ci/golden/
 durability  replicated-tier crash matrix (r=1 must lose data, r=3 must not)
 tracing     span tracing must not perturb counters; trace schema + attribution
 engines     interp-vs-compiled differential matrix + dispatch-throughput gate
+serving     fixed-seed overload sweep of the serving tier vs ci/golden/
 EOF
     exit 0
 fi
 
-STAGES="${*:-build fmt lint test smoke faults durability tracing engines}"
+STAGES="${*:-build fmt lint test smoke faults durability tracing engines serving}"
 
 # Name the failing stage at the very end of the log, where it is hardest
 # to miss (set -e aborts mid-stage, possibly far above).
@@ -402,6 +455,7 @@ for s in $STAGES; do
         durability) stage_durability ;;
         tracing)    stage_tracing ;;
         engines)    stage_engines ;;
+        serving)    stage_serving ;;
         *)
             echo "unknown stage '$s' (see ./ci.sh --list)" >&2
             exit 2

@@ -389,7 +389,12 @@ let invalidate t ~key =
 
 let deliver t ~key ~node =
   match Hashtbl.find_opt t.directory key with
-  | None -> invalid_arg "Cluster.deliver: unknown object"
+  | None ->
+      (* The object vanished between the caller's [has_object] check and
+         now: a crash window crossed mid-fetch (retry stalls advance the
+         clock) lost the last copy. The loss was already declared and
+         the main-store bytes zeroed; nothing to copy. *)
+      `Lost
   | Some e ->
       if main_matches t e ~key then begin
         copy_range ~src:t.nodes.(node).store ~dst:t.main ~addr:key ~len:e.size;

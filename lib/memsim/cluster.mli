@@ -107,13 +107,16 @@ val earliest_pending : t -> key:int -> int option
     healthy node becomes visible; [None] if no copy is in flight. A
     fetch with no candidates waits for this before declaring loss. *)
 
-val deliver : t -> key:int -> node:int -> [ `Delivered | `Stale ]
+val deliver : t -> key:int -> node:int -> [ `Delivered | `Stale | `Lost ]
 (** Copy the object's bytes from [node]'s store back into the main
     store: the localization payload. [`Stale] when the main-store range
     no longer matches the object's last-writeback checksum — the range
     was rewritten behind the memory system's back (allocator reuse after
     free, realloc's direct blit), so the replicas shadow a dead logical
-    object; the entry is invalidated and main is left untouched. *)
+    object; the entry is invalidated and main is left untouched.
+    [`Lost] when the object vanished from the directory after the caller
+    chose [node] (a crash window crossed mid-fetch and took the last
+    copy): the loss was already declared, main already zeroed. *)
 
 val declare_lost : t -> key:int -> [ `Lost | `Stale ]
 (** No replica holds [key] and none is in flight. If main still matches

@@ -367,6 +367,11 @@ let replicated_fetch t c ~key ~bytes ~success_latency ~prefetched =
               match Cluster.deliver c ~key ~node with
               | `Delivered -> ()
               | `Stale -> Clock.count t.clock "net.stale_drops" 1
+              | `Lost ->
+                  (* Lost mid-fetch: the stall that got us to this node
+                     crossed a crash window that took the last copy. The
+                     loss is already counted and main zeroed. *)
+                  Clock.count t.clock "net.lost_reads" 1
             end)
   in
   go ~excluded:[] ~success_latency

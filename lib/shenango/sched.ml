@@ -3,11 +3,13 @@ type _ Effect.t +=
   | Block : int -> unit Effect.t
   | Yield : unit Effect.t
   | Now : int Effect.t
+  | Park : unit Effect.t
 
 let work c = Effect.perform (Work c)
 let block l = Effect.perform (Block l)
 let yield () = Effect.perform Yield
 let now () = Effect.perform Now
+let park () = Effect.perform Park
 
 (* Block if we are running inside a scheduled task; outside any handler
    (plain single-threaded simulation) report false and do nothing. This
@@ -35,21 +37,42 @@ type switch_hooks = {
   restore : token:int -> queued:int -> unit;
 }
 
+(* A parked task left the run queue entirely: it has no wake time and
+   only an [unpark] makes it runnable again (Shenango's thread park). *)
+type parked = {
+  pk : (unit, unit) Effect.Deep.continuation;
+  pctx : int option;
+}
+
 type t = {
   mutable tasks : (unit -> unit) list;
   mutable queue : runnable list; (* sorted by (wake_at, seq) *)
+  mutable parked : parked list; (* FIFO: oldest parker wakes first *)
   mutable core_time : int;
   mutable next_seq : int;
   mutable hooks : switch_hooks option;
 }
 
 let create () =
-  { tasks = []; queue = []; core_time = 0; next_seq = 0; hooks = None }
+  {
+    tasks = [];
+    queue = [];
+    parked = [];
+    core_time = 0;
+    next_seq = 0;
+    hooks = None;
+  }
 
 let set_switch_hooks t h = t.hooks <- h
 let time t = t.core_time
 
 let spawn t f = t.tasks <- t.tasks @ [ f ]
+
+let queue_depth t = List.length t.queue
+let parked_count t = List.length t.parked
+
+let runnable_count t =
+  List.length (List.filter (fun r -> r.wake_at <= t.core_time) t.queue)
 
 let push t r =
   (* insertion keeps (wake_at, seq) order: FIFO among equal wake times *)
@@ -60,6 +83,29 @@ let push t r =
         else r :: x :: rest
   in
   t.queue <- ins t.queue
+
+(* Wake up to [n] parked tasks (oldest first): each becomes runnable at
+   the current core time, behind already-runnable tasks with earlier
+   sequence numbers. Returns how many were actually woken; callable from
+   inside a task (the dispatcher wakes a connection handler per admitted
+   request) or outside the scheduler entirely. *)
+let unpark t n =
+  let rec go woken =
+    if woken >= n then woken
+    else
+      match t.parked with
+      | [] -> woken
+      | p :: rest ->
+          t.parked <- rest;
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          push t
+            { wake_at = t.core_time; seq; k = Some p.pk; ctx = p.pctx };
+          go (woken + 1)
+  in
+  go 0
+
+let unpark_all t = unpark t max_int
 
 let run t =
   let open Effect.Deep in
@@ -93,6 +139,11 @@ let run t =
                 Some
                   (fun (k : (a, unit) continuation) ->
                     enqueue_ready t.core_time (Some k))
+            | Park ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    let ctx = Option.map (fun h -> h.save ()) t.hooks in
+                    t.parked <- t.parked @ [ { pk = k; pctx = ctx } ])
             | Now ->
                 Some (fun (k : (a, unit) continuation) -> continue k t.core_time)
             | _ -> None);
@@ -123,4 +174,12 @@ let run t =
         schedule ()
   in
   schedule ();
+  (match t.parked with
+  | [] -> ()
+  | ps ->
+      failwith
+        (Printf.sprintf
+           "Sched.run: deadlock — %d task(s) still parked with no one left \
+            to unpark them"
+           (List.length ps)));
   t.core_time

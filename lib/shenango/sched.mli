@@ -46,7 +46,30 @@ val spawn : t -> (unit -> unit) -> unit
 val run : t -> int
 (** Execute all tasks to completion; returns the simulated completion
     time in cycles. @raise Failure on a deadlock (never happens with
-    work/block/yield only). *)
+    work/block/yield only; possible when a {!park}ed task is never
+    {!unpark}ed). *)
+
+(** {1 Introspection} — the serving tier's admission controller reads
+    these to estimate queueing ahead of a new request. *)
+
+val queue_depth : t -> int
+(** Tasks in the run queue (runnable now or sleeping on a block). The
+    currently running task is not counted. *)
+
+val runnable_count : t -> int
+(** Tasks ready at the current core time but waiting for the core — the
+    instantaneous run-queue pressure signal. *)
+
+val parked_count : t -> int
+(** Tasks currently parked (idle connection handlers). *)
+
+val unpark : t -> int -> int
+(** [unpark t n] wakes up to [n] parked tasks, oldest first; each
+    becomes runnable at the current core time. Returns the number
+    actually woken. Callable from inside a task or outside the
+    scheduler. *)
+
+val unpark_all : t -> int
 
 (** {1 Task-side operations} — must be called from inside a task. *)
 
@@ -60,6 +83,13 @@ val block : int -> unit
 val yield : unit -> unit
 (** Cooperative reschedule point (the out-of-scope state AIFM's
     evacuator barrier waits for). *)
+
+val park : unit -> unit
+(** Leave the run queue entirely until some other task calls {!unpark}
+    (Shenango's thread park): unlike {!block} there is no wake time, so
+    thousands of idle connection handlers cost nothing while parked.
+    Parked time is {e not} queueing — the switch hooks see [queued = 0]
+    plus only the cycles between the unpark and the resume. *)
 
 val try_block : int -> bool
 (** {!block} if called from inside a scheduled task, releasing the core

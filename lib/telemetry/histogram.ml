@@ -123,6 +123,11 @@ let merge_into ~dst src =
     if src.max_v > dst.max_v then dst.max_v <- src.max_v
   end
 
+let merge ts =
+  let dst = create () in
+  List.iter (fun src -> merge_into ~dst src) ts;
+  dst
+
 let buckets t =
   let acc = ref [] in
   for i = nbuckets - 1 downto 0 do

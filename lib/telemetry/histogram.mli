@@ -48,6 +48,13 @@ val percentile_opt : t -> float -> int option
 
 val merge_into : dst:t -> t -> unit
 
+val merge : t list -> t
+(** Fresh histogram holding the union of the inputs (the inputs are not
+    modified). Because buckets are fixed, merging is exact: quantiles of
+    the merge equal quantiles of recording every sample into one
+    histogram — how per-tenant latency histograms aggregate into the
+    fleet view. *)
+
 val buckets : t -> (int * int * int) list
 (** Non-empty buckets as [(low, high_inclusive, count)], ascending. *)
 

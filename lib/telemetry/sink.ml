@@ -109,7 +109,7 @@ let take_sample r =
 
 let recording ?(trace = true) ?(trace_limit = 1_000_000)
     ?(series_interval = 250_000) ?(spans = false) ?(op_classes = [])
-    ?(span_ring = 256) clock =
+    ?(span_ring = 256) ?span_now clock =
   let r =
     {
       clock;
@@ -131,12 +131,13 @@ let recording ?(trace = true) ?(trace_limit = 1_000_000)
       last_sample_at = -1;
     }
   in
-  if spans then
+  if spans then begin
+    let span_now =
+      match span_now with Some f -> f | None -> fun () -> now r
+    in
     r.spans <-
-      Some
-        (Span.create ~ring:span_ring ~classes:op_classes
-           ~now:(fun () -> now r)
-           ());
+      Some (Span.create ~ring:span_ring ~classes:op_classes ~now:span_now ())
+  end;
   let wants_sampler =
     match (r.series, r.trace, r.spans) with
     | None, None, None -> false
@@ -218,6 +219,15 @@ let flight_trigger t ~reason =
           with Sys_error e ->
             Printf.eprintf "warning: flight recorder write failed: %s\n%!" e)
       | _ -> ())
+
+(* Overload-control events from the serving tier. Mirrors the fault
+   path: every shed/reject lands in the span event ring, and the first
+   one fires the flight recorder — the dump shows what the system looked
+   like the moment it first refused work, not at exit. *)
+let shed_event t ~kind ~detail =
+  let name = "serving." ^ kind in
+  with_spans t (fun sp -> Span.note sp ~name ~detail);
+  flight_trigger t ~reason:name
 
 (* -- events -------------------------------------------------------------- *)
 

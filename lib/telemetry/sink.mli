@@ -56,6 +56,7 @@ val recording :
   ?spans:bool ->
   ?op_classes:(int * string) list ->
   ?span_ring:int ->
+  ?span_now:(unit -> int) ->
   Memsim.Clock.t ->
   t
 (** A live recorder on [clock]. [series_interval] (simulated cycles,
@@ -64,7 +65,10 @@ val recording :
     with another sink. [trace] (default true) enables the Chrome-trace
     event log. [spans] (default false) enables the causal span tracker
     and the per-site epoch profiles; [op_classes] names its operation
-    classes and [span_ring] bounds the flight-recorder rings. *)
+    classes and [span_ring] bounds the flight-recorder rings.
+    [span_now] overrides the span tracker's time source (default: the
+    reset-corrected clock timestamp) — the serving simulation passes
+    Shenango core time so spans measure scheduler wall clock. *)
 
 val is_active : t -> bool
 val recorder : t -> recorder option
@@ -123,6 +127,14 @@ val cluster_event : t -> Memsim.Cluster.event -> unit
 val attach_cluster : t -> Memsim.Cluster.t -> unit
 (** Install this sink as the cluster's event handler
     ({!Memsim.Cluster.set_on_event}). *)
+
+val shed_event : t -> kind:string -> detail:string -> unit
+(** One overload-control event from the serving tier ([kind] is e.g.
+    ["shed"], ["reject"], ["throttle"], ["stale"]): noted as
+    ["serving.<kind>"] in the span event ring, and the {e first} one
+    triggers the flight-recorder dump, mirroring the first-fault
+    trigger — the dump captures the moment the service first refused
+    work. No-op on {!nop} or with spans disabled. *)
 
 val writeback_event : t -> bytes:int -> unit
 val evict_event : t -> unit

@@ -122,6 +122,30 @@ let parse spec =
     in
     go [] parts
 
+(* Multi-line spec files: one (or several ';'-joined) rule(s) per line,
+   '#' starts a comment, blank lines are skipped. Errors carry the
+   1-based line number so a bad line in a 40-tenant SLO file is
+   findable. *)
+let parse_lines lines =
+  let strip_comment s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let rec go acc lineno = function
+    | [] ->
+        if acc = [] then Error "empty SLO spec (no rules in file)"
+        else Ok (List.rev acc)
+    | line :: rest -> (
+        let body = String.trim (strip_comment line) in
+        if body = "" then go acc (lineno + 1) rest
+        else
+          match parse body with
+          | Ok rules -> go (List.rev_append rules acc) (lineno + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines
+
 (* Evaluation is decoupled from where the numbers come from (a live span
    tracker or a parsed attribution file) through [lookup]. A class the
    run never exercised fails its objectives: an SLO on a missing

@@ -23,6 +23,11 @@ type outcome = {
 val metric_name : metric -> string
 val parse : string -> (rule list, string) result
 
+val parse_lines : string list -> (rule list, string) result
+(** Multi-line form ([report slo --slo-file]): each line holds one or
+    more ';'-joined rules, ['#'] starts a comment, blank lines are
+    skipped. On a bad line the error names its 1-based line number. *)
+
 val evaluate :
   rule list -> lookup:(cls:string -> metric -> int option) -> outcome list
 (** [lookup] maps a class name and metric to the observed value; a class

@@ -26,6 +26,13 @@ let float t bound =
 
 let bool t = Int64.logand (next t) 1L = 1L
 
+(* Inverse-CDF exponential draw; [1.0 -. u] keeps the argument of [log]
+   in (0, 1] so the result is finite and non-negative. *)
+let exponential t ~mean =
+  assert (mean > 0.0);
+  let u = float t 1.0 in
+  -.mean *. log (1.0 -. u)
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

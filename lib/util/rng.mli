@@ -28,5 +28,11 @@ val float : t -> float -> float
 val bool : t -> bool
 (** Fair coin flip. *)
 
+val exponential : t -> mean:float -> float
+(** One exponentially distributed draw with the given mean — the
+    inter-arrival time of a Poisson process at rate [1 /. mean]. The
+    open-loop traffic generator draws its arrival gaps here. Requires
+    [mean > 0.]; the result is finite and non-negative. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

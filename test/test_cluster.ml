@@ -139,7 +139,7 @@ let test_deliver_roundtrip_exact () =
   ignore (Cluster.writeback c ~key ~size);
   (match Cluster.deliver c ~key ~node:(Cluster.primary c ~key) with
   | `Delivered -> ()
-  | `Stale -> Alcotest.fail "fresh writeback cannot be stale");
+  | `Stale | `Lost -> Alcotest.fail "fresh writeback cannot be stale or lost");
   Alcotest.(check bool)
     "bit 63 survives the copy (no 63-bit truncation)" true
     (object_intact store)
@@ -193,7 +193,8 @@ let test_stale_shadow_invalidated () =
   Memstore.store64 store ~addr:key fresh;
   (match Cluster.deliver c ~key ~node:(Cluster.primary c ~key) with
   | `Stale -> ()
-  | `Delivered -> Alcotest.fail "deliver must detect the stale shadow");
+  | `Delivered | `Lost ->
+      Alcotest.fail "deliver must detect the stale shadow");
   Alcotest.(check bool) "live data never overwritten" true
     (Memstore.load64 store ~addr:key = fresh);
   Alcotest.(check bool) "stale entry invalidated" false

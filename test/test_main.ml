@@ -15,6 +15,7 @@ let () =
       Test_opt.suite;
       Test_interp.suite;
       Test_workloads.suite;
+      Test_serving.suite;
       Test_telemetry.suite;
       Test_span.suite;
       Test_differential.suite;

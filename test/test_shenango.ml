@@ -103,6 +103,71 @@ let test_evacuator_convergence_protocol () =
   ignore (Shenango.Sched.run s);
   Alcotest.(check int) "evacuator never observes an open scope" 0 !violations
 
+let test_park_unpark () =
+  let s = Shenango.Sched.create () in
+  let resumed_at = ref (-1) in
+  Shenango.Sched.spawn s (fun () ->
+      Shenango.Sched.park ();
+      resumed_at := Shenango.Sched.now ();
+      Shenango.Sched.work 5);
+  Shenango.Sched.spawn s (fun () ->
+      Shenango.Sched.work 100;
+      Alcotest.(check int) "one task parked" 1
+        (Shenango.Sched.parked_count s);
+      Alcotest.(check int) "unpark wakes exactly one" 1
+        (Shenango.Sched.unpark s 4));
+  let total = Shenango.Sched.run s in
+  (* Parking is free: the handler resumes only once woken, then its 5
+     cycles serialize after the producer's 100. *)
+  Alcotest.(check int) "woken after the producer's work" 100 !resumed_at;
+  Alcotest.(check int) "parked time costs nothing" 105 total;
+  Alcotest.(check int) "no one left parked" 0 (Shenango.Sched.parked_count s)
+
+let test_unpark_all () =
+  let s = Shenango.Sched.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Shenango.Sched.spawn s (fun () ->
+        Shenango.Sched.park ();
+        incr woken)
+  done;
+  Shenango.Sched.spawn s (fun () ->
+      Shenango.Sched.work 7;
+      Alcotest.(check int) "unpark_all reports the count" 3
+        (Shenango.Sched.unpark_all s));
+  ignore (Shenango.Sched.run s);
+  Alcotest.(check int) "all handlers resumed" 3 !woken
+
+let test_unpark_nobody () =
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () ->
+      Alcotest.(check int) "unpark with nobody parked" 0
+        (Shenango.Sched.unpark s 2));
+  ignore (Shenango.Sched.run s)
+
+let test_forgotten_park_is_a_deadlock () =
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () -> Shenango.Sched.park ());
+  Shenango.Sched.spawn s (fun () -> Shenango.Sched.work 10);
+  match Shenango.Sched.run s with
+  | _ -> Alcotest.fail "run returned with a task still parked"
+  | exception Failure _ -> ()
+
+let test_runnable_and_queue_introspection () =
+  let s = Shenango.Sched.create () in
+  Shenango.Sched.spawn s (fun () ->
+      Shenango.Sched.yield ();
+      Shenango.Sched.work 1);
+  Shenango.Sched.spawn s (fun () ->
+      (* The first task yielded onto the ready queue; the admission
+         controller sees it as pending CPU backlog. *)
+      Alcotest.(check int) "yielded sibling visible as runnable" 1
+        (Shenango.Sched.runnable_count s);
+      Shenango.Sched.work 1);
+  ignore (Shenango.Sched.run s);
+  Alcotest.(check int) "idle scheduler has no runnables" 0
+    (Shenango.Sched.runnable_count s)
+
 let test_empty_scheduler () =
   let s = Shenango.Sched.create () in
   Alcotest.(check int) "no tasks, zero time" 0 (Shenango.Sched.run s)
@@ -126,6 +191,13 @@ let suite =
       Alcotest.test_case "now" `Quick test_now_advances;
       Alcotest.test_case "evacuator convergence" `Quick
         test_evacuator_convergence_protocol;
+      Alcotest.test_case "park/unpark" `Quick test_park_unpark;
+      Alcotest.test_case "unpark_all" `Quick test_unpark_all;
+      Alcotest.test_case "unpark nobody" `Quick test_unpark_nobody;
+      Alcotest.test_case "forgotten park deadlocks" `Quick
+        test_forgotten_park_is_a_deadlock;
+      Alcotest.test_case "runnable introspection" `Quick
+        test_runnable_and_queue_introspection;
       Alcotest.test_case "empty scheduler" `Quick test_empty_scheduler;
       Alcotest.test_case "reusable scheduler" `Quick test_reusable_after_run;
     ] )

@@ -63,6 +63,95 @@ let test_histogram_merge () =
   Alcotest.(check int) "total" (1 + 2 + 3 + 100 + 200)
     (Telemetry.Histogram.total a)
 
+let test_histogram_merge_list () =
+  (* The fleet view: merging per-tenant histograms must agree with
+     having recorded every sample into a single histogram. *)
+  let samples =
+    [ [ 3; 17; 17; 250; 4096 ]; [ 1; 2; 900_000 ]; []; [ 12_345; 77 ] ]
+  in
+  let merged = Telemetry.Histogram.merge (List.map h_of samples) in
+  let single = h_of (List.concat samples) in
+  Alcotest.(check int) "count" (Telemetry.Histogram.count single)
+    (Telemetry.Histogram.count merged);
+  Alcotest.(check int) "min" (Telemetry.Histogram.min_value single)
+    (Telemetry.Histogram.min_value merged);
+  Alcotest.(check int) "max" (Telemetry.Histogram.max_value single)
+    (Telemetry.Histogram.max_value merged);
+  Alcotest.(check int) "total" (Telemetry.Histogram.total single)
+    (Telemetry.Histogram.total merged);
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "quantile %.3f" q)
+        (Telemetry.Histogram.quantile single q)
+        (Telemetry.Histogram.quantile merged q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ];
+  Alcotest.(check bool) "merge [] is empty" true
+    (Telemetry.Histogram.is_empty (Telemetry.Histogram.merge []));
+  (* Inputs are left untouched. *)
+  let a = h_of [ 1; 2 ] in
+  ignore (Telemetry.Histogram.merge [ a; h_of [ 50 ] ]);
+  Alcotest.(check int) "input histogram untouched" 2
+    (Telemetry.Histogram.count a)
+
+let test_slo_parse_lines () =
+  let rules =
+    match
+      Telemetry.Slo.parse_lines
+        [
+          "# fleet SLOs";
+          "";
+          "lookup:p99<=250k,p50<=40k";
+          "get:p999<=2m;scan:max<=10m";
+        ]
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail ("good file rejected: " ^ e)
+  in
+  Alcotest.(check (list string)) "all rules, in order"
+    [ "lookup"; "get"; "scan" ]
+    (List.map (fun r -> r.Telemetry.Slo.cls) rules)
+
+let test_slo_parse_lines_names_bad_line () =
+  match
+    Telemetry.Slo.parse_lines
+      [ "lookup:p99<=250k"; "# fine"; ""; "get:p50<=oops" ]
+  with
+  | Ok _ -> Alcotest.fail "bad file accepted"
+  | Error e ->
+      let has sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length e && (String.sub e i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names the 1-based line" e)
+        true (has "line 4")
+
+let test_shed_event_fires_flight_once () =
+  let clock = Memsim.Clock.create () in
+  let sink =
+    Telemetry.Sink.recording ~trace:false ~series_interval:0 ~spans:true
+      ~op_classes:[ (0, "t0") ] clock
+  in
+  let path = Filename.temp_file "tfm-shed-flight" ".json" in
+  Telemetry.Sink.set_flight_recorder sink ~path
+    ~meta:[ ("test", Telemetry.Json.String "shed") ];
+  Alcotest.(check (option string)) "armed, not yet fired" None
+    (Telemetry.Sink.flight_dumped sink);
+  Telemetry.Sink.shed_event sink ~kind:"reject" ~detail:"qlen=9 deadline";
+  Alcotest.(check (option string)) "first shed dumps" (Some path)
+    (Telemetry.Sink.flight_dumped sink);
+  (* Dump-once: a later shed must not rewrite the snapshot. *)
+  Sys.remove path;
+  Telemetry.Sink.shed_event sink ~kind:"shed" ~detail:"breaker_open";
+  Alcotest.(check bool) "second shed does not re-dump" false
+    (Sys.file_exists path);
+  (* And the Nop sink swallows it. *)
+  Telemetry.Sink.shed_event Telemetry.Sink.nop ~kind:"reject" ~detail:"x"
+
 let test_json_rendering () =
   let open Telemetry.Json in
   Alcotest.(check string) "escaping" "\"a\\\"b\\n\\\\\""
@@ -237,6 +326,13 @@ let suite =
         test_histogram_quantile_error_bound;
       Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
       Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+      Alcotest.test_case "histogram merge = single" `Quick
+        test_histogram_merge_list;
+      Alcotest.test_case "slo parse lines" `Quick test_slo_parse_lines;
+      Alcotest.test_case "slo bad line named" `Quick
+        test_slo_parse_lines_names_bad_line;
+      Alcotest.test_case "shed event flight dump-once" `Quick
+        test_shed_event_fires_flight_once;
       Alcotest.test_case "json rendering" `Quick test_json_rendering;
       Alcotest.test_case "series sampling" `Quick test_series_sampling;
       Alcotest.test_case "series reset baseline" `Quick

@@ -92,6 +92,43 @@ let test_zipf_skew_one_no_crash () =
   Alcotest.(check bool) "samples many distinct ranks" true
     (Hashtbl.length distinct > 50)
 
+let test_zipf_single_key () =
+  (* n = 1: the whole mass sits on rank 0 and sampling can only return
+     it — the degenerate tenant config must not divide by zero. *)
+  let z = Tfm_util.Zipf.create ~n:1 ~skew:0.99 in
+  Alcotest.(check bool) "all mass on rank 0" true
+    (abs_float (Tfm_util.Zipf.probability z 0 -. 1.0) < 1e-9);
+  let rng = Tfm_util.Rng.create 3 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "sample is rank 0" 0 (Tfm_util.Zipf.sample z rng)
+  done
+
+let test_exponential_moments () =
+  (* Inter-arrival sampler for the open-loop Poisson generator: an
+     exponential with mean m has variance m^2. Sample moments converge
+     like 1/sqrt(n), so 50k draws put them within a few percent. *)
+  let rng = Tfm_util.Rng.create 11 in
+  let mean = 9_090.9 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 and minv = ref infinity in
+  for _ = 1 to n do
+    let x = Tfm_util.Rng.exponential rng ~mean in
+    if x < !minv then minv := x;
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let m = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (m *. m) in
+  Alcotest.(check bool) "draws are non-negative" true (!minv >= 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "sample mean %.1f within 5%% of %.1f" m mean)
+    true
+    (abs_float (m -. mean) < 0.05 *. mean);
+  Alcotest.(check bool)
+    (Printf.sprintf "sample variance %.3e within 15%% of mean^2" var)
+    true
+    (abs_float (var -. (mean *. mean)) < 0.15 *. mean *. mean)
+
 let prop_zipf_in_range =
   QCheck.Test.make ~name:"zipf sample in range" ~count:300
     QCheck.(pair (int_range 1 5_000) (int_range 101 300))
@@ -240,6 +277,9 @@ let suite =
       Alcotest.test_case "zipf prob monotone" `Quick
         test_zipf_probabilities_decrease;
       Alcotest.test_case "zipf skew=1" `Quick test_zipf_skew_one_no_crash;
+      Alcotest.test_case "zipf n=1" `Quick test_zipf_single_key;
+      Alcotest.test_case "exponential moments" `Quick
+        test_exponential_moments;
       Alcotest.test_case "stats basics" `Quick test_stats_basics;
       Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
       Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
