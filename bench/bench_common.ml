@@ -48,7 +48,8 @@ let print_expectation ~paper ~ours =
 (* Run a workload under TrackFM with given options; returns outcome. *)
 let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
     ?(use_state_table = true) ?(profile_gate = true) ?(elide = true)
-    ?(summaries = true) ?(size_classes = []) ?faults ~budget build =
+    ?(summaries = true) ?(route = `Off) ?(size_classes = []) ?faults ~budget
+    build =
   let faults =
     match faults with Some f -> f | None -> active_faults ()
   in
@@ -62,6 +63,8 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
       profile_gate;
       elide_guards = elide;
       use_summaries = summaries;
+      route;
+      route_hotspots = [];
       size_classes;
       faults;
       replicas = !replicas;
@@ -71,7 +74,8 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
   fst (Driver.run_trackfm ~engine:!engine ?blobs build opts)
 
 let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
-    ?(profile_gate = true) ?(elide = true) ?(summaries = true) ~budget build =
+    ?(profile_gate = true) ?(elide = true) ?(summaries = true) ?(route = `Off)
+    ~budget build =
   let opts =
     {
       Driver.object_size;
@@ -82,6 +86,8 @@ let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
       profile_gate;
       elide_guards = elide;
       use_summaries = summaries;
+      route;
+      route_hotspots = [];
       size_classes = [];
       faults = active_faults ();
       replicas = !replicas;
@@ -175,6 +181,8 @@ let tfm_spans ?blobs ?(object_size = 4096) ~op_classes ~budget build =
       profile_gate = true;
       elide_guards = true;
       use_summaries = true;
+      route = `Off;
+      route_hotspots = [];
       size_classes = [];
       faults = active_faults ();
       replicas = !replicas;

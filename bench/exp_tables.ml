@@ -320,6 +320,8 @@ let hw_kona () =
                 profile_gate = false;
                 elide_guards = true;
                 use_summaries = true;
+                route = `Off;
+                route_hotspots = [];
                 size_classes = [];
                 faults = active_faults ();
                 replicas = !replicas;
@@ -349,6 +351,8 @@ let hw_kona () =
                 profile_gate = false;
                 elide_guards = true;
                 use_summaries = true;
+                route = `Off;
+                route_hotspots = [];
                 size_classes = [];
                 faults = active_faults ();
                 replicas = !replicas;
@@ -383,57 +387,8 @@ let hw_kona () =
    top of whatever the memory system charges. *)
 let limits_pointer_chase () =
   let nodes = scaled 60_000 in
-  let build () =
-    let m = Ir.create_module () in
-    let b = Builder.create m ~name:"main" ~nparams:0 in
-    (* One arena, nodes threaded in a shuffled order so successive nodes
-       share no spatial locality: node k at slot perm(k). *)
-    let arena = Builder.call b "malloc" [ Ir.Const (nodes * 16) ] in
-    (* perm(k) = k * 48271 mod nodes (Lehmer-style permutation when
-       nodes is coprime with the multiplier; we force odd nodes). *)
-    let mult = 48271 in
-    Builder.for_loop b ~hint:"link" ~init:(Ir.Const 0)
-      ~bound:(Ir.Const (nodes - 1)) (fun b k ->
-        let slot = Builder.binop b Ir.Srem (Builder.mul b k (Ir.Const mult)) (Ir.Const nodes) in
-        let next_slot =
-          Builder.binop b Ir.Srem
-            (Builder.mul b (Builder.add b k (Ir.Const 1)) (Ir.Const mult))
-            (Ir.Const nodes)
-        in
-        let nptr = Builder.gep b arena ~index:slot ~scale:16 () in
-        let next_addr = Builder.gep b arena ~index:next_slot ~scale:16 () in
-        Builder.store b (Builder.binop b Ir.And k (Ir.Const 0xFF))
-          ~ptr:(Builder.gep b arena ~index:slot ~scale:16 ~offset:8 ());
-        Builder.store b next_addr ~ptr:nptr);
-    (* terminate the list *)
-    let last_slot = (nodes - 1) * 48271 mod nodes in
-    Builder.store b (Ir.Const 0)
-      ~ptr:(Builder.gep b arena ~index:(Ir.Const last_slot) ~scale:16 ());
-    Builder.store b (Ir.Const 255)
-      ~ptr:(Builder.gep b arena ~index:(Ir.Const last_slot) ~scale:16 ~offset:8 ());
-    ignore (Builder.call b "!bench_begin" []);
-    let head = Builder.gep b arena ~index:(Ir.Const 0) ~scale:16 () in
-    let final =
-      Builder.while_loop_acc b ~accs:[ head; Ir.Const 0 ]
-        ~cond:(fun b ~accs ->
-          let cur = List.hd accs in
-          Builder.icmp b Ir.Ne cur (Ir.Const 0))
-        (fun b ~accs ->
-          let cur, acc =
-            match accs with [ c; a ] -> (c, a) | _ -> assert false
-          in
-          let v =
-            Builder.load b (Builder.gep b cur ~index:(Ir.Const 0) ~scale:1 ~offset:8 ())
-          in
-          let next = Builder.load b cur in
-          [ next;
-            Builder.binop b Ir.And (Builder.add b acc v) (Ir.Const 0x3FFFFFFF) ])
-    in
-    Builder.ret b (Some (List.nth final 1));
-    Verifier.check_module m;
-    m
-  in
-  let ws = nodes * 16 in
+  let build () = Chase.build ~nodes () in
+  let ws = Chase.working_set_bytes ~nodes in
   let t =
     Tfm_util.Table.create
       ~title:

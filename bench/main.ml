@@ -51,6 +51,8 @@ let experiments =
       Exp_serving.serving_slo);
     ("engine_speedup", "Infrastructure: compiled engine dispatch throughput",
       Exp_engine.engine_speedup);
+    ("hybrid_routing", "Hybrid data plane: guards vs paging per site",
+      Exp_hybrid.hybrid_routing);
   ]
 
 let () =

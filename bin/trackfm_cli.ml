@@ -81,6 +81,18 @@ let workloads () =
       op_classes = [];
     }
   in
+  let chase =
+    let nodes = 60_000 in
+    {
+      wname = "pointer-chase";
+      describe = "permuted linked-list traversal";
+      build = (fun () -> Chase.build ~nodes ());
+      blobs = [];
+      working_set = Chase.working_set_bytes ~nodes;
+      expected = Chase.checksum ~nodes;
+      op_classes = [];
+    }
+  in
   let nas kernel =
     let p = { Nas.kernel; scale = 1 } in
     {
@@ -95,7 +107,7 @@ let workloads () =
     }
   in
   List.map stream [ Stream.Sum; Stream.Copy; Stream.Scale; Stream.Triad ]
-  @ [ kme; hm; mc; an ]
+  @ [ kme; hm; mc; an; chase ]
   @ List.map nas Nas.all_kernels
 
 let find_workload name =
@@ -121,6 +133,12 @@ let print_outcome w (o : Driver.outcome) =
 
 let chunk_mode_of = function "off" -> `Off | "all" -> `All | _ -> `Gated
 
+let route_of = function
+  | "off" -> Ok `Off
+  | "static" -> Ok `Static
+  | "profiled" -> Ok `Profiled
+  | s -> Error (Printf.sprintf "unknown route mode %s (off|static|profiled)" s)
+
 let build_of w o1 =
   if o1 then fun () ->
     let m = w.build () in
@@ -132,8 +150,9 @@ let build_of w o1 =
    (for trackfm) the compile report. The telemetry factory is applied to
    the run's fresh clock inside the driver. [faults] is the injector for
    this run (fresh per run: its random stream is stateful). *)
-let exec_system ?(engine = Engine.Interp) w system ~budget ~object_size
-    ~chunk_mode ~prefetch ~summaries ~faults ~replicas ~ack ~telemetry build =
+let exec_system ?(engine = Engine.Interp) ?(route = `Off)
+    ?(route_hotspots = []) w system ~budget ~object_size ~chunk_mode ~prefetch
+    ~summaries ~faults ~replicas ~ack ~telemetry build =
   match system with
   | "local" ->
       Ok (Driver.run_local ~engine ~blobs:w.blobs ~telemetry build, None)
@@ -153,6 +172,8 @@ let exec_system ?(engine = Engine.Interp) w system ~budget ~object_size
           profile_gate = true;
           elide_guards = true;
           use_summaries = summaries;
+          route;
+          route_hotspots;
           size_classes = [];
           faults;
           replicas;
@@ -166,20 +187,62 @@ let exec_system ?(engine = Engine.Interp) w system ~budget ~object_size
   | other ->
       Error (Printf.sprintf "unknown system %s (local|trackfm|fastswap)" other)
 
+(* Profiled routing's evidence: a fault-free pre-run with routing off and
+   a recording sink; every hotspot whose slow-path guards outnumber its
+   fast-path hits is handed to the route pass as upgrade evidence. The
+   pre-run uses the same deterministic build, so (function, call id) keys
+   line up with the profiled run's guards. *)
+let profiled_hotspots ~engine w ~budget ~object_size ~chunk_mode ~prefetch
+    ~summaries build =
+  let sink = ref Telemetry.Sink.nop in
+  let telemetry clock =
+    let s =
+      Telemetry.Sink.recording ~trace:false ~series_interval:0 clock
+    in
+    sink := s;
+    s
+  in
+  match
+    exec_system ~engine w "trackfm" ~budget ~object_size ~chunk_mode ~prefetch
+      ~summaries ~faults:Faults.disabled ~replicas:1 ~ack:1 ~telemetry build
+  with
+  | Error _ | (exception _) -> []
+  | Ok _ -> (
+      match Telemetry.Sink.recorder !sink with
+      | None -> []
+      | Some r ->
+          List.filter_map
+            (fun ((k : Telemetry.Site.key), (s : Telemetry.Site.stat)) ->
+              if k.Telemetry.Site.instr >= 0 && s.Telemetry.Site.slow > s.Telemetry.Site.fast
+              then Some (k.Telemetry.Site.func, k.Telemetry.Site.instr)
+              else None)
+            (Telemetry.Site.rows r.Telemetry.Sink.sites)
+          |> List.sort compare)
+
 let print_compile_report = function
   | None -> ()
   | Some report ->
       let e = report.Trackfm.Pipeline.elision in
       Printf.printf
         "compile: %d guards (%d elided, %d hoisted, %d upgraded), %d chunk \
-         sites, growth %.2fx, %.1f ms\n\n"
+         sites, growth %.2fx, %.1f ms\n"
         (report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_loads
         + report.Trackfm.Pipeline.guards.Trackfm.Guard_pass.guarded_stores)
         (Trackfm.Elide_pass.total_elided e)
         e.Trackfm.Elide_pass.hoisted e.Trackfm.Elide_pass.upgraded
         report.Trackfm.Pipeline.chunks.Trackfm.Chunk_pass.chunk_sites
         (Trackfm.Pipeline.code_growth report)
-        (report.Trackfm.Pipeline.compile_time_s *. 1e3)
+        (report.Trackfm.Pipeline.compile_time_s *. 1e3);
+      let r = report.Trackfm.Pipeline.routing in
+      if r.Trackfm.Route_pass.routed > 0 || r.Trackfm.Route_pass.kept_pinned > 0
+         || r.Trackfm.Route_pass.kept_covered > 0
+      then
+        Printf.printf
+          "routing: %d site(s) moved to the page path (%d profile-upgraded; \
+           chasing sites kept: %d pinned, %d covered elsewhere)\n"
+          r.Trackfm.Route_pass.routed r.Trackfm.Route_pass.upgraded
+          r.Trackfm.Route_pass.kept_pinned r.Trackfm.Route_pass.kept_covered;
+      print_newline ()
 
 (* -- fault plumbing -- *)
 
@@ -370,14 +433,18 @@ let with_engine engine_name k =
       1
 
 let run_cmd workload_name system engine_name local_pct object_size chunk
-    prefetch summaries o1 fault_spec fault_seed replicas ack counters_json
-    trace_file metrics_file sample_interval attribution_file flight_file =
+    route_name prefetch summaries o1 fault_spec fault_seed replicas ack
+    counters_json trace_file metrics_file sample_interval attribution_file
+    flight_file =
   with_engine engine_name @@ fun engine ->
-  match (find_workload workload_name, Faults.parse fault_spec) with
-  | Error e, _ | _, Error e ->
+  match
+    (find_workload workload_name, Faults.parse fault_spec, route_of route_name)
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline e;
       1
-  | Ok w, Ok fault_cfg when replicas >= 1 && ack >= 1 && ack <= replicas -> (
+  | Ok w, Ok fault_cfg, Ok route when replicas >= 1 && ack >= 1 && ack <= replicas
+    -> (
       let faults = Faults.create ~seed:fault_seed fault_cfg in
       let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
       Printf.printf
@@ -386,6 +453,9 @@ let run_cmd workload_name system engine_name local_pct object_size chunk
         (Tfm_util.Units.bytes_to_string w.working_set)
         (Tfm_util.Units.bytes_to_string budget)
         local_pct system;
+      if route <> `Off then
+        Printf.printf "hybrid routing %s\n"
+          (Trackfm.Route_pass.mode_to_string route);
       if Faults.enabled faults then
         Printf.printf "faults %s, seed %d\n" (Faults.to_string fault_cfg)
           fault_seed;
@@ -405,10 +475,17 @@ let run_cmd workload_name system engine_name local_pct object_size chunk
             ?flight:(Option.map (fun f -> (f, meta)) flight_file)
             ()
       in
+      let route_hotspots =
+        if route = `Profiled && system = "trackfm" then
+          profiled_hotspots ~engine w ~budget ~object_size
+            ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries
+            (build_of w o1)
+        else []
+      in
       match
-        exec_system ~engine w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
-          ~replicas ~ack ~telemetry (build_of w o1)
+        exec_system ~engine ~route ~route_hotspots w system ~budget
+          ~object_size ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries
+          ~faults ~replicas ~ack ~telemetry (build_of w o1)
       with
       | exception Tfm_checker.Coverage.Unsound errs ->
           Printf.eprintf "checker: UNSOUND transform (%d violation(s)):\n"
@@ -444,16 +521,33 @@ let run_cmd workload_name system engine_name local_pct object_size chunk
           | exception Sys_error msg ->
               Printf.eprintf "cannot write counters JSON: %s\n" msg;
               1))
-  | Ok _, Ok _ ->
+  | Ok _, Ok _, Ok _ ->
       Printf.eprintf "bad replication: need 1 <= ack (%d) <= replicas (%d)\n"
         ack replicas;
       1
 
 (* -- report: run with a recording sink, print the hotspot table -- *)
 
-let print_hotspots (o : Driver.outcome) (r : Telemetry.Sink.recorder) =
+let print_hotspots ?routing (o : Driver.outcome) (r : Telemetry.Sink.recorder)
+    =
   let open Telemetry in
   let rows = Site.rows r.Sink.sites in
+  (* The class column comes from the route pass's classification table;
+     telemetry keys a row by the protecting call, which [class_of_call]
+     resolves to the adjacent access. "-" = no routing report (routing
+     off, or a non-trackfm system) or a site with no private call (chunk
+     protocol, synthetic sites). *)
+  let class_of (k : Site.key) =
+    match routing with
+    | None -> "-"
+    | Some rep -> (
+        match
+          Trackfm.Route_pass.class_of_call rep ~func:k.Site.func
+            ~instr:k.Site.instr
+        with
+        | Some c -> Tfm_analysis.Access_pattern.cls_to_string c
+        | None -> "-")
+  in
   if rows = [] then
     print_endline
       "no guard activity recorded in the measured region (local system, or \
@@ -463,25 +557,27 @@ let print_hotspots (o : Driver.outcome) (r : Telemetry.Sink.recorder) =
       Tfm_util.Table.create ~title:"guard-site hotspots (measured region)"
         ~columns:
           [
-            "site"; "fast"; "slow"; "locality"; "custody"; "bytes in";
-            "bytes out"; "guard cyc";
+            "site"; "class"; "fast"; "slow"; "locality"; "custody"; "paged";
+            "bytes in"; "bytes out"; "guard cyc";
           ]
     in
     let limit = 20 in
     List.iteri
       (fun i (k, s) ->
         if i < limit then
-          Tfm_util.Table.add_rowf t "%s | %d | %d | %d | %d | %s | %s | %s"
-            (Site.key_to_string k) s.Site.fast s.Site.slow s.Site.locality
-            s.Site.custody
+          Tfm_util.Table.add_rowf t
+            "%s | %s | %d | %d | %d | %d | %d | %s | %s | %s"
+            (Site.key_to_string k) (class_of k) s.Site.fast s.Site.slow
+            s.Site.locality s.Site.custody s.Site.paged
             (Tfm_util.Units.bytes_to_string s.Site.bytes_in)
             (Tfm_util.Units.bytes_to_string s.Site.bytes_out)
             (Tfm_util.Units.cycles_to_string s.Site.guard_cycles))
       rows;
     let tot = Site.totals r.Sink.sites in
     Tfm_util.Table.add_rowf t
-      "TOTAL (%d sites) | %d | %d | %d | %d | %s | %s | %s" (List.length rows)
-      tot.Site.fast tot.Site.slow tot.Site.locality tot.Site.custody
+      "TOTAL (%d sites) | | %d | %d | %d | %d | %d | %s | %s | %s"
+      (List.length rows) tot.Site.fast tot.Site.slow tot.Site.locality
+      tot.Site.custody tot.Site.paged
       (Tfm_util.Units.bytes_to_string tot.Site.bytes_in)
       (Tfm_util.Units.bytes_to_string tot.Site.bytes_out)
       (Tfm_util.Units.cycles_to_string tot.Site.guard_cycles);
@@ -499,7 +595,9 @@ let print_hotspots (o : Driver.outcome) (r : Telemetry.Sink.recorder) =
     check "fast guards" tot.Site.fast "tfm.fast_guards";
     check "slow guards" tot.Site.slow "tfm.slow_guards";
     check "locality guards" tot.Site.locality "tfm.locality_guards";
-    check "custody skips" tot.Site.custody "tfm.custody_skips"
+    check "custody skips" tot.Site.custody "tfm.custody_skips";
+    if tot.Site.paged > 0 || Driver.counter o "tfm.page_accesses" > 0 then
+      check "paged accesses" tot.Site.paged "tfm.page_accesses"
   end
 
 let print_histograms (r : Telemetry.Sink.recorder) =
@@ -534,31 +632,43 @@ let print_sparklines (r : Telemetry.Sink.recorder) =
       end
 
 let report_cmd workload_name system engine_name local_pct object_size chunk
-    prefetch summaries o1 fault_spec fault_seed trace_file metrics_file
-    sample_interval =
+    route_name prefetch summaries o1 fault_spec fault_seed trace_file
+    metrics_file sample_interval =
   with_engine engine_name @@ fun engine ->
-  match (find_workload workload_name, Faults.parse fault_spec) with
-  | Error e, _ | _, Error e ->
+  match
+    (find_workload workload_name, Faults.parse fault_spec, route_of route_name)
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline e;
       1
-  | Ok w, Ok fault_cfg -> (
+  | Ok w, Ok fault_cfg, Ok route -> (
       let faults = Faults.create ~seed:fault_seed fault_cfg in
       let budget = max (16 * object_size) (w.working_set * local_pct / 100) in
-      Printf.printf "telemetry report: %s under %s, local budget %s (%d%%)%s\n\n"
+      Printf.printf "telemetry report: %s under %s, local budget %s (%d%%)%s%s\n\n"
         w.wname system
         (Tfm_util.Units.bytes_to_string budget)
         local_pct
         (if Faults.enabled faults then
            Printf.sprintf ", faults %s seed %d" (Faults.to_string fault_cfg)
              fault_seed
+         else "")
+        (if route <> `Off then
+           ", routing " ^ Trackfm.Route_pass.mode_to_string route
          else "");
+      let route_hotspots =
+        if route = `Profiled && system = "trackfm" then
+          profiled_hotspots ~engine w ~budget ~object_size
+            ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries
+            (build_of w o1)
+        else []
+      in
       let sink, telemetry =
         capture_sink ~want_trace:(trace_file <> None) ~sample_interval ()
       in
       match
-        exec_system ~engine w system ~budget ~object_size
-          ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries ~faults
-          ~replicas:1 ~ack:1 ~telemetry (build_of w o1)
+        exec_system ~engine ~route ~route_hotspots w system ~budget
+          ~object_size ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries
+          ~faults ~replicas:1 ~ack:1 ~telemetry (build_of w o1)
       with
       | Error e ->
           prerr_endline e;
@@ -571,7 +681,12 @@ let report_cmd workload_name system engine_name local_pct object_size chunk
           (match Telemetry.Sink.recorder !sink with
           | None -> () (* unreachable: capture_sink always records *)
           | Some r ->
-              print_hotspots o r;
+              print_hotspots
+                ?routing:
+                  (Option.map
+                     (fun rep -> rep.Trackfm.Pipeline.routing)
+                     report)
+                o r;
               print_newline ();
               print_histograms r;
               print_sparklines r);
@@ -1154,6 +1269,8 @@ let sweep_cmd workload_name object_size =
               profile_gate = true;
               elide_guards = true;
               use_summaries = true;
+              route = `Off;
+              route_hotspots = [];
               size_classes = [];
               faults = Faults.disabled;
               replicas = 1;
@@ -1230,59 +1347,78 @@ let check_cmd workload_filter engine_name =
               (fun elide ->
                 List.iter
                   (fun summaries ->
-                    let m = w.build () in
-                    let config =
-                      {
-                        Trackfm.Pipeline.object_size = 4096;
-                        chunk_mode;
-                        profile = None;
-                        cost = Cost_model.default;
-                        elide;
-                        summaries;
-                        check = false (* we report instead of raising *);
-                        dump_after = None;
-                      }
-                    in
-                    let report = Trackfm.Pipeline.run config m in
-                    let e = report.Trackfm.Pipeline.elision in
-                    let violations =
-                      Tfm_checker.Coverage.check_module ~summaries m
-                    in
-                    let witness_errors =
-                      Tfm_checker.Coverage.check_witnesses m
-                        e.Trackfm.Elide_pass.elisions
-                    in
-                    let ok = violations = [] && witness_errors = [] in
-                    Printf.printf
-                      "%-14s chunk=%-5s elide=%-3s summ=%-3s guards=%5d \
-                       elided=%4d (same %d congruent %d range %d) hoisted=%d \
-                       upgraded=%d widened=%d  %s\n"
-                      w.wname mode_name
-                      (if elide then "on" else "off")
-                      (if summaries then "on" else "off")
-                      (report.Trackfm.Pipeline.guards
-                         .Trackfm.Guard_pass.guarded_loads
-                      + report.Trackfm.Pipeline.guards
-                          .Trackfm.Guard_pass.guarded_stores)
-                      (Trackfm.Elide_pass.total_elided e)
-                      e.Trackfm.Elide_pass.elided_same
-                      e.Trackfm.Elide_pass.elided_congruent
-                      e.Trackfm.Elide_pass.elided_range
-                      e.Trackfm.Elide_pass.hoisted
-                      e.Trackfm.Elide_pass.upgraded
-                      e.Trackfm.Elide_pass.widened
-                      (if ok then "OK" else "UNSOUND");
-                    if not ok then begin
-                      incr failures;
-                      List.iter
-                        (fun v ->
-                          Printf.printf "    violation: %s\n"
-                            (Tfm_checker.Coverage.violation_to_string v))
-                        violations;
-                      List.iter
-                        (fun msg -> Printf.printf "    witness: %s\n" msg)
-                        witness_errors
-                    end)
+                    List.iter
+                      (fun route ->
+                        let m = w.build () in
+                        let config =
+                          {
+                            Trackfm.Pipeline.object_size = 4096;
+                            chunk_mode;
+                            profile = None;
+                            cost = Cost_model.default;
+                            elide;
+                            summaries;
+                            route;
+                            route_hotspots = [];
+                            check = false (* we report instead of raising *);
+                            dump_after = None;
+                          }
+                        in
+                        let report = Trackfm.Pipeline.run config m in
+                        let e = report.Trackfm.Pipeline.elision in
+                        let r = report.Trackfm.Pipeline.routing in
+                        let violations =
+                          Tfm_checker.Coverage.check_module ~summaries m
+                        in
+                        let witness_errors =
+                          Tfm_checker.Coverage.check_witnesses m
+                            e.Trackfm.Elide_pass.elisions
+                        in
+                        let routing_errors =
+                          Tfm_checker.Coverage.check_routing m
+                            r.Trackfm.Route_pass.routes
+                        in
+                        let ok =
+                          violations = [] && witness_errors = []
+                          && routing_errors = []
+                        in
+                        Printf.printf
+                          "%-14s chunk=%-5s elide=%-3s summ=%-3s route=%-6s \
+                           guards=%5d elided=%4d (same %d congruent %d range \
+                           %d) hoisted=%d upgraded=%d widened=%d routed=%d  \
+                           %s\n"
+                          w.wname mode_name
+                          (if elide then "on" else "off")
+                          (if summaries then "on" else "off")
+                          (Trackfm.Route_pass.mode_to_string route)
+                          (report.Trackfm.Pipeline.guards
+                             .Trackfm.Guard_pass.guarded_loads
+                          + report.Trackfm.Pipeline.guards
+                              .Trackfm.Guard_pass.guarded_stores)
+                          (Trackfm.Elide_pass.total_elided e)
+                          e.Trackfm.Elide_pass.elided_same
+                          e.Trackfm.Elide_pass.elided_congruent
+                          e.Trackfm.Elide_pass.elided_range
+                          e.Trackfm.Elide_pass.hoisted
+                          e.Trackfm.Elide_pass.upgraded
+                          e.Trackfm.Elide_pass.widened
+                          r.Trackfm.Route_pass.routed
+                          (if ok then "OK" else "UNSOUND");
+                        if not ok then begin
+                          incr failures;
+                          List.iter
+                            (fun v ->
+                              Printf.printf "    violation: %s\n"
+                                (Tfm_checker.Coverage.violation_to_string v))
+                            violations;
+                          List.iter
+                            (fun msg -> Printf.printf "    witness: %s\n" msg)
+                            witness_errors;
+                          List.iter
+                            (fun msg -> Printf.printf "    routing: %s\n" msg)
+                            routing_errors
+                        end)
+                      [ `Off; `Static ])
                   [ true; false ])
               [ true; false ])
           [ ("off", `Off); ("gated", `Gated) ])
@@ -1344,6 +1480,46 @@ let summaries_cmd workload_name o1 show_ir =
       end;
       0
 
+(* Static access-pattern classification dump: the evidence the hybrid
+   route pass acts on, printed per function in deterministic order
+   (function order, then ascending instruction id), plus the routing
+   decisions a static-mode compile makes on the transformed module. CI
+   byte-compares two runs of this output. *)
+let classify_cmd workload_name o1 =
+  match find_workload workload_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok w ->
+      let m = (build_of w o1) () in
+      let env = Tfm_analysis.Summary.compute m in
+      List.iter
+        (fun f ->
+          print_string
+            (Tfm_analysis.Access_pattern.dump
+               (Tfm_analysis.Access_pattern.analyze ~summaries:env f)))
+        m.Ir.funcs;
+      print_newline ();
+      let config =
+        {
+          Trackfm.Pipeline.default_config with
+          Trackfm.Pipeline.route = `Static;
+        }
+      in
+      let report = Trackfm.Pipeline.run config ((build_of w o1) ()) in
+      let r = report.Trackfm.Pipeline.routing in
+      Printf.printf
+        "hybrid routing (static): %d routed, %d kept pinned, %d kept covered\n"
+        r.Trackfm.Route_pass.routed r.Trackfm.Route_pass.kept_pinned
+        r.Trackfm.Route_pass.kept_covered;
+      List.iter
+        (fun (fname, (rt : Tfm_checker.Coverage.routing)) ->
+          Printf.printf "  %s: %%%d -> page call %%%d [%s]\n" fname
+            rt.Tfm_checker.Coverage.routed_access
+            rt.Tfm_checker.Coverage.page_call rt.Tfm_checker.Coverage.cls)
+        r.Trackfm.Route_pass.routes;
+      0
+
 let list_cmd () =
   List.iter
     (fun w ->
@@ -1383,6 +1559,16 @@ let chunk_arg =
     value & opt string "gated"
     & info [ "c"; "chunk" ] ~docv:"MODE"
         ~doc:"Loop chunking mode: off, all, or gated (profiled cost model).")
+
+let route_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "route" ] ~docv:"MODE"
+        ~doc:
+          "Hybrid data plane (trackfm only): off, static (pointer-chasing \
+           sites take the page-fault path, streaming sites keep guards), or \
+           profiled (additionally upgrade mixed/unknown sites that a \
+           profiling pre-run shows slow-path dominated).")
 
 let prefetch_arg =
   Arg.(
@@ -1500,23 +1686,25 @@ let flight_arg =
 
 let run_term =
   Term.(
-    const (fun w s e m o c np ns o1 fs fseed repl ack cj tr me si attr fl ->
-        run_cmd w s e m o c (not np) (not ns) o1 fs fseed repl ack cj tr me si
-          attr fl)
+    const (fun w s e m o c rt np ns o1 fs fseed repl ack cj tr me si attr fl ->
+        run_cmd w s e m o c rt (not np) (not ns) o1 fs fseed repl ack cj tr me
+          si attr fl)
     $ workload_arg $ system_arg $ engine_arg $ local_mem_arg $ object_size_arg
-    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
-    $ fault_seed_arg $ replicas_arg $ ack_arg $ counters_json_arg $ trace_arg
-    $ metrics_arg $ sample_interval_arg $ attribution_arg $ flight_arg)
+    $ chunk_arg $ route_arg $ prefetch_arg $ no_summaries_arg $ o1_arg
+    $ faults_arg $ fault_seed_arg $ replicas_arg $ ack_arg $ counters_json_arg
+    $ trace_arg $ metrics_arg $ sample_interval_arg $ attribution_arg
+    $ flight_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
 
 let report_term =
   Term.(
-    const (fun w s e m o c np ns o1 fs fseed tr me si ->
-        report_cmd w s e m o c (not np) (not ns) o1 fs fseed tr me si)
+    const (fun w s e m o c rt np ns o1 fs fseed tr me si ->
+        report_cmd w s e m o c rt (not np) (not ns) o1 fs fseed tr me si)
     $ workload_arg $ system_arg $ engine_arg $ local_mem_arg $ object_size_arg
-    $ chunk_arg $ prefetch_arg $ no_summaries_arg $ o1_arg $ faults_arg
-    $ fault_seed_arg $ trace_arg $ metrics_arg $ sample_interval_arg)
+    $ chunk_arg $ route_arg $ prefetch_arg $ no_summaries_arg $ o1_arg
+    $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg
+    $ sample_interval_arg)
 
 let report_info =
   Cmd.info "report"
@@ -1660,6 +1848,16 @@ let summaries_info =
     ~doc:
       "Print the call graph (SCCs marked), every function's interprocedural \
        summary, and the summary-coverage lint for a workload"
+
+let classify_term = Term.(const classify_cmd $ workload_arg $ o1_arg)
+
+let classify_info =
+  Cmd.info "classify"
+    ~doc:
+      "Print the static access-pattern classification (streaming / \
+       pointer-chase / mixed / unknown with stride, chain depth, density \
+       and rationale) of every may-heap access in a workload, and the \
+       hybrid routing decisions a static-mode compile makes"
 
 let backend_arg =
   Arg.(
@@ -1806,6 +2004,7 @@ let main =
       Cmd.v autotune_info autotune_term;
       Cmd.v check_info check_term;
       Cmd.v summaries_info summaries_term;
+      Cmd.v classify_info classify_term;
       Cmd.v validate_info validate_term;
     ]
 

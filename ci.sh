@@ -2,7 +2,7 @@
 # Staged CI pipeline. Mirrors what the driver runs on every PR; keep it
 # green.
 #
-#   ./ci.sh                 # all stages: build fmt lint test smoke faults durability tracing engines serving
+#   ./ci.sh                 # all stages: build fmt lint test smoke faults durability tracing engines hybrid serving
 #   ./ci.sh build test      # just those stages
 #   ./ci.sh --list          # list stages with one-line descriptions
 #   ./ci.sh --update-golden # refresh ci/golden/ from the current build
@@ -37,6 +37,12 @@
 #                (compiled additionally diffed against ci/golden/), the
 #                check matrix re-run with --engine compiled, and the
 #                engine_speedup dispatch-throughput experiment must PASS
+#   hybrid     - hybrid data-plane gate: fixed-seed routed runs (pointer
+#                chase x route mode x local budget) each run twice under
+#                both engines (byte-identical counters required) and
+#                diffed against ci/golden/hybrid-*.json; a routed
+#                streaming workload must stay byte-identical to its
+#                unrouted run (the classifier keeps its hands off)
 #   serving    - overload-robustness gate: a short fixed-seed offered-load
 #                sweep of the serving tier (backends x rates, faults
 #                medium, controls on), each run twice (byte-identical
@@ -50,6 +56,9 @@ FAULT_WORKLOADS="stream-sum hashmap"
 FAULT_SEEDS="1 2 3"
 FAULT_SPEC=medium
 SUMMARY_WORKLOADS="stream-sum kmeans analytics hashmap"
+CLASSIFY_WORKLOADS="stream-sum kmeans analytics hashmap memcached pointer-chase"
+HYBRID_ROUTES="static profiled"
+HYBRID_PCTS="25 100"
 DUR_WORKLOADS="stream-sum analytics"
 DUR_SEEDS="1 2"
 DUR_SPEC=crash=1500000:250000
@@ -86,6 +95,20 @@ stage_lint() {
         if ! cmp -s "_ci/summaries/$w.txt" "_ci/summaries/$w.txt.rerun"; then
             echo "lint: NONDETERMINISTIC summaries dump for $w" >&2
             diff "_ci/summaries/$w.txt" "_ci/summaries/$w.txt.rerun" >&2 || true
+            exit 1
+        fi
+    done
+    # Classification determinism: the access-pattern dump (and the
+    # routing decisions it drives) must be byte-identical across two
+    # runs of the same build.
+    echo "== stage lint: access-pattern classification determinism =="
+    mkdir -p _ci/classify
+    for w in $CLASSIFY_WORKLOADS; do
+        "$CLI" classify -w "$w" >"_ci/classify/$w.txt"
+        "$CLI" classify -w "$w" >"_ci/classify/$w.txt.rerun"
+        if ! cmp -s "_ci/classify/$w.txt" "_ci/classify/$w.txt.rerun"; then
+            echo "lint: NONDETERMINISTIC classification dump for $w" >&2
+            diff "_ci/classify/$w.txt" "_ci/classify/$w.txt.rerun" >&2 || true
             exit 1
         fi
     done
@@ -386,6 +409,74 @@ stage_engines() {
     fi
 }
 
+stage_hybrid() {
+    echo "== stage hybrid: routed-run determinism (routes $HYBRID_ROUTES; budgets $HYBRID_PCTS%) =="
+    dune build bin/trackfm_cli.exe
+    mkdir -p _ci/hybrid
+    fail=0
+    # Every routed run is repeated (byte-identical counters JSON
+    # required), re-run under the compiled engine (must match the
+    # interpreter bit for bit — the routing checker is enforced in both),
+    # and the compiled record is diffed against the checked-in golden.
+    for route in $HYBRID_ROUTES; do
+        for pct in $HYBRID_PCTS; do
+            base="_ci/hybrid/pointer-chase-$route-m$pct"
+            "$CLI" run -w pointer-chase -s trackfm -m "$pct" --route "$route" \
+                --engine interp --counters-json "$base-interp.json" >/dev/null
+            "$CLI" run -w pointer-chase -s trackfm -m "$pct" --route "$route" \
+                --engine interp --counters-json "$base-interp.json.rerun" >/dev/null
+            if ! cmp -s "$base-interp.json" "$base-interp.json.rerun"; then
+                echo "hybrid: NONDETERMINISTIC: pointer-chase route=$route m=$pct" >&2
+                diff "$base-interp.json" "$base-interp.json.rerun" >&2 || true
+                fail=1
+            fi
+            "$CLI" run -w pointer-chase -s trackfm -m "$pct" --route "$route" \
+                --engine compiled --counters-json "$base-compiled.json" >/dev/null
+            if ! cmp -s "$base-interp.json" "$base-compiled.json"; then
+                echo "hybrid: DIVERGED: pointer-chase route=$route m=$pct interp vs compiled" >&2
+                diff "$base-interp.json" "$base-compiled.json" >&2 || true
+                fail=1
+            fi
+            golden="ci/golden/hybrid-pointer-chase-$route-m$pct.json"
+            if [ ! -f "$golden" ]; then
+                echo "hybrid: missing golden $golden (regenerate with: ./ci.sh --update-golden)" >&2
+                fail=1
+            elif ! cmp -s "$golden" "$base-compiled.json"; then
+                echo "hybrid: DRIFT: route=$route m=$pct differs from $golden" >&2
+                diff "$golden" "$base-compiled.json" >&2 || true
+                fail=1
+            fi
+        done
+    done
+    # Zero-routing identity: on a streaming workload the classifier
+    # routes nothing, so route=static must be byte-identical to
+    # route=off — down to the lazily-constructed swap never existing.
+    "$CLI" run -w analytics -s trackfm -m 25 --route off \
+        --counters-json _ci/hybrid/analytics-off.json >/dev/null
+    "$CLI" run -w analytics -s trackfm -m 25 --route static \
+        --counters-json _ci/hybrid/analytics-static.json >/dev/null
+    if ! cmp -s _ci/hybrid/analytics-off.json _ci/hybrid/analytics-static.json; then
+        echo "hybrid: routing perturbed an unrouted streaming workload" >&2
+        diff _ci/hybrid/analytics-off.json _ci/hybrid/analytics-static.json >&2 || true
+        fail=1
+    fi
+    # The two-directional performance gate (and the cross-engine
+    # checksum identity) lives in the bench harness.
+    if ! dune exec bench/main.exe -- hybrid_routing --quick >_ci/hybrid/bench.log 2>&1; then
+        cat _ci/hybrid/bench.log >&2
+        echo "hybrid: hybrid_routing experiment failed" >&2
+        fail=1
+    elif ! grep -q "hybrid_routing PASS" _ci/hybrid/bench.log; then
+        cat _ci/hybrid/bench.log >&2
+        echo "hybrid: routing gate did not PASS" >&2
+        fail=1
+    fi
+    if [ "$fail" -ne 0 ]; then
+        echo "hybrid stage failed" >&2
+        exit 1
+    fi
+}
+
 # Refresh the checked-in goldens from the current build (run after an
 # intentional counter/format change, then commit the diff).
 update_golden() {
@@ -406,6 +497,13 @@ update_golden() {
             echo "  ci/golden/serving-$b-r$rate.json"
         done
     done
+    for route in $HYBRID_ROUTES; do
+        for pct in $HYBRID_PCTS; do
+            "$CLI" run -w pointer-chase -s trackfm -m "$pct" --route "$route" \
+                --counters-json "ci/golden/hybrid-pointer-chase-$route-m$pct.json" >/dev/null
+            echo "  ci/golden/hybrid-pointer-chase-$route-m$pct.json"
+        done
+    done
 }
 
 if [ "${1:-}" = "--update-golden" ]; then
@@ -424,12 +522,13 @@ faults      fault-injection determinism matrix vs ci/golden/
 durability  replicated-tier crash matrix (r=1 must lose data, r=3 must not)
 tracing     span tracing must not perturb counters; trace schema + attribution
 engines     interp-vs-compiled differential matrix + dispatch-throughput gate
+hybrid      routed-run determinism + goldens + two-directional routing gate
 serving     fixed-seed overload sweep of the serving tier vs ci/golden/
 EOF
     exit 0
 fi
 
-STAGES="${*:-build fmt lint test smoke faults durability tracing engines serving}"
+STAGES="${*:-build fmt lint test smoke faults durability tracing engines hybrid serving}"
 
 # Name the failing stage at the very end of the log, where it is hardest
 # to miss (set -e aborts mid-stage, possibly far above).
@@ -455,6 +554,7 @@ for s in $STAGES; do
         durability) stage_durability ;;
         tracing)    stage_tracing ;;
         engines)    stage_engines ;;
+        hybrid)     stage_hybrid ;;
         serving)    stage_serving ;;
         *)
             echo "unknown stage '$s' (see ./ci.sh --list)" >&2

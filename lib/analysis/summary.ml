@@ -136,7 +136,8 @@ let summarize (env : env) (f : Ir.func) =
             match lookup env callee with
             | Some s -> apply_ret value_prov args s.ret
             | None -> Punknown)
-        | Intrinsics.Guard _ | Intrinsics.Chunk_access _ -> Punknown
+        | Intrinsics.Guard _ | Intrinsics.Chunk_access _ | Intrinsics.Page _ ->
+            Punknown
         | Intrinsics.Free | Intrinsics.Chunk_end | Intrinsics.Neutral -> Pnone)
     | Ir.Gep { base; _ } -> value_prov base
     | Ir.Phi incoming ->
@@ -204,8 +205,9 @@ let summarize (env : env) (f : Ir.func) =
                   eff := { !eff with frees = true };
                   List.iter mark_escape args
               | Intrinsics.Chunk_end -> custody_safe := false
-              | Intrinsics.Guard { write } | Intrinsics.Chunk_access { write }
-                ->
+              | Intrinsics.Guard { write }
+              | Intrinsics.Chunk_access { write }
+              | Intrinsics.Page { write } ->
                   if write then custody_safe := false;
                   eff :=
                     {

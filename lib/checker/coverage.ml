@@ -1,17 +1,28 @@
 (* The guard-coverage verifier: a sanitizer for transformed IR.
 
    For every load/store the alias analysis classifies may-heap, prove it
-   is covered by an available custody fact — a guard (or chunk access)
-   on the same bytes dominates it with no intervening clobber. Anything
-   unproven is a violation: the pipeline raises, CI goes red, and the
-   offending site is named in guard-site attribution form so it can be
-   cross-referenced against the telemetry hotspot table. *)
+   is covered by **exactly one** protection mechanism: either an
+   available custody fact — a guard (or chunk access) on the same bytes
+   dominates it with no intervening clobber — or an adjacent page-path
+   call (the hybrid data plane's fault-in, which covers exactly the one
+   access it precedes). No mechanism is a gap; both at once is double
+   protection (the route pass failed to retire the guard, or a guard
+   from elsewhere still reaches a paged site). Either way the pipeline
+   raises, CI goes red, and the offending site is named in guard-site
+   attribution form so it can be cross-referenced against the telemetry
+   hotspot table. *)
+
+type flaw =
+  | Gap  (** covered by no mechanism at all *)
+  | Double of int
+      (** custody-covered AND paged; carries the page call's id *)
 
 type violation = {
   func : string;
   block : string;
-  instr : int;  (* the unguarded access *)
+  instr : int;  (* the offending access *)
   is_store : bool;
+  flaw : flaw;
   killer : int option;
       (* id of the closest preceding custody clobber in the block, when
          one exists — the call that ate the guard, if there was one *)
@@ -23,13 +34,37 @@ let violation_site v = { Telemetry.Site.func = v.func; instr = v.instr }
    put the same instruction ids in several functions, so an unqualified
    "%12" is ambiguous exactly when you need it. *)
 let violation_to_string v =
-  Printf.sprintf "%s/%s: may-heap %s at %s not covered by any guard%s"
-    v.func v.block
-    (if v.is_store then "store" else "load")
-    (Telemetry.Site.key_to_string (violation_site v))
-    (match v.killer with
-    | None -> ""
-    | Some k -> Printf.sprintf " (custody killed by call %s:%%%d)" v.func k)
+  match v.flaw with
+  | Gap ->
+      Printf.sprintf
+        "%s/%s: may-heap %s at %s not covered by any guard or page call%s"
+        v.func v.block
+        (if v.is_store then "store" else "load")
+        (Telemetry.Site.key_to_string (violation_site v))
+        (match v.killer with
+        | None -> ""
+        | Some k -> Printf.sprintf " (custody killed by call %s:%%%d)" v.func k)
+  | Double page ->
+      Printf.sprintf
+        "%s/%s: may-heap %s at %s is double-protected: paged by %%%d while a \
+         custody fact still covers it"
+        v.func v.block
+        (if v.is_store then "store" else "load")
+        (Telemetry.Site.key_to_string (violation_site v))
+        page
+
+(* The page call covering an access must be the textually previous
+   instruction on the exact same pointer value (the shape the route pass
+   produces by rewriting the access's private guard in place): page
+   coverage is deliberately not a dataflow fact, so it can never leak to
+   a second access. A write-flavored page covers both a load and a
+   store; a read-flavored one covers only a load. *)
+let page_covers pending ~ptr ~size ~is_store =
+  match pending with
+  | Some (pid, pptr, psz, pwrite)
+    when pptr = ptr && psz >= size && ((not is_store) || pwrite) ->
+      Some pid
+  | _ -> None
 
 let check_func ?summaries (f : Ir.func) =
   let t = Facts.analyze ?summaries f in
@@ -39,44 +74,60 @@ let check_func ?summaries (f : Ir.func) =
     (fun (b : Ir.block) ->
       let state = ref (Facts.in_state t b.label) in
       let last_clobber = ref None in
+      let pending_page = ref None in
       List.iter
         (fun (i : Ir.instr) ->
+          let check ~ptr ~size ~is_store =
+            let custody =
+              Facts.query t !state ~block:b.label ptr ~size ~write:is_store
+              <> None
+            in
+            let paged = page_covers !pending_page ~ptr ~size ~is_store in
+            match (custody, paged) with
+            | true, None | false, Some _ -> ()
+            | true, Some pid ->
+                violations :=
+                  {
+                    func = f.fname;
+                    block = b.label;
+                    instr = i.id;
+                    is_store;
+                    flaw = Double pid;
+                    killer = None;
+                  }
+                  :: !violations
+            | false, None ->
+                violations :=
+                  {
+                    func = f.fname;
+                    block = b.label;
+                    instr = i.id;
+                    is_store;
+                    flaw = Gap;
+                    killer = !last_clobber;
+                  }
+                  :: !violations
+          in
           begin
             match i.kind with
             | Ir.Call { callee; _ }
               when Summary.call_clobbers ?env:summaries callee ->
                 last_clobber := Some i.id
             | Ir.Load { ptr; size; _ } when Alias.needs_guard alias ptr ->
-                if
-                  Facts.query t !state ~block:b.label ptr ~size ~write:false
-                  = None
-                then
-                  violations :=
-                    {
-                      func = f.fname;
-                      block = b.label;
-                      instr = i.id;
-                      is_store = false;
-                      killer = !last_clobber;
-                    }
-                    :: !violations
+                check ~ptr ~size ~is_store:false
             | Ir.Store { ptr; size; _ } when Alias.needs_guard alias ptr ->
-                if
-                  Facts.query t !state ~block:b.label ptr ~size ~write:true
-                  = None
-                then
-                  violations :=
-                    {
-                      func = f.fname;
-                      block = b.label;
-                      instr = i.id;
-                      is_store = true;
-                      killer = !last_clobber;
-                    }
-                    :: !violations
+                check ~ptr ~size ~is_store:true
             | _ -> ()
           end;
-          state := Facts.apply_instr t !state i)
+          state := Facts.apply_instr t !state i;
+          pending_page :=
+            (match i.kind with
+            | Ir.Call { callee; args = [ ptr; Ir.Const sz ] }
+              when Intrinsics.is_page callee -> (
+                match Intrinsics.classify callee with
+                | Intrinsics.Page { write } -> Some (i.id, ptr, sz, write)
+                | _ -> None)
+            | _ -> None))
         b.instrs)
     f.blocks;
   List.rev !violations
@@ -119,8 +170,9 @@ let module_call_clobbers (m : Ir.modul) =
                 match Intrinsics.classify callee with
                 | Intrinsics.Alloc | Intrinsics.Free | Intrinsics.Chunk_end ->
                     true
-                | Intrinsics.Guard { write } | Intrinsics.Chunk_access { write }
-                  ->
+                | Intrinsics.Guard { write }
+                | Intrinsics.Chunk_access { write }
+                | Intrinsics.Page { write } ->
                     write
                 | Intrinsics.Neutral -> false
                 | Intrinsics.Unknown -> not (Hashtbl.mem defined callee)
@@ -376,3 +428,138 @@ let check_witnesses ?call_clobbers (m : Ir.modul) (els : (string * elision) list
 
 let enforce_witnesses m els =
   match check_witnesses m els with [] -> () | errs -> raise (Unsound errs)
+
+(* -- routing witnesses -------------------------------------------------- *)
+
+(* Every access the route pass moves onto the page path leaves a witness:
+   which access was re-routed, through which page call, and the static
+   class that justified it (attribution only — the re-proof below never
+   re-runs the classifier). The verifier re-checks each record purely
+   structurally: the page call must exist, be page-flavored, sit
+   immediately before its access in the same block, name the same
+   pointer with a large-enough constant size and a write flavor at
+   least as strong as the access. Conversely every page call in the
+   module must be claimed by exactly one witness, so a transform cannot
+   smuggle in (or duplicate) a page call the witness list does not own —
+   the same tamper-resistance discipline as elision witnesses. *)
+
+type routing = { routed_access : int; page_call : int; cls : string }
+
+let check_routing_func (f : Ir.func) (routes : routing list) =
+  let errors = ref [] in
+  let err access fmt =
+    Format.kasprintf
+      (fun s ->
+        errors :=
+          Printf.sprintf "%s: bad routing witness for access %s: %s" f.fname
+            (Telemetry.Site.key_to_string
+               { Telemetry.Site.func = f.fname; instr = access })
+            s
+          :: !errors)
+      fmt
+  in
+  let where = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iteri
+        (fun pos (i : Ir.instr) -> Hashtbl.replace where i.id (b.label, pos, i))
+        b.instrs)
+    f.blocks;
+  List.iter
+    (fun r ->
+      match (Hashtbl.find_opt where r.routed_access,
+             Hashtbl.find_opt where r.page_call) with
+      | None, _ -> err r.routed_access "access instruction no longer exists"
+      | _, None ->
+          err r.routed_access "page call %%%d no longer exists" r.page_call
+      | Some (ablock, apos, ai), Some (pblock, ppos, pi) -> begin
+          let aptr =
+            match ai.kind with
+            | Ir.Load { ptr; size; _ } -> Some (ptr, size, false)
+            | Ir.Store { ptr; size; _ } -> Some (ptr, size, true)
+            | _ ->
+                err r.routed_access
+                  "witnessed instruction is not a load/store";
+                None
+          in
+          match (aptr, pi.kind) with
+          | None, _ -> ()
+          | Some _, Ir.Call { callee; _ } when not (Intrinsics.is_page callee)
+            ->
+              err r.routed_access "witness %%%d is not a page call" r.page_call
+          | Some (ptr, size, is_store), Ir.Call { callee; args } -> begin
+              if not (pblock = ablock && ppos + 1 = apos) then
+                err r.routed_access
+                  "page call %%%d is not immediately before the access"
+                  r.page_call;
+              match args with
+              | [ pptr; Ir.Const psz ] ->
+                  if pptr <> ptr then
+                    err r.routed_access
+                      "page call %%%d names a different pointer" r.page_call;
+                  if psz < size then
+                    err r.routed_access
+                      "page call %%%d covers %d bytes but the access touches \
+                       %d"
+                      r.page_call psz size;
+                  let pwrite =
+                    match Intrinsics.classify callee with
+                    | Intrinsics.Page { write } -> write
+                    | _ -> false
+                  in
+                  if is_store && not pwrite then
+                    err r.routed_access
+                      "read-flavored page call %%%d cannot cover a store"
+                      r.page_call
+              | _ ->
+                  err r.routed_access "page call %%%d is malformed" r.page_call
+            end
+          | Some _, _ ->
+              err r.routed_access "witness %%%d is not a call" r.page_call
+        end)
+    routes;
+  (* Exactly-once ownership: collect every page call in the function and
+     require a bijection with the witness list. *)
+  let claimed = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem claimed r.page_call then
+        err r.routed_access "page call %%%d claimed by two routing witnesses"
+          r.page_call
+      else Hashtbl.replace claimed r.page_call ())
+    routes;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.kind with
+          | Ir.Call { callee; _ }
+            when Intrinsics.is_page callee && not (Hashtbl.mem claimed i.id)
+            ->
+              errors :=
+                Printf.sprintf
+                  "%s: stray page call %s not owned by any routing witness"
+                  f.fname
+                  (Telemetry.Site.key_to_string
+                     { Telemetry.Site.func = f.fname; instr = i.id })
+                :: !errors
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  List.rev !errors
+
+(* Functions with no witnesses still get scanned: a page call in a
+   witness-free function is exactly the smuggling case. *)
+let check_routing (m : Ir.modul) (routes : (string * routing) list) =
+  List.concat_map
+    (fun (f : Ir.func) ->
+      let mine =
+        List.filter_map
+          (fun (fname, r) -> if fname = f.fname then Some r else None)
+          routes
+      in
+      check_routing_func f mine)
+    m.funcs
+
+let enforce_routing m routes =
+  match check_routing m routes with [] -> () | errs -> raise (Unsound errs)

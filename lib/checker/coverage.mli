@@ -1,18 +1,26 @@
 (** Guard-coverage verifier (sanitizer for transformed IR).
 
-    Proves every may-heap load/store is covered by available custody: a
-    guard or chunk access on the same bytes dominates it along every
-    path with no intervening clobber ({!Facts}). Violations carry the
-    offending instruction in guard-site attribution form
-    ({!Telemetry.Site}); the pipeline raises {!Unsound} on any, so a
-    transform bug fails compilation instead of becoming a silent
-    far-memory crash. *)
+    Proves every may-heap load/store is covered by **exactly one**
+    protection mechanism: available custody — a guard or chunk access on
+    the same bytes dominates it along every path with no intervening
+    clobber ({!Facts}) — or an immediately-preceding page-path call (the
+    hybrid data plane). A gap (neither) and double protection (both) are
+    each violations carrying the offending instruction in guard-site
+    attribution form ({!Telemetry.Site}); the pipeline raises {!Unsound}
+    on any, so a transform bug fails compilation instead of becoming a
+    silent far-memory crash. *)
+
+type flaw =
+  | Gap  (** covered by no mechanism at all *)
+  | Double of int
+      (** custody-covered AND paged; carries the page call's id *)
 
 type violation = {
   func : string;
   block : string;
-  instr : int;  (** the unguarded access *)
+  instr : int;  (** the offending access *)
   is_store : bool;
+  flaw : flaw;
   killer : int option;
       (** closest preceding custody clobber in the same block, if any *)
 }
@@ -73,3 +81,28 @@ val check_witnesses :
 
 val enforce_witnesses : Ir.modul -> (string * elision) list -> unit
 (** Raises {!Unsound} when any witness record fails re-checking. *)
+
+(** {1 Routing witnesses}
+
+    Every access the route pass moves onto the page path leaves a record
+    naming the access, the page call that replaced its private guard,
+    and the static class that justified the move ([cls] is attribution
+    only — re-checking is purely structural and never re-runs the
+    classifier). *)
+
+type routing = {
+  routed_access : int;  (** the load/store now covered by the page path *)
+  page_call : int;  (** the page call immediately before it *)
+  cls : string;  (** classifier evidence, e.g. "pointer-chase" *)
+}
+
+val check_routing_func : Ir.func -> routing list -> string list
+
+val check_routing : Ir.modul -> (string * routing) list -> string list
+(** Returns human-readable errors: a witness whose page call is missing,
+    misplaced, on the wrong pointer/size/flavor, or claimed twice — plus
+    any page call in the module not owned by exactly one witness (the
+    smuggled-call case). Empty means all records check out. *)
+
+val enforce_routing : Ir.modul -> (string * routing) list -> unit
+(** Raises {!Unsound} when any routing record fails re-checking. *)

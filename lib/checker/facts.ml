@@ -238,6 +238,11 @@ let apply_instr t (state : state) (i : Ir.instr) : state =
           if Summary.call_clobbers ?env:t.summaries callee then
             Anchor_map.empty
           else state
+      | Intrinsics.Page _ ->
+          (* Page-path accesses neither establish custody (nothing pins
+             the faulted page) nor clobber it (the swap's budget is
+             separate from the object pool's pins). *)
+          state
       | Intrinsics.Neutral -> state
     end
   | _ -> state

@@ -179,6 +179,14 @@ let trackfm rt store =
         | "tfm_guard_write" ->
             R.guard rt ~ptr:args.(0) ~size:args.(1) ~write:true;
             Some args.(0)
+        | "tfm_page_read" ->
+            require_init name;
+            R.page_access rt ~ptr:args.(0) ~size:args.(1) ~write:false;
+            Some args.(0)
+        | "tfm_page_write" ->
+            require_init name;
+            R.page_access rt ~ptr:args.(0) ~size:args.(1) ~write:true;
+            Some args.(0)
         | "!tfm_chunk_init" ->
             R.chunk_init rt ~handle:args.(0) ~stride_bytes:args.(1);
             Some 0

@@ -11,11 +11,14 @@ let chunk_access_read = "tfm_chunk_access_read"
 let chunk_access_write = "tfm_chunk_access_write"
 let chunk_end = "!tfm_chunk_end"
 let runtime_init = "!tfm_init"
+let page_read = "tfm_page_read"
+let page_write = "tfm_page_write"
 
 type effect_ =
   | Guard of { write : bool }
   | Chunk_access of { write : bool }
   | Chunk_end
+  | Page of { write : bool }
   | Alloc
   | Free
   | Neutral
@@ -38,6 +41,8 @@ let classify = function
   | "tfm_chunk_access_read" -> Chunk_access { write = false }
   | "tfm_chunk_access_write" -> Chunk_access { write = true }
   | "!tfm_chunk_end" -> Chunk_end
+  | "tfm_page_read" -> Page { write = false }
+  | "tfm_page_write" -> Page { write = true }
   | "malloc" | "calloc" | "realloc" | "tfm_malloc" | "tfm_calloc"
   | "tfm_realloc" ->
       Alloc
@@ -62,10 +67,17 @@ let custody_args name =
   | Chunk_access _ -> Some (1, 2)
   | _ -> None
 
+let is_page name =
+  match classify name with Page _ -> true | _ -> false
+
+(* A paged access is synchronously materialized (the fault handler
+   returns with the page resident) but establishes no custody: nothing
+   pins the page, so the very next access to the same bytes may fault
+   again. Custody facts therefore neither start nor end here. *)
 let clobbers_custody name =
   match classify name with
   | Alloc | Free | Unknown -> true
-  | Guard _ | Chunk_access _ | Chunk_end | Neutral -> false
+  | Guard _ | Chunk_access _ | Chunk_end | Page _ | Neutral -> false
 
 (* Structural well-formedness of an intrinsic call site; [None] when the
    shape is valid or the callee is not one of ours. The pointer operand
@@ -80,7 +92,7 @@ let check_call ~callee ~args =
     match v with Ir.Const n when n >= least -> true | _ -> false
   in
   match classify callee with
-  | Guard _ -> begin
+  | Guard _ | Page _ -> begin
       match args with
       | [ ptr; size ] ->
           if not (pointerish ptr) then

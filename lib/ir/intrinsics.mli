@@ -15,12 +15,17 @@ val chunk_access_read : string
 val chunk_access_write : string
 val chunk_end : string
 val runtime_init : string
+val page_read : string
+val page_write : string
 
 type effect_ =
   | Guard of { write : bool }  (** custody check + localize *)
   | Chunk_access of { write : bool }
       (** boundary-checked access under a pinned chunk *)
   | Chunk_end  (** releases the chunk protocol's pins *)
+  | Page of { write : bool }
+      (** page-granular fault-in (hybrid data plane); materializes the
+          page synchronously but establishes no custody *)
   | Alloc  (** may evict to make room *)
   | Free  (** invalidates and may reshuffle *)
   | Neutral  (** simulator hook; never evicts *)
@@ -30,6 +35,9 @@ val classify : string -> effect_
 
 val is_guard : string -> bool
 (** [true] exactly for the two plain guard intrinsics. *)
+
+val is_page : string -> bool
+(** [true] exactly for the two page-path intrinsics. *)
 
 val is_custody_source : string -> bool
 (** Guards and chunk accesses: calls that establish custody facts. *)

@@ -1,4 +1,4 @@
-type path = [ `Fast | `Slow | `Locality | `Custody ]
+type path = [ `Fast | `Slow | `Locality | `Custody | `Paged ]
 
 let unknown_site = { Site.func = "<unknown>"; instr = -1 }
 
@@ -8,8 +8,8 @@ type epoch = { eat : int; erows : (Site.key * int array) list }
 
 let epoch_fields =
   [|
-    "fast"; "slow"; "locality"; "custody"; "writes"; "bytes_in"; "bytes_out";
-    "guard_cycles";
+    "fast"; "slow"; "locality"; "custody"; "paged"; "writes"; "bytes_in";
+    "bytes_out"; "guard_cycles";
   |]
 
 type recorder = {
@@ -56,8 +56,8 @@ let trace_counter_groups =
    dropped. *)
 let epoch_snap (s : Site.stat) =
   [|
-    s.Site.fast; s.Site.slow; s.Site.locality; s.Site.custody; s.Site.writes;
-    s.Site.bytes_in; s.Site.bytes_out; s.Site.guard_cycles;
+    s.Site.fast; s.Site.slow; s.Site.locality; s.Site.custody; s.Site.paged;
+    s.Site.writes; s.Site.bytes_in; s.Site.bytes_out; s.Site.guard_cycles;
   |]
 
 let epoch_sample r ~at =
@@ -244,15 +244,21 @@ let guard_event t ~path ~write ~cycles ~bytes_in ~bytes_out =
       | `Locality ->
           s.Site.locality <- s.Site.locality + 1;
           Histogram.record r.guard_cycles cycles
-      | `Custody -> s.Site.custody <- s.Site.custody + 1);
+      | `Custody -> s.Site.custody <- s.Site.custody + 1
+      | `Paged ->
+          s.Site.paged <- s.Site.paged + 1;
+          Histogram.record r.guard_cycles cycles);
       if write then s.Site.writes <- s.Site.writes + 1;
       s.Site.bytes_in <- s.Site.bytes_in + bytes_in;
       s.Site.bytes_out <- s.Site.bytes_out + bytes_out;
       s.Site.guard_cycles <- s.Site.guard_cycles + cycles;
       match (path, r.trace) with
-      | (`Slow | `Locality), Some tr ->
+      | (`Slow | `Locality | `Paged), Some tr ->
           let name =
-            match path with `Slow -> "guard.slow" | _ -> "guard.locality"
+            match path with
+            | `Slow -> "guard.slow"
+            | `Paged -> "guard.paged"
+            | _ -> "guard.locality"
           in
           let args =
             [

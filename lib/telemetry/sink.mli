@@ -16,7 +16,7 @@
     runtime events that follow are attributed to the IR location that
     caused them. *)
 
-type path = [ `Fast | `Slow | `Locality | `Custody ]
+type path = [ `Fast | `Slow | `Locality | `Custody | `Paged ]
 
 type epoch = { eat : int; erows : (Site.key * int array) list }
 (** One closed site-profile epoch: per-site activity deltas since the

@@ -5,6 +5,7 @@ type stat = {
   mutable slow : int;
   mutable locality : int;
   mutable custody : int;
+  mutable paged : int;
   mutable writes : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
@@ -22,6 +23,7 @@ let fresh_stat () =
     slow = 0;
     locality = 0;
     custody = 0;
+    paged = 0;
     writes = 0;
     bytes_in = 0;
     bytes_out = 0;
@@ -42,8 +44,9 @@ let site_count t = Hashtbl.length t.tbl
 let key_to_string k =
   if k.instr < 0 then k.func else Printf.sprintf "%s:%%%d" k.func k.instr
 
-(* Hottest first: a site's heat is how much slow-path work it causes. *)
-let heat s = s.slow + s.locality
+(* Hottest first: a site's heat is how much slow-path work it causes.
+   Page faults at routed sites are slow-path work too. *)
+let heat s = s.slow + s.locality + s.paged
 
 let rows t =
   Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.tbl []
@@ -63,6 +66,7 @@ let totals t =
       acc.slow <- acc.slow + s.slow;
       acc.locality <- acc.locality + s.locality;
       acc.custody <- acc.custody + s.custody;
+      acc.paged <- acc.paged + s.paged;
       acc.writes <- acc.writes + s.writes;
       acc.bytes_in <- acc.bytes_in + s.bytes_in;
       acc.bytes_out <- acc.bytes_out + s.bytes_out;

@@ -14,6 +14,7 @@ type stat = {
   mutable slow : int;          (** slow-path guard hits *)
   mutable locality : int;      (** chunked-loop locality-guard hits *)
   mutable custody : int;       (** custody-check skips (untracked ptr) *)
+  mutable paged : int;         (** page-fault-path accesses (routed sites) *)
   mutable writes : int;        (** write accesses among the above *)
   mutable bytes_in : int;      (** network bytes fetched under this site *)
   mutable bytes_out : int;     (** writeback bytes enqueued under it *)

@@ -5,6 +5,8 @@ type config = {
   cost : Cost_model.t;
   elide : bool;
   summaries : bool;
+  route : Route_pass.mode;
+  route_hotspots : (string * int) list;
   check : bool;
   dump_after : (string -> Ir.modul -> unit) option;
 }
@@ -17,6 +19,8 @@ let default_config =
     cost = Cost_model.default;
     elide = true;
     summaries = true;
+    route = `Off;
+    route_hotspots = [];
     check = true;
     dump_after = None;
   }
@@ -25,6 +29,7 @@ type report = {
   guards : Guard_pass.report;
   chunks : Chunk_pass.report;
   elision : Elide_pass.report;
+  routing : Route_pass.report;
   libc_rewrites : int;
   init_inserted : bool;
   ir_instrs_before : int;
@@ -85,15 +90,46 @@ let run config (m : Ir.modul) =
     Tfm_checker.Coverage.enforce ~summaries:config.summaries m;
     Tfm_checker.Coverage.enforce_witnesses m elision.Elide_pass.elisions
   end;
+  (* Hybrid routing runs after elision and its witness re-check: hoisting
+     has already moved guards to their final places, so the dataflow the
+     route pass consults matches what the checker will re-prove. Guards
+     that anchor elision witnesses are pinned — rewriting one would
+     orphan the record it certifies. *)
+  let routing =
+    if config.route = `Off then Route_pass.empty
+    else begin
+      let pinned =
+        List.concat_map
+          (fun (fname, (e : Tfm_checker.Coverage.elision)) ->
+            List.map (fun w -> (fname, w)) e.Tfm_checker.Coverage.witness_ids)
+          elision.Elide_pass.elisions
+      in
+      let r =
+        Route_pass.run ?summaries:senv ~pinned
+          ~hotspots:config.route_hotspots ~mode:config.route m
+      in
+      Verifier.check_module m;
+      dump "hybrid-routing";
+      if config.check then begin
+        Tfm_checker.Coverage.enforce ~summaries:config.summaries m;
+        Tfm_checker.Coverage.enforce_witnesses m elision.Elide_pass.elisions;
+        Tfm_checker.Coverage.enforce_routing m r.Route_pass.routes
+      end;
+      r
+    end
+  in
   let libc_rewrites = Libc_pass.run m in
   Verifier.check_module m;
   dump "libc-transform";
-  if config.check then
+  if config.check then begin
     Tfm_checker.Coverage.enforce ~summaries:config.summaries m;
+    Tfm_checker.Coverage.enforce_routing m routing.Route_pass.routes
+  end;
   {
     guards;
     chunks;
     elision;
+    routing;
     libc_rewrites;
     init_inserted;
     ir_instrs_before;

@@ -3,11 +3,13 @@
     Applies, in order: runtime initialization, loop chunking analysis and
     transform (with the configured gate), guard check analysis and
     transform over the remaining accesses, redundant-guard elision and
-    hoisting ({!Elide_pass}), and the libc transformation. The module is
-    verified after every stage — a pass that breaks IR well-formedness
-    is a compiler bug and raises — and the guard-coverage checker
-    ({!Tfm_checker.Coverage}) proves every may-heap access is still
-    covered after the optimizer ran. *)
+    hoisting ({!Elide_pass}), optional hybrid routing ({!Route_pass})
+    that moves pointer-chasing sites to the page-fault path, and the
+    libc transformation. The module is verified after every stage — a
+    pass that breaks IR well-formedness is a compiler bug and raises —
+    and the guard-coverage checker ({!Tfm_checker.Coverage}) proves
+    every may-heap access is covered by exactly one mechanism after the
+    optimizer ran. *)
 
 type config = {
   object_size : int;          (** compile-time AIFM object size choice *)
@@ -19,9 +21,17 @@ type config = {
       (** compute interprocedural summaries ({!Tfm_analysis.Summary})
           after chunking and hand them to the guard injector and the
           elision pass; the checker recomputes its own *)
+  route : Route_pass.mode;
+      (** hybrid data plane: [`Static] routes pointer-chasing sites to
+          the page-fault path, [`Profiled] additionally upgrades
+          Mixed/Unknown sites named in [route_hotspots]; [`Off] keeps
+          the pure guard plane *)
+  route_hotspots : (string * int) list;
+      (** (function, instr id) sites the telemetry hotspot table shows
+          slow-path dominated; consulted only in [`Profiled] mode *)
   check : bool;
-      (** run the guard-coverage checker and witness re-verification
-          after elision and again after libc lowering *)
+      (** run the guard-coverage checker, witness re-verification and
+          routing-witness re-verification after each late stage *)
   dump_after : (string -> Ir.modul -> unit) option;
       (** compiler-debugging hook ("-print-after-all"): called with the
           pass name and the module after each stage *)
@@ -35,6 +45,7 @@ type report = {
   guards : Guard_pass.report;
   chunks : Chunk_pass.report;
   elision : Elide_pass.report;
+  routing : Route_pass.report;
   libc_rewrites : int;
   init_inserted : bool;
   ir_instrs_before : int;
@@ -46,8 +57,9 @@ type report = {
 
 val run : config -> Ir.modul -> report
 (** Transforms the module in place. Raises {!Tfm_checker.Coverage.Unsound}
-    when [check] is on and a may-heap access is left uncovered or an
-    elision witness fails re-verification. *)
+    when [check] is on and a may-heap access is left uncovered or
+    covered twice, or an elision or routing witness fails
+    re-verification. *)
 
 val code_growth : report -> float
 (** Lowered-size ratio after/before — the paper reports an average of

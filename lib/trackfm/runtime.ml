@@ -27,7 +27,7 @@ type guard_event = {
   ptr : int;
   object_id : int;
   size_class : int;
-  path : [ `Custody_skip | `Fast | `Slow_local | `Slow_remote ];
+  path : [ `Custody_skip | `Fast | `Slow_local | `Slow_remote | `Paged ];
   write : bool;
 }
 
@@ -44,6 +44,19 @@ type t = {
   mutable debug : bool;
   debug_ring : guard_event Queue.t;
   mutable telemetry : Telemetry.Sink.t;
+  (* Hybrid data plane: accesses the route pass moved to the page path
+     swap against this Fastswap-style pager instead of taking a guard.
+     Created lazily on the first page access, so unrouted programs never
+     construct (or pay for) it; shares the run's clock, fault injector
+     and cluster with the guard plane — one machine, two mechanisms.
+     The full local budget is visible to it: the unified local-memory
+     model, where the checker's exactly-one guarantee (each address
+     range is owned by exactly one mechanism) keeps the two planes from
+     double-caching the same data. *)
+  faults : Faults.t;
+  cluster : Cluster.t option;
+  local_budget : int;
+  mutable swap : Fastswap.Swap.t option;
 }
 
 let make_class ?policy ?telemetry ?faults ?cluster cost clock backend idx
@@ -112,6 +125,10 @@ let create ?(backend = Net.Tcp) ?(use_state_table = true) ?(prefetch = true)
     debug = false;
     debug_ring = Queue.create ();
     telemetry;
+    faults;
+    cluster;
+    local_budget;
+    swap = None;
   }
 
 let debug_ring_capacity = 4096
@@ -321,6 +338,55 @@ let guard t ~ptr ~size ~write =
         ~bytes_in:(Clock.get t.clock "net.bytes_in" - bin0)
         ~bytes_out:(Clock.get t.clock "net.bytes_out" - bout0)
   end
+
+(* -- hybrid page path ---------------------------------------------------- *)
+
+let swap_of t =
+  match t.swap with
+  | Some s -> s
+  | None ->
+      let s =
+        Fastswap.Swap.create ~faults:t.faults ?cluster:t.cluster
+          ~telemetry:t.telemetry t.cost t.clock ~local_budget:t.local_budget
+      in
+      t.swap <- Some s;
+      s
+
+let page_access t ~ptr ~size ~write =
+  let tel = t.telemetry in
+  let active = Telemetry.Sink.is_active tel in
+  let c0 = Clock.cycles t.clock in
+  if not (Nc_ptr.is_tracked ptr) then begin
+    (* Same custody filter as [guard]: page calls inherit guards' safety
+       on untracked pointers (stack, globals), which is what lets the
+       route pass move Mixed/Unknown sites under profile evidence. *)
+    Telemetry.Sink.cat_enter tel Telemetry.Span.Guard_fast;
+    Clock.tick t.clock t.cost.Cost_model.custody_check;
+    Clock.count t.clock "tfm.custody_skips" 1;
+    Telemetry.Sink.cat_exit tel;
+    log_event t
+      { ptr; object_id = -1; size_class = -1; path = `Custody_skip; write };
+    if active then
+      Telemetry.Sink.guard_event tel ~path:`Custody ~write
+        ~cycles:(Clock.cycles t.clock - c0) ~bytes_in:0 ~bytes_out:0
+  end
+  else begin
+    let bin0 = if active then Clock.get t.clock "net.bytes_in" else 0 in
+    let bout0 = if active then Clock.get t.clock "net.bytes_out" else 0 in
+    (* The custody check still runs — the compiled test is the same
+       either way; only the miss mechanism differs. *)
+    Clock.tick t.clock t.cost.Cost_model.custody_check;
+    Clock.count t.clock "tfm.page_accesses" 1;
+    Fastswap.Swap.access (swap_of t) ~addr:ptr ~size ~write;
+    log_event t { ptr; object_id = -1; size_class = -1; path = `Paged; write };
+    if active then
+      Telemetry.Sink.guard_event tel ~path:`Paged ~write
+        ~cycles:(Clock.cycles t.clock - c0)
+        ~bytes_in:(Clock.get t.clock "net.bytes_in" - bin0)
+        ~bytes_out:(Clock.get t.clock "net.bytes_out" - bout0)
+  end
+
+let page_accesses t = Clock.get t.clock "tfm.page_accesses"
 
 (* -- loop chunking ------------------------------------------------------- *)
 

@@ -16,7 +16,7 @@
     published as clock counters:
     [tfm.fast_guards], [tfm.slow_guards], [tfm.custody_skips],
     [tfm.boundary_checks], [tfm.locality_guards], [tfm.chunk_inits],
-    [tfm.state_table_misses]. *)
+    [tfm.state_table_misses], [tfm.page_accesses]. *)
 
 type t
 
@@ -98,6 +98,17 @@ val guard : t -> ptr:int -> size:int -> write:bool -> unit
     fetch) otherwise. Also localizes the second object when the access
     spans an object boundary. *)
 
+val page_access : t -> ptr:int -> size:int -> write:bool -> unit
+(** The hybrid data plane's other mechanism: an access the route pass
+    moved off the guard path ([tfm_page_read]/[tfm_page_write]). Same
+    custody filter as {!guard} for untracked pointers; tracked pointers
+    swap through a lazily created Fastswap-style pager sharing this
+    run's clock, fault injector and cluster — page-granular faults with
+    kernel-path costs instead of object-granular guards. Counter:
+    [tfm.page_accesses] (plus the pager's [fastswap.*] family). *)
+
+val page_accesses : t -> int
+
 (** {1 Loop chunking support} *)
 
 val chunk_init : t -> handle:int -> stride_bytes:int -> unit
@@ -129,9 +140,10 @@ type guard_event = {
   ptr : int;
   object_id : int;
   size_class : int;
-  path : [ `Custody_skip | `Fast | `Slow_local | `Slow_remote ];
+  path : [ `Custody_skip | `Fast | `Slow_local | `Slow_remote | `Paged ];
       (** which guard path executed, and for the slow path whether the
-          AIFM dereference needed a remote fetch *)
+          AIFM dereference needed a remote fetch; [`Paged] is a routed
+          access taking the page-fault mechanism *)
   write : bool;
 }
 

@@ -11,6 +11,8 @@ type tfm_opts = {
   profile_gate : bool;
   elide_guards : bool;
   use_summaries : bool;
+  route : Trackfm.Route_pass.mode;
+  route_hotspots : (string * int) list;
   size_classes : (int * int * float) list;
   faults : Faults.t;
   replicas : int;
@@ -27,6 +29,8 @@ let tfm_defaults ~local_budget =
     profile_gate = true;
     elide_guards = true;
     use_summaries = true;
+    route = `Off;
+    route_hotspots = [];
     size_classes = [];
     faults = Faults.disabled;
     replicas = 1;
@@ -113,6 +117,8 @@ let run_trackfm ?(engine = Engine.Interp) ?(cost = Cost_model.default)
       cost;
       elide = opts.elide_guards;
       summaries = opts.use_summaries;
+      route = opts.route;
+      route_hotspots = opts.route_hotspots;
       check = true;
       dump_after = None;
     }
@@ -166,6 +172,8 @@ let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
         profile_gate = false;
         elide_guards = true;
         use_summaries = true;
+        route = `Off;
+        route_hotspots = [];
         size_classes = [];
         faults = Faults.disabled;
         replicas = 1;

@@ -32,6 +32,12 @@ type tfm_opts = {
   use_summaries : bool;
       (** compute interprocedural summaries and hand them to the guard
           injector and elision pass ({!Trackfm.Pipeline.config}) *)
+  route : Trackfm.Route_pass.mode;
+      (** hybrid data plane: route pointer-chasing sites to the
+          page-fault path ({!Trackfm.Route_pass}); [`Off] by default *)
+  route_hotspots : (string * int) list;
+      (** profile evidence for [`Profiled] routing: (function, instr id)
+          sites the hotspot table shows slow-path dominated *)
   size_classes : (int * int * float) list;
       (** multi-object-size extension: forwarded to
           {!Trackfm.Runtime.create}; empty (default) = single class of

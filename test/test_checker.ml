@@ -444,6 +444,126 @@ let test_coverage_diagnostics_name_function () =
         (contains s "inner_helper")
   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
 
+(* -- hybrid routing: exactly-one-mechanism and witness tampering ------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let has_err needle errs = List.exists (fun e -> contains e needle) errs
+
+let test_routing_double_protection_flagged () =
+  (* custody from a guard AND an adjacent page call: the checker must
+     refuse the double protection and name the smuggled page call *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b guard_read [ p; Ir.Const 8 ]);
+  let page = Builder.call b Intrinsics.page_read [ p; Ir.Const 8 ] in
+  let v = Builder.load b p in
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  let load_id = match v with Ir.Reg id -> id | _ -> assert false in
+  let page_id = match page with Ir.Reg id -> id | _ -> assert false in
+  match Coverage.check_module m with
+  | [ viol ] ->
+      Alcotest.(check int) "offending access" load_id viol.Coverage.instr;
+      Alcotest.(check bool) "flaw is Double naming the page call" true
+        (viol.Coverage.flaw = Coverage.Double page_id);
+      Alcotest.(check bool) "diagnostic names the site" true
+        (contains (Coverage.violation_to_string viol) "main")
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_routing_neither_mechanism_flagged () =
+  (* a page call on the wrong pointer is no protection at all: the
+     adjacent access is covered by neither mechanism *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let q = Builder.call b "malloc" [ Ir.Const 64 ] in
+  ignore (Builder.call b Intrinsics.page_read [ q; Ir.Const 8 ]);
+  let v = Builder.load b p in
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  let load_id = match v with Ir.Reg id -> id | _ -> assert false in
+  match Coverage.check_module m with
+  | [ viol ] ->
+      Alcotest.(check int) "offending access" load_id viol.Coverage.instr;
+      Alcotest.(check bool) "flaw is Gap" true
+        (viol.Coverage.flaw = Coverage.Gap)
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_routing_witness_recheck_rejects_tampering () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let malloc_id = match p with Ir.Reg id -> id | _ -> assert false in
+  let page = Builder.call b Intrinsics.page_read [ p; Ir.Const 8 ] in
+  let v = Builder.load b p in
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  let load_id = match v with Ir.Reg id -> id | _ -> assert false in
+  let page_id = match page with Ir.Reg id -> id | _ -> assert false in
+  let good =
+    { Coverage.routed_access = load_id; page_call = page_id; cls = "test" }
+  in
+  Alcotest.(check int) "well-routed module is clean" 0
+    (List.length (Coverage.check_module m));
+  Alcotest.(check (list string)) "honest witness re-proves" []
+    (Coverage.check_routing m [ ("main", good) ]);
+  (* a page call the witness list does not own is smuggled code *)
+  Alcotest.(check bool) "unowned page call rejected" true
+    (has_err "stray page call" (Coverage.check_routing m []));
+  (* a witness pointing at a non-page instruction is a forgery *)
+  Alcotest.(check bool) "forged page-call id rejected" true
+    (has_err "not a page call"
+       (Coverage.check_routing m
+          [ ("main", { good with Coverage.page_call = malloc_id }) ]));
+  (* two witnesses cannot share one page call *)
+  Alcotest.(check bool) "double-claimed page call rejected" true
+    (has_err "claimed by two"
+       (Coverage.check_routing m [ ("main", good); ("main", good) ]))
+
+let test_routing_flavor_tampering_caught () =
+  (* downgrading a page_write to page_read behind the pass's back must
+     fail both the witness re-proof and the coverage check *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let p = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let page = Builder.call b Intrinsics.page_write [ p; Ir.Const 8 ] in
+  Builder.store b (Ir.Const 7) ~ptr:p;
+  Builder.ret b None;
+  Verifier.check_module m;
+  let page_id = match page with Ir.Reg id -> id | _ -> assert false in
+  let f = Ir.find_func m "main" in
+  let store_id =
+    List.concat_map (fun (blk : Ir.block) -> blk.Ir.instrs) f.Ir.blocks
+    |> List.filter_map (fun (i : Ir.instr) ->
+           match i.Ir.kind with Ir.Store _ -> Some i.Ir.id | _ -> None)
+    |> List.hd
+  in
+  let w =
+    { Coverage.routed_access = store_id; page_call = page_id; cls = "test" }
+  in
+  Alcotest.(check (list string)) "write-flavored routing re-proves" []
+    (Coverage.check_routing m [ ("main", w) ]);
+  (* tamper: rewrite the call to the read flavor in the IR *)
+  List.iter
+    (fun (blk : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.kind with
+          | Ir.Call { callee; args } when callee = Intrinsics.page_write ->
+              i.Ir.kind <- Ir.Call { callee = Intrinsics.page_read; args }
+          | _ -> ())
+        blk.Ir.instrs)
+    f.Ir.blocks;
+  Alcotest.(check bool) "witness re-proof fails" true
+    (has_err "cannot cover a store" (Coverage.check_routing m [ ("main", w) ]));
+  Alcotest.(check bool) "coverage check fails too" true
+    (Coverage.check_module m <> [])
+
 (* -- guard pass report invariant --------------------------------------- *)
 
 let test_guard_report_invariant () =
@@ -524,4 +644,12 @@ let suite =
         test_checker_catches_tampered_summary;
       Alcotest.test_case "coverage diagnostics name function" `Quick
         test_coverage_diagnostics_name_function;
+      Alcotest.test_case "routing: double protection flagged" `Quick
+        test_routing_double_protection_flagged;
+      Alcotest.test_case "routing: neither mechanism flagged" `Quick
+        test_routing_neither_mechanism_flagged;
+      Alcotest.test_case "routing: witness tampering rejected" `Quick
+        test_routing_witness_recheck_rejects_tampering;
+      Alcotest.test_case "routing: flavor tampering caught" `Quick
+        test_routing_flavor_tampering_caught;
     ] )

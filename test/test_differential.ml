@@ -126,6 +126,8 @@ let run_tfm ?size_classes m ~object_size ~budget ~chunk_mode =
       cost = Cost_model.default;
       elide = true;
       summaries = true;
+      route = `Off;
+      route_hotspots = [];
       check = true;
       dump_after = None;
     }
