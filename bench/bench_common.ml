@@ -48,8 +48,8 @@ let print_expectation ~paper ~ours =
 (* Run a workload under TrackFM with given options; returns outcome. *)
 let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
     ?(use_state_table = true) ?(profile_gate = true) ?(elide = true)
-    ?(summaries = true) ?(route = `Off) ?(size_classes = []) ?faults ~budget
-    build =
+    ?(summaries = true) ?(shapes = true) ?(route = `Off) ?(size_classes = [])
+    ?faults ~budget build =
   let faults =
     match faults with Some f -> f | None -> active_faults ()
   in
@@ -63,6 +63,7 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
       profile_gate;
       elide_guards = elide;
       use_summaries = summaries;
+      use_shapes = shapes;
       route;
       route_hotspots = [];
       size_classes;
@@ -74,8 +75,8 @@ let tfm ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated) ?(prefetch = true)
   fst (Driver.run_trackfm ~engine:!engine ?blobs build opts)
 
 let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
-    ?(profile_gate = true) ?(elide = true) ?(summaries = true) ?(route = `Off)
-    ~budget build =
+    ?(profile_gate = true) ?(elide = true) ?(summaries = true)
+    ?(shapes = true) ?(route = `Off) ~budget build =
   let opts =
     {
       Driver.object_size;
@@ -86,6 +87,7 @@ let tfm_with_report ?blobs ?(object_size = 4096) ?(chunk_mode = `Gated)
       profile_gate;
       elide_guards = elide;
       use_summaries = summaries;
+      use_shapes = shapes;
       route;
       route_hotspots = [];
       size_classes = [];
@@ -181,6 +183,7 @@ let tfm_spans ?blobs ?(object_size = 4096) ~op_classes ~budget build =
       profile_gate = true;
       elide_guards = true;
       use_summaries = true;
+      use_shapes = true;
       route = `Off;
       route_hotspots = [];
       size_classes = [];

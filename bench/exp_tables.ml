@@ -320,6 +320,7 @@ let hw_kona () =
                 profile_gate = false;
                 elide_guards = true;
                 use_summaries = true;
+                use_shapes = true;
                 route = `Off;
                 route_hotspots = [];
                 size_classes = [];
@@ -351,6 +352,7 @@ let hw_kona () =
                 profile_gate = false;
                 elide_guards = true;
                 use_summaries = true;
+                use_shapes = true;
                 route = `Off;
                 route_hotspots = [];
                 size_classes = [];

@@ -53,6 +53,8 @@ let experiments =
       Exp_engine.engine_speedup);
     ("hybrid_routing", "Hybrid data plane: guards vs paging per site",
       Exp_hybrid.hybrid_routing);
+    ("shape_routing", "Shape analysis: routing helper-hidden pointer chases",
+      Exp_shape.shape_routing);
   ]
 
 let () =

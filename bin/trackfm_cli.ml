@@ -93,6 +93,18 @@ let workloads () =
       op_classes = [];
     }
   in
+  let ll =
+    let nodes = 40_000 and tnodes = 16_000 in
+    {
+      wname = "llist";
+      describe = "helper-hidden list+tree traversal (shape analysis)";
+      build = (fun () -> Llist.build ~nodes ~tnodes ());
+      blobs = [];
+      working_set = Llist.working_set_bytes ~nodes ~tnodes;
+      expected = Llist.checksum ~nodes ~tnodes;
+      op_classes = [];
+    }
+  in
   let nas kernel =
     let p = { Nas.kernel; scale = 1 } in
     {
@@ -107,7 +119,7 @@ let workloads () =
     }
   in
   List.map stream [ Stream.Sum; Stream.Copy; Stream.Scale; Stream.Triad ]
-  @ [ kme; hm; mc; an; chase ]
+  @ [ kme; hm; mc; an; chase; ll ]
   @ List.map nas Nas.all_kernels
 
 let find_workload name =
@@ -151,8 +163,9 @@ let build_of w o1 =
    the run's fresh clock inside the driver. [faults] is the injector for
    this run (fresh per run: its random stream is stateful). *)
 let exec_system ?(engine = Engine.Interp) ?(route = `Off)
-    ?(route_hotspots = []) w system ~budget ~object_size ~chunk_mode ~prefetch
-    ~summaries ~faults ~replicas ~ack ~telemetry build =
+    ?(route_hotspots = []) ?(shapes = true) ?shadow w system ~budget
+    ~object_size ~chunk_mode ~prefetch ~summaries ~faults ~replicas ~ack
+    ~telemetry build =
   match system with
   | "local" ->
       Ok (Driver.run_local ~engine ~blobs:w.blobs ~telemetry build, None)
@@ -172,6 +185,7 @@ let exec_system ?(engine = Engine.Interp) ?(route = `Off)
           profile_gate = true;
           elide_guards = true;
           use_summaries = summaries;
+          use_shapes = shapes;
           route;
           route_hotspots;
           size_classes = [];
@@ -181,7 +195,8 @@ let exec_system ?(engine = Engine.Interp) ?(route = `Off)
         }
       in
       let o, report =
-        Driver.run_trackfm ~engine ~blobs:w.blobs ~telemetry build opts
+        Driver.run_trackfm ~engine ~blobs:w.blobs ~telemetry ?shadow build
+          opts
       in
       Ok (o, Some report)
   | other ->
@@ -433,7 +448,7 @@ let with_engine engine_name k =
       1
 
 let run_cmd workload_name system engine_name local_pct object_size chunk
-    route_name prefetch summaries o1 fault_spec fault_seed replicas ack
+    route_name prefetch summaries shapes o1 fault_spec fault_seed replicas ack
     counters_json trace_file metrics_file sample_interval attribution_file
     flight_file =
   with_engine engine_name @@ fun engine ->
@@ -483,7 +498,7 @@ let run_cmd workload_name system engine_name local_pct object_size chunk
         else []
       in
       match
-        exec_system ~engine ~route ~route_hotspots w system ~budget
+        exec_system ~engine ~route ~route_hotspots ~shapes w system ~budget
           ~object_size ~chunk_mode:(chunk_mode_of chunk) ~prefetch ~summaries
           ~faults ~replicas ~ack ~telemetry (build_of w o1)
       with
@@ -534,9 +549,11 @@ let print_hotspots ?routing (o : Driver.outcome) (r : Telemetry.Sink.recorder)
   let rows = Site.rows r.Sink.sites in
   (* The class column comes from the route pass's classification table;
      telemetry keys a row by the protecting call, which [class_of_call]
-     resolves to the adjacent access. "-" = no routing report (routing
-     off, or a non-trackfm system) or a site with no private call (chunk
-     protocol, synthetic sites). *)
+     resolves to the adjacent access. Allocation-site rows carry no
+     access class, but the shape analysis may have resolved what
+     structure the allocation anchors — shown as "alloc:<kind>". "-" =
+     no routing report (routing off, or a non-trackfm system) or a site
+     with no private call (chunk protocol, synthetic sites). *)
   let class_of (k : Site.key) =
     match routing with
     | None -> "-"
@@ -546,7 +563,13 @@ let print_hotspots ?routing (o : Driver.outcome) (r : Telemetry.Sink.recorder)
             ~instr:k.Site.instr
         with
         | Some c -> Tfm_analysis.Access_pattern.cls_to_string c
-        | None -> "-")
+        | None -> (
+            match
+              Trackfm.Route_pass.shape_of_alloc rep ~func:k.Site.func
+                ~instr:k.Site.instr
+            with
+            | Some kind -> "alloc:" ^ kind
+            | None -> "-"))
   in
   if rows = [] then
     print_endline
@@ -1269,6 +1292,7 @@ let sweep_cmd workload_name object_size =
               profile_gate = true;
               elide_guards = true;
               use_summaries = true;
+              use_shapes = true;
               route = `Off;
               route_hotspots = [];
               size_classes = [];
@@ -1358,6 +1382,7 @@ let check_cmd workload_filter engine_name =
                             cost = Cost_model.default;
                             elide;
                             summaries;
+                            shapes = true;
                             route;
                             route_hotspots = [];
                             check = false (* we report instead of raising *);
@@ -1485,7 +1510,7 @@ let summaries_cmd workload_name o1 show_ir =
    (function order, then ascending instruction id), plus the routing
    decisions a static-mode compile makes on the transformed module. CI
    byte-compares two runs of this output. *)
-let classify_cmd workload_name o1 =
+let classify_cmd workload_name o1 json =
   match find_workload workload_name with
   | Error e ->
       prerr_endline e;
@@ -1493,13 +1518,14 @@ let classify_cmd workload_name o1 =
   | Ok w ->
       let m = (build_of w o1) () in
       let env = Tfm_analysis.Summary.compute m in
-      List.iter
-        (fun f ->
-          print_string
-            (Tfm_analysis.Access_pattern.dump
-               (Tfm_analysis.Access_pattern.analyze ~summaries:env f)))
-        m.Ir.funcs;
-      print_newline ();
+      let shapes = Tfm_analysis.Shape.analyze m in
+      let per_fun =
+        List.map
+          (fun f ->
+            ( f.Ir.fname,
+              Tfm_analysis.Access_pattern.analyze ~summaries:env ~shapes f ))
+          m.Ir.funcs
+      in
       let config =
         {
           Trackfm.Pipeline.default_config with
@@ -1508,17 +1534,177 @@ let classify_cmd workload_name o1 =
       in
       let report = Trackfm.Pipeline.run config ((build_of w o1) ()) in
       let r = report.Trackfm.Pipeline.routing in
-      Printf.printf
-        "hybrid routing (static): %d routed, %d kept pinned, %d kept covered\n"
-        r.Trackfm.Route_pass.routed r.Trackfm.Route_pass.kept_pinned
-        r.Trackfm.Route_pass.kept_covered;
-      List.iter
-        (fun (fname, (rt : Tfm_checker.Coverage.routing)) ->
-          Printf.printf "  %s: %%%d -> page call %%%d [%s]\n" fname
-            rt.Tfm_checker.Coverage.routed_access
-            rt.Tfm_checker.Coverage.page_call rt.Tfm_checker.Coverage.cls)
-        r.Trackfm.Route_pass.routes;
+      if json then begin
+        (* Machine-readable variant: field order is fixed by
+           construction, so two runs are byte-identical and CI can both
+           diff and schema-validate the output. *)
+        let open Telemetry.Json in
+        let site_json (s : Tfm_analysis.Access_pattern.site) =
+          Obj
+            [
+              ("instr", Int s.Tfm_analysis.Access_pattern.instr_id);
+              ("block", String s.Tfm_analysis.Access_pattern.block);
+              ( "kind",
+                String
+                  (if s.Tfm_analysis.Access_pattern.is_store then "store"
+                   else "load") );
+              ("size", Int s.Tfm_analysis.Access_pattern.size);
+              ( "class",
+                String
+                  (Tfm_analysis.Access_pattern.cls_to_string
+                     s.Tfm_analysis.Access_pattern.cls) );
+              ( "stride",
+                match s.Tfm_analysis.Access_pattern.stride with
+                | Some v -> Int v
+                | None -> Null );
+              ("chain_depth", Int s.Tfm_analysis.Access_pattern.chain_depth);
+              ( "shape",
+                match s.Tfm_analysis.Access_pattern.shape with
+                | Some k -> String k
+                | None -> Null );
+              ("density", Float s.Tfm_analysis.Access_pattern.density);
+              ("rationale", String s.Tfm_analysis.Access_pattern.rationale);
+            ]
+        in
+        let j =
+          Obj
+            [
+              ("workload", String w.wname);
+              ( "functions",
+                List
+                  (List.map
+                     (fun (fname, t) ->
+                       Obj
+                         [
+                           ("name", String fname);
+                           ( "sites",
+                             List
+                               (List.map site_json
+                                  (Tfm_analysis.Access_pattern.sites t)) );
+                         ])
+                     per_fun) );
+              ( "routing",
+                Obj
+                  [
+                    ("routed", Int r.Trackfm.Route_pass.routed);
+                    ("kept_pinned", Int r.Trackfm.Route_pass.kept_pinned);
+                    ("kept_covered", Int r.Trackfm.Route_pass.kept_covered);
+                    ("upgraded", Int r.Trackfm.Route_pass.upgraded);
+                    ( "routes",
+                      List
+                        (List.map
+                           (fun (fname, (rt : Tfm_checker.Coverage.routing)) ->
+                             Obj
+                               [
+                                 ("func", String fname);
+                                 ( "access",
+                                   Int rt.Tfm_checker.Coverage.routed_access );
+                                 ("page_call", Int rt.Tfm_checker.Coverage.page_call);
+                                 ("class", String rt.Tfm_checker.Coverage.cls);
+                               ])
+                           r.Trackfm.Route_pass.routes) );
+                  ] );
+            ]
+        in
+        print_endline (to_string j)
+      end
+      else begin
+        List.iter
+          (fun (_, t) -> print_string (Tfm_analysis.Access_pattern.dump t))
+          per_fun;
+        print_newline ();
+        Printf.printf
+          "hybrid routing (static): %d routed, %d kept pinned, %d kept covered\n"
+          r.Trackfm.Route_pass.routed r.Trackfm.Route_pass.kept_pinned
+          r.Trackfm.Route_pass.kept_covered;
+        List.iter
+          (fun (fname, (rt : Tfm_checker.Coverage.routing)) ->
+            Printf.printf "  %s: %%%d -> page call %%%d [%s]\n" fname
+              rt.Tfm_checker.Coverage.routed_access
+              rt.Tfm_checker.Coverage.page_call rt.Tfm_checker.Coverage.cls)
+          r.Trackfm.Route_pass.routes
+      end;
       0
+
+(* Shape-analysis dump (deterministic: CI byte-compares two runs), and
+   — with [--shadow] — the dynamic audit: execute the statically routed
+   program under the interpreter with the per-site depth recorder and
+   cross-check every static class against the observed dependent-load
+   depths. A lying shape summary that misroutes a site shows up here as
+   a MISMATCH even though the structural checker (which never consults
+   shape facts) accepts the module. *)
+let shape_cmd workload_name o1 shadow_mode local_pct =
+  match find_workload workload_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok w ->
+      let m = (build_of w o1) () in
+      print_string (Tfm_analysis.Shape.dump (Tfm_analysis.Shape.analyze m) m);
+      if not shadow_mode then 0
+      else begin
+        let sh = Shadow.create () in
+        let budget = max (16 * 4096) (w.working_set * local_pct / 100) in
+        let opts =
+          {
+            (Driver.tfm_defaults ~local_budget:budget) with
+            Driver.route = `Static;
+          }
+        in
+        let o, report =
+          Driver.run_trackfm ~blobs:w.blobs ~shadow:sh (build_of w o1) opts
+        in
+        print_newline ();
+        print_string (Shadow.dump sh);
+        let classes =
+          report.Trackfm.Pipeline.routing.Trackfm.Route_pass.classes
+        in
+        let checked = ref 0 and confirmed = ref 0 and unchecked = ref 0 in
+        let mismatches = ref [] in
+        List.iter
+          (fun (fname, (s : Tfm_analysis.Access_pattern.site)) ->
+            incr checked;
+            match
+              Shadow.check sh ~func:fname
+                ~instr:s.Tfm_analysis.Access_pattern.instr_id
+                ~cls:
+                  (Tfm_analysis.Access_pattern.cls_to_string
+                     s.Tfm_analysis.Access_pattern.cls)
+            with
+            | Shadow.Confirmed -> incr confirmed
+            | Shadow.Unchecked -> incr unchecked
+            | Shadow.Mismatch msg ->
+                mismatches :=
+                  Printf.sprintf "%s:%%%d %s" fname
+                    s.Tfm_analysis.Access_pattern.instr_id msg
+                  :: !mismatches)
+          classes;
+        print_newline ();
+        if o.Driver.ret <> w.expected then begin
+          Printf.printf
+            "checksum MISMATCH: got %d, expected %d\nshape-shadow FAIL\n"
+            o.Driver.ret w.expected;
+          1
+        end
+        else begin
+          Printf.printf
+            "shadow validation: %d site(s) checked, %d confirmed, %d \
+             unchecked, %d mismatch(es)\n"
+            !checked !confirmed !unchecked
+            (List.length !mismatches);
+          List.iter
+            (fun l -> Printf.printf "  MISMATCH %s\n" l)
+            (List.rev !mismatches);
+          if !mismatches = [] then begin
+            print_endline "shape-shadow PASS";
+            0
+          end
+          else begin
+            print_endline "shape-shadow FAIL";
+            1
+          end
+        end
+      end
 
 let list_cmd () =
   List.iter
@@ -1588,6 +1774,15 @@ let no_summaries_arg =
           "Disable interprocedural summaries: every call clobbers custody \
            and every call result classifies unknown (the pre-summary \
            pipeline).")
+
+let no_shapes_arg =
+  Arg.(
+    value & flag
+    & info [ "no-shapes" ]
+        ~doc:
+          "Disable the interprocedural shape analysis: helper-hidden \
+           pointer chases classify unknown and static routing falls back \
+           to intraprocedural evidence only.")
 
 let faults_arg =
   Arg.(
@@ -1686,14 +1881,15 @@ let flight_arg =
 
 let run_term =
   Term.(
-    const (fun w s e m o c rt np ns o1 fs fseed repl ack cj tr me si attr fl ->
-        run_cmd w s e m o c rt (not np) (not ns) o1 fs fseed repl ack cj tr me
-          si attr fl)
+    const
+      (fun w s e m o c rt np ns nsh o1 fs fseed repl ack cj tr me si attr fl ->
+        run_cmd w s e m o c rt (not np) (not ns) (not nsh) o1 fs fseed repl ack
+          cj tr me si attr fl)
     $ workload_arg $ system_arg $ engine_arg $ local_mem_arg $ object_size_arg
-    $ chunk_arg $ route_arg $ prefetch_arg $ no_summaries_arg $ o1_arg
-    $ faults_arg $ fault_seed_arg $ replicas_arg $ ack_arg $ counters_json_arg
-    $ trace_arg $ metrics_arg $ sample_interval_arg $ attribution_arg
-    $ flight_arg)
+    $ chunk_arg $ route_arg $ prefetch_arg $ no_summaries_arg $ no_shapes_arg
+    $ o1_arg $ faults_arg $ fault_seed_arg $ replicas_arg $ ack_arg
+    $ counters_json_arg $ trace_arg $ metrics_arg $ sample_interval_arg
+    $ attribution_arg $ flight_arg)
 
 let run_info = Cmd.info "run" ~doc:"Compile and run a workload"
 
@@ -1849,15 +2045,46 @@ let summaries_info =
       "Print the call graph (SCCs marked), every function's interprocedural \
        summary, and the summary-coverage lint for a workload"
 
-let classify_term = Term.(const classify_cmd $ workload_arg $ o1_arg)
+let classify_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the classification and routing decisions as JSON with a \
+           fixed field order (machine-readable; CI schema-validates and \
+           byte-compares it).")
+
+let classify_term =
+  Term.(const classify_cmd $ workload_arg $ o1_arg $ classify_json_arg)
 
 let classify_info =
   Cmd.info "classify"
     ~doc:
       "Print the static access-pattern classification (streaming / \
-       pointer-chase / mixed / unknown with stride, chain depth, density \
-       and rationale) of every may-heap access in a workload, and the \
-       hybrid routing decisions a static-mode compile makes"
+       pointer-chase / mixed / unknown with stride, chain depth, shape, \
+       density and rationale) of every may-heap access in a workload, and \
+       the hybrid routing decisions a static-mode compile makes"
+
+let shadow_arg =
+  Arg.(
+    value & flag
+    & info [ "shadow" ]
+        ~doc:
+          "Also execute the statically routed workload under the \
+           interpreter with the dynamic depth recorder and cross-check \
+           every static class against the observed dependent-load depths \
+           (exit 1 on any mismatch).")
+
+let shape_term =
+  Term.(const shape_cmd $ workload_arg $ o1_arg $ shadow_arg $ local_mem_arg)
+
+let shape_info =
+  Cmd.info "shape"
+    ~doc:
+      "Print the interprocedural shape analysis of a workload: per-function \
+       chase summaries (return hops, per-argument traversal depths, link \
+       stores) and per-allocation-site structure kinds; --shadow runs the \
+       dynamic audit"
 
 let backend_arg =
   Arg.(
@@ -2005,6 +2232,7 @@ let main =
       Cmd.v check_info check_term;
       Cmd.v summaries_info summaries_term;
       Cmd.v classify_info classify_term;
+      Cmd.v shape_info shape_term;
       Cmd.v validate_info validate_term;
     ]
 

@@ -16,7 +16,9 @@
 #   fmt        - dune build @fmt (skipped when ocamlformat is not installed)
 #   lint       - static-analysis gate: guard-coverage verifier + elision
 #                witness re-check over every workload x chunk mode x
-#                optimizer on/off (trackfm_cli check)
+#                optimizer on/off (trackfm_cli check); summary, classify
+#                (text + schema-validated JSON) and shape dumps must be
+#                byte-identical across two runs
 #   test       - dune runtest (tier-1 unit/property/integration suites)
 #   smoke      - quick bench-harness run; writes metrics JSON to _ci/metrics
 #   faults     - fault-injection determinism matrix: fixed workloads x seeds,
@@ -38,11 +40,14 @@
 #                check matrix re-run with --engine compiled, and the
 #                engine_speedup dispatch-throughput experiment must PASS
 #   hybrid     - hybrid data-plane gate: fixed-seed routed runs (pointer
-#                chase x route mode x local budget) each run twice under
-#                both engines (byte-identical counters required) and
+#                chase / llist x route mode x local budget) each run twice
+#                under both engines (byte-identical counters required) and
 #                diffed against ci/golden/hybrid-*.json; a routed
 #                streaming workload must stay byte-identical to its
-#                unrouted run (the classifier keeps its hands off)
+#                unrouted run (the classifier keeps its hands off); the
+#                shadow validator cross-checks static classes against
+#                observed dependent-load depths; the shape_routing bench
+#                gate must PASS
 #   serving    - overload-robustness gate: a short fixed-seed offered-load
 #                sweep of the serving tier (backends x rates, faults
 #                medium, controls on), each run twice (byte-identical
@@ -56,7 +61,8 @@ FAULT_WORKLOADS="stream-sum hashmap"
 FAULT_SEEDS="1 2 3"
 FAULT_SPEC=medium
 SUMMARY_WORKLOADS="stream-sum kmeans analytics hashmap"
-CLASSIFY_WORKLOADS="stream-sum kmeans analytics hashmap memcached pointer-chase"
+CLASSIFY_WORKLOADS="stream-sum kmeans analytics hashmap memcached pointer-chase llist"
+SHAPE_WORKLOADS="llist pointer-chase analytics hashmap"
 HYBRID_ROUTES="static profiled"
 HYBRID_PCTS="25 100"
 DUR_WORKLOADS="stream-sum analytics"
@@ -109,6 +115,32 @@ stage_lint() {
         if ! cmp -s "_ci/classify/$w.txt" "_ci/classify/$w.txt.rerun"; then
             echo "lint: NONDETERMINISTIC classification dump for $w" >&2
             diff "_ci/classify/$w.txt" "_ci/classify/$w.txt.rerun" >&2 || true
+            exit 1
+        fi
+        # The machine-readable variant must be deterministic too, and
+        # must satisfy the checked-in schema.
+        "$CLI" classify -w "$w" --json >"_ci/classify/$w.json"
+        "$CLI" classify -w "$w" --json >"_ci/classify/$w.json.rerun"
+        if ! cmp -s "_ci/classify/$w.json" "_ci/classify/$w.json.rerun"; then
+            echo "lint: NONDETERMINISTIC classification JSON for $w" >&2
+            diff "_ci/classify/$w.json" "_ci/classify/$w.json.rerun" >&2 || true
+            exit 1
+        fi
+        if ! "$CLI" validate --schema ci/classify_schema.json "_ci/classify/$w.json" >/dev/null; then
+            echo "lint: classify --json for $w violates ci/classify_schema.json" >&2
+            exit 1
+        fi
+    done
+    # Shape-analysis determinism: the interprocedural shape dump must be
+    # byte-identical across two runs of the same build.
+    echo "== stage lint: shape analysis determinism =="
+    mkdir -p _ci/shape
+    for w in $SHAPE_WORKLOADS; do
+        "$CLI" shape -w "$w" >"_ci/shape/$w.txt"
+        "$CLI" shape -w "$w" >"_ci/shape/$w.txt.rerun"
+        if ! cmp -s "_ci/shape/$w.txt" "_ci/shape/$w.txt.rerun"; then
+            echo "lint: NONDETERMINISTIC shape dump for $w" >&2
+            diff "_ci/shape/$w.txt" "_ci/shape/$w.txt.rerun" >&2 || true
             exit 1
         fi
     done
@@ -448,6 +480,61 @@ stage_hybrid() {
             fi
         done
     done
+    # Shape-routed workload: llist's traversal is helper-hidden, so its
+    # static routes exist only through the shape analysis. Same regimen:
+    # run twice (byte-identical), cross-engine, diffed against goldens.
+    for pct in $HYBRID_PCTS; do
+        base="_ci/hybrid/llist-static-m$pct"
+        "$CLI" run -w llist -s trackfm -m "$pct" --route static \
+            --engine interp --counters-json "$base-interp.json" >/dev/null
+        "$CLI" run -w llist -s trackfm -m "$pct" --route static \
+            --engine interp --counters-json "$base-interp.json.rerun" >/dev/null
+        if ! cmp -s "$base-interp.json" "$base-interp.json.rerun"; then
+            echo "hybrid: NONDETERMINISTIC: llist route=static m=$pct" >&2
+            diff "$base-interp.json" "$base-interp.json.rerun" >&2 || true
+            fail=1
+        fi
+        "$CLI" run -w llist -s trackfm -m "$pct" --route static \
+            --engine compiled --counters-json "$base-compiled.json" >/dev/null
+        if ! cmp -s "$base-interp.json" "$base-compiled.json"; then
+            echo "hybrid: DIVERGED: llist route=static m=$pct interp vs compiled" >&2
+            diff "$base-interp.json" "$base-compiled.json" >&2 || true
+            fail=1
+        fi
+        golden="ci/golden/hybrid-llist-static-m$pct.json"
+        if [ ! -f "$golden" ]; then
+            echo "hybrid: missing golden $golden (regenerate with: ./ci.sh --update-golden)" >&2
+            fail=1
+        elif ! cmp -s "$golden" "$base-compiled.json"; then
+            echo "hybrid: DRIFT: llist m=$pct differs from $golden" >&2
+            diff "$golden" "$base-compiled.json" >&2 || true
+            fail=1
+        fi
+    done
+    # Without shape facts the same compile must route nothing: the
+    # --no-shapes run must be byte-identical to an unrouted run.
+    "$CLI" run -w llist -s trackfm -m 25 --route off \
+        --counters-json _ci/hybrid/llist-off.json >/dev/null
+    "$CLI" run -w llist -s trackfm -m 25 --route static --no-shapes \
+        --counters-json _ci/hybrid/llist-noshapes.json >/dev/null
+    if ! cmp -s _ci/hybrid/llist-off.json _ci/hybrid/llist-noshapes.json; then
+        echo "hybrid: shape-blind routing perturbed the helper-hidden workload" >&2
+        diff _ci/hybrid/llist-off.json _ci/hybrid/llist-noshapes.json >&2 || true
+        fail=1
+    fi
+    # Dynamic audit: the shadow validator executes the statically routed
+    # llist under the interpreter's depth recorder and cross-checks every
+    # static class; any mismatch (e.g. a lying shape summary that
+    # misrouted a site) fails the gate.
+    if ! "$CLI" shape -w llist --shadow -m 100 >_ci/hybrid/shadow.log 2>&1; then
+        cat _ci/hybrid/shadow.log >&2
+        echo "hybrid: shadow validator failed" >&2
+        fail=1
+    elif ! grep -q "shape-shadow PASS" _ci/hybrid/shadow.log; then
+        cat _ci/hybrid/shadow.log >&2
+        echo "hybrid: shadow validation did not PASS" >&2
+        fail=1
+    fi
     # Zero-routing identity: on a streaming workload the classifier
     # routes nothing, so route=static must be byte-identical to
     # route=off — down to the lazily-constructed swap never existing.
@@ -469,6 +556,17 @@ stage_hybrid() {
     elif ! grep -q "hybrid_routing PASS" _ci/hybrid/bench.log; then
         cat _ci/hybrid/bench.log >&2
         echo "hybrid: routing gate did not PASS" >&2
+        fail=1
+    fi
+    # Shape-analysis performance gate: routing helper-hidden chases must
+    # beat the shape-blind hybrid (and nothing may route without shapes).
+    if ! dune exec bench/main.exe -- shape_routing --quick >_ci/hybrid/shape-bench.log 2>&1; then
+        cat _ci/hybrid/shape-bench.log >&2
+        echo "hybrid: shape_routing experiment failed" >&2
+        fail=1
+    elif ! grep -q "shape_routing PASS" _ci/hybrid/shape-bench.log; then
+        cat _ci/hybrid/shape-bench.log >&2
+        echo "hybrid: shape-routing gate did not PASS" >&2
         fail=1
     fi
     if [ "$fail" -ne 0 ]; then
@@ -504,6 +602,11 @@ update_golden() {
             echo "  ci/golden/hybrid-pointer-chase-$route-m$pct.json"
         done
     done
+    for pct in $HYBRID_PCTS; do
+        "$CLI" run -w llist -s trackfm -m "$pct" --route static \
+            --counters-json "ci/golden/hybrid-llist-static-m$pct.json" >/dev/null
+        echo "  ci/golden/hybrid-llist-static-m$pct.json"
+    done
 }
 
 if [ "${1:-}" = "--update-golden" ]; then
@@ -515,14 +618,14 @@ if [ "${1:-}" = "--list" ]; then
     cat <<'EOF'
 build       dune build @all
 fmt         dune build @fmt (skipped when ocamlformat is not installed)
-lint        guard-coverage verifier + elision witnesses + summary determinism
+lint        guard-coverage verifier + elision witnesses + summary/classify/shape determinism
 test        dune runtest (tier-1 unit/property/integration suites)
 smoke       quick bench-harness run with metrics JSON export
 faults      fault-injection determinism matrix vs ci/golden/
 durability  replicated-tier crash matrix (r=1 must lose data, r=3 must not)
 tracing     span tracing must not perturb counters; trace schema + attribution
 engines     interp-vs-compiled differential matrix + dispatch-throughput gate
-hybrid      routed-run determinism + goldens + two-directional routing gate
+hybrid      routed-run determinism + goldens + routing/shape gates + shadow audit
 serving     fixed-seed overload sweep of the serving tier vs ci/golden/
 EOF
     exit 0

@@ -34,6 +34,9 @@ type site = {
   cls : cls;
   stride : int option;  (** byte stride when streaming evidence exists *)
   chain_depth : int;  (** loaded-pointer hops in the address chain *)
+  shape : string option;
+      (** structure kind at the accessed allocation site, when the shape
+          analysis resolved one (list/tree/graph/scalar) *)
   density : float;
       (** estimated useful fraction of a fetched line/page at this site:
           [size/|stride|] (capped at 1.0) for streaming, [size/4096] for
@@ -90,10 +93,24 @@ let chain_depth_of ?summaries du v =
   in
   go [] v
 
-let classify_access ?summaries du strided_tbl (b : Ir.block) (i : Ir.instr)
-    ~ptr ~size ~is_store =
+let classify_access ?summaries ?shapes du strided_tbl ~fname (b : Ir.block)
+    (i : Ir.instr) ~ptr ~size ~is_store =
   let stream = Hashtbl.find_opt strided_tbl i.Ir.id in
-  let depth = chain_depth_of ?summaries du ptr in
+  let local_depth = chain_depth_of ?summaries du ptr in
+  (* Shape facts see through helpers the local walk cannot: calling
+     contexts give arguments their callers' chain depths and callee
+     ret_hops continue chains across calls. The local walk is a subset,
+     so the shape depth only ever refines Unknown toward Pointer_chase —
+     never the other way. *)
+  let depth, shape =
+    match shapes with
+    | None -> (local_depth, None)
+    | Some sh ->
+        ( max local_depth (Shape.value_depth sh ~fname (Defuse.def du) ptr),
+          Option.map Shape.kind_to_string
+            (Shape.value_kind sh ~fname (Defuse.def du) ptr) )
+  in
+  let via_helpers = depth > local_depth in
   let cls, rationale =
     match (stream, depth) with
     | Some (sa : Induction.strided_access), 0 ->
@@ -105,13 +122,15 @@ let classify_access ?summaries du strided_tbl (b : Ir.block) (i : Ir.instr)
         ( Mixed,
           Printf.sprintf
             "stride %dB in loop @%s but address chains through %d loaded \
-             pointer%s"
+             pointer%s%s"
             sa.Induction.byte_stride sa.Induction.iv.Induction.header depth
-            (if depth = 1 then "" else "s") )
+            (if depth = 1 then "" else "s")
+            (if via_helpers then " (shape: through helpers)" else "") )
     | None, d when d > 0 ->
         ( Pointer_chase,
-          Printf.sprintf "address chains through %d loaded pointer%s" d
-            (if d = 1 then "" else "s") )
+          Printf.sprintf "address chains through %d loaded pointer%s%s" d
+            (if d = 1 then "" else "s")
+            (if via_helpers then " (shape: through helpers)" else "") )
     | None, _ -> (Unknown, "no loop stride, no loaded-pointer chain")
   in
   let stride =
@@ -135,11 +154,12 @@ let classify_access ?summaries du strided_tbl (b : Ir.block) (i : Ir.instr)
     cls;
     stride;
     chain_depth = depth;
+    shape;
     density;
     rationale;
   }
 
-let analyze ?summaries (f : Ir.func) =
+let analyze ?summaries ?shapes (f : Ir.func) =
   let alias = Alias.analyze ?summaries f in
   let du = Defuse.build f in
   let loop_info = Loops.analyze f in
@@ -164,13 +184,13 @@ let analyze ?summaries (f : Ir.func) =
           match i.Ir.kind with
           | Ir.Load { ptr; size; _ } when Alias.needs_guard alias ptr ->
               sites :=
-                classify_access ?summaries du strided_tbl b i ~ptr ~size
-                  ~is_store:false
+                classify_access ?summaries ?shapes du strided_tbl
+                  ~fname:f.Ir.fname b i ~ptr ~size ~is_store:false
                 :: !sites
           | Ir.Store { ptr; size; _ } when Alias.needs_guard alias ptr ->
               sites :=
-                classify_access ?summaries du strided_tbl b i ~ptr ~size
-                  ~is_store:true
+                classify_access ?summaries ?shapes du strided_tbl
+                  ~fname:f.Ir.fname b i ~ptr ~size ~is_store:true
                 :: !sites
           | _ -> ())
         b.Ir.instrs)
@@ -194,13 +214,15 @@ let dump (t : t) =
       Buffer.add_string buf
         (Printf.sprintf
            "  %%%-4d %-5s %dB @%-12s %-13s stride=%-6s chain=%d \
-            density=%.4f  [%s]\n"
+            shape=%-6s density=%.4f  [%s]\n"
            s.instr_id
            (if s.is_store then "store" else "load")
            s.size s.block (cls_to_string s.cls)
            (match s.stride with
            | Some st -> string_of_int st
            | None -> "-")
-           s.chain_depth s.density s.rationale))
+           s.chain_depth
+           (match s.shape with Some k -> k | None -> "-")
+           s.density s.rationale))
     t.sites;
   Buffer.contents buf

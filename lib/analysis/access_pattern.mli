@@ -24,6 +24,9 @@ type site = {
   cls : cls;
   stride : int option;  (** byte stride when streaming evidence exists *)
   chain_depth : int;  (** loaded-pointer hops in the address chain *)
+  shape : string option;
+      (** structure kind at the accessed allocation site, when the shape
+          analysis resolved one (list/tree/graph/scalar) *)
   density : float;
       (** estimated useful fraction of a fetched line/page at this site *)
   rationale : string;  (** deterministic one-line evidence summary *)
@@ -31,10 +34,17 @@ type site = {
 
 type t
 
-val analyze : ?summaries:Summary.env -> Ir.func -> t
+val analyze : ?summaries:Summary.env -> ?shapes:Shape.env -> Ir.func -> t
 (** With [summaries], pass-through helpers ([From_arg] return
     provenance) keep dereference chains alive across calls, and the
-    may-heap site set inherits the summary-aware alias precision. *)
+    may-heap site set inherits the summary-aware alias precision. With
+    [shapes], chains additionally survive *loaded* hops hidden inside
+    helpers ([ret_hops]) and arguments inherit their callers' chain
+    depths (calling contexts), so helper-hidden traversals classify
+    [Pointer_chase] instead of [Unknown]; sites also gain the structure
+    kind of the allocation site they touch. Shape facts only ever add
+    chain evidence — a [Streaming] verdict cannot be manufactured by
+    them. *)
 
 val sites : t -> site list
 (** Ascending instruction id. *)

@@ -115,6 +115,25 @@ let node t name = List.assoc_opt name t.nodes
 let sccs t = t.sccs
 let is_recursive t name = Hashtbl.mem t.in_cycle name
 
+(* Unknown external callees reachable from [name] through defined
+   callees — the graph-structural "why is this function conservative"
+   answer the summary lint reports. Deterministic: sorted, deduped. *)
+let reaches_unknown t name =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      match node t n with
+      | None -> ()
+      | Some nd ->
+          List.iter (fun u -> acc := u :: !acc) nd.unknown_callees;
+          List.iter go nd.callees
+    end
+  in
+  go name;
+  List.sort_uniq compare !acc
+
 let to_string t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "call graph (bottom-up SCCs):\n";

@@ -27,6 +27,11 @@ val sccs : t -> string list list
 val is_recursive : t -> string -> bool
 (** In a multi-function SCC, or calls itself directly. *)
 
+val reaches_unknown : t -> string -> string list
+(** Unknown external callees reachable from the function through
+    defined callees (sorted, deduped) — empty iff its whole call tree
+    stays in the module. *)
+
 val to_string : t -> string
 (** Deterministic text rendering: one line per SCC (bottom-up, recursive
     SCCs marked) plus the edges out of each member. *)

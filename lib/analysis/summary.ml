@@ -249,7 +249,10 @@ let summarize (env : env) (f : Ir.func) =
     f.blocks;
   { ret = !ret; escapes; eff = !eff; custody_safe = !custody_safe }
 
-let compute (m : Ir.modul) : env =
+(* [max_rounds] exists so tests can force the recursive-SCC tripwire
+   (set it to 0) and watch the lint diagnose the cap; the default is far
+   above what any real fixpoint needs. *)
+let compute ?(max_rounds = 50) (m : Ir.modul) : env =
   let cg = Callgraph.build m in
   let env : env = Hashtbl.create 16 in
   let funcs = Hashtbl.create 16 in
@@ -274,7 +277,7 @@ let compute (m : Ir.modul) : env =
             set env f.Ir.fname (optimistic ~nparams:f.Ir.nparams))
           members;
         let rounds = ref 0 and stable = ref false in
-        while (not !stable) && !rounds < 50 do
+        while (not !stable) && !rounds < max_rounds do
           incr rounds;
           stable := true;
           List.iter
@@ -354,19 +357,44 @@ let to_string (m : Ir.modul) (env : env) =
   Buffer.contents buf
 
 (* Summary-coverage lint: which functions are stuck at (or near) bottom,
-   and why — so the analysis's conservatism is visible, not silent. *)
+   and *why* — so the analysis's conservatism is visible, not silent.
+   Three distinguishable causes, in diagnostic priority order:
+   - the function itself calls an unknown external (named);
+   - it reaches unknown externals only through defined callees — an
+     opaque call, named along with what that callee reaches;
+   - its whole call tree stays in the module yet it is still bottom,
+     which only the recursive-SCC fixpoint tripwire can produce. *)
 let lint (m : Ir.modul) (env : env) =
   let cg = Callgraph.build m in
   List.filter_map
     (fun (f : Ir.func) ->
       match lookup env f.Ir.fname with
       | Some s when s.eff.calls_unknown || is_bottom s ->
+          let n = Callgraph.node cg f.Ir.fname in
+          let direct =
+            match n with Some n -> n.Callgraph.unknown_callees | None -> []
+          in
           let why =
-            match Callgraph.node cg f.Ir.fname with
-            | Some n when n.Callgraph.unknown_callees <> [] ->
-                "unknown callees: "
-                ^ String.concat ", " n.Callgraph.unknown_callees
-            | _ -> "transitively calls outside the module"
+            if direct <> [] then
+              "unknown callee(s): " ^ String.concat ", " direct
+            else
+              let reach = Callgraph.reaches_unknown cg f.Ir.fname in
+              if reach <> [] then
+                let via =
+                  match n with
+                  | Some n ->
+                      List.filter
+                        (fun c -> Callgraph.reaches_unknown cg c <> [])
+                        n.Callgraph.callees
+                  | None -> []
+                in
+                Printf.sprintf "opaque call(s): %s reach%s unknown %s"
+                  (String.concat ", " via)
+                  (match via with [ _ ] -> "es" | _ -> "")
+                  (String.concat ", " reach)
+              else if Callgraph.is_recursive cg f.Ir.fname then
+                "recursive SCC tripped the fixpoint round cap"
+              else "unresolved (no unknown callees in reach)"
           in
           Some (Printf.sprintf "%s: stuck at bottom (%s)" f.Ir.fname why)
       | _ -> None)

@@ -38,7 +38,10 @@ type fsum = {
 
 type env
 
-val compute : Ir.modul -> env
+val compute : ?max_rounds:int -> Ir.modul -> env
+(** [max_rounds] (default 50) caps each recursive SCC's fixpoint
+    iteration; tripping it degrades the SCC to the sound bottom. Tests
+    pass 0 to force the tripwire and exercise the lint's diagnosis. *)
 
 val lookup : env -> string -> fsum option
 
@@ -68,5 +71,7 @@ val to_string : Ir.modul -> env -> string
 
 val lint : Ir.modul -> env -> string list
 (** Summary-coverage lint: one line per function stuck at bottom,
-    naming the unknown callees responsible. Empty when every function
-    has a precise summary. *)
+    naming the cause — a direct unknown callee (named), an opaque
+    defined callee that reaches unknown externals (both named), or the
+    recursive-SCC fixpoint round cap. Empty when every function has a
+    precise summary. *)

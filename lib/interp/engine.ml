@@ -14,7 +14,13 @@ let of_string = function
   | "compiled" -> Some Compiled
   | _ -> None
 
-let run ?profile ?fuel ?args ~engine backend m ~entry =
+let run ?profile ?shadow ?fuel ?args ~engine backend m ~entry =
   match engine with
-  | Interp -> Interp.run ?profile ?fuel ?args backend m ~entry
-  | Compiled -> Compile.run ?profile ?fuel ?args backend m ~entry
+  | Interp -> Interp.run ?profile ?shadow ?fuel ?args backend m ~entry
+  | Compiled -> (
+      match shadow with
+      | Some _ ->
+          (* The shadow depth plane is a reference-semantics audit; the
+             compiled engine deliberately does not carry it. *)
+          invalid_arg "Engine.run: the shadow validator requires --engine interp"
+      | None -> Compile.run ?profile ?fuel ?args backend m ~entry)

@@ -13,6 +13,7 @@ val of_string : string -> t option
 
 val run :
   ?profile:Profile.t ->
+  ?shadow:Shadow.t ->
   ?fuel:int ->
   ?args:int list ->
   engine:t ->
@@ -20,4 +21,6 @@ val run :
   Ir.modul ->
   entry:string ->
   Interp.result
-(** Dispatch to {!Interp.run} or {!Compile.run}. *)
+(** Dispatch to {!Interp.run} or {!Compile.run}. [shadow] (the shape
+    analysis's dynamic depth audit) is interpreter-only; passing it with
+    [Compiled] raises [Invalid_argument]. *)

@@ -33,6 +33,10 @@ type state = {
   prepared : (string, pfunc) Hashtbl.t;
   globals : (string, int) Hashtbl.t;
   profile : Profile.t option;
+  shadow : Shadow.t option;
+      (* when set, a dependent-load depth is threaded beside every value
+         and recorded at each access site — the dynamic audit of the
+         static shape analysis; None costs one branch per instruction *)
   mutable stack_ptr : int;
   mutable fuel : int;
   mutable instrs : int;
@@ -156,10 +160,10 @@ and exec_fcmp op (a : float) (b : float) =
   in
   if c then 1 else 0
 
-and call_function st fname (actuals : v array) =
-  call_prepared st (prepare st fname) actuals
+and call_function st ?(dactuals = [||]) fname (actuals : v array) =
+  call_prepared st ~dactuals (prepare st fname) actuals
 
-and call_prepared st p (actuals : v array) =
+and call_prepared st ?(dactuals = [||]) p (actuals : v array) =
   let f = p.src in
   let fname = f.fname in
   if Array.length actuals <> f.nparams then
@@ -175,13 +179,18 @@ and call_prepared st p (actuals : v array) =
   let t0 = if span_it then Telemetry.Sink.timestamp tel else 0 in
   let env = Array.make f.next_id (I 0) in
   let saved_sp = st.stack_ptr in
-  let ret = exec_blocks st p env actuals in
+  let ret = exec_blocks st p env actuals ~dargs:dactuals in
   if span_it then Telemetry.Sink.span tel ~name:fname ~cat:"call" ~start:t0 ();
   st.stack_ptr <- saved_sp;
   st.depth <- st.depth - 1;
   ret
 
-and exec_call st env args callee actual_values =
+and exec_call st ?(dactuals = [||]) env args callee actual_values =
+  (* Non-IR callees produce depth-0 results; an IR callee's returning
+     block overwrites this through the shadow's return slot. *)
+  (match st.shadow with
+  | Some sh -> Shadow.set_ret_depth sh 0
+  | None -> ());
   (* libc allocation interface goes through the backend hooks; runtime
      intrinsics through the backend's dispatcher; everything else must be
      an IR function. *)
@@ -204,17 +213,30 @@ and exec_call st env args callee actual_values =
             trap "unknown runtime hook %s" callee
           else begin
             Memsim.Clock.tick b.Backend.clock 5 (* call overhead *);
-            call_function st callee actual_values
+            call_function st ~dactuals callee actual_values
           end
     end
   [@@warning "-27"]
 
-and exec_blocks st p env args =
+and exec_blocks st p env args ~dargs =
   let cost = st.backend.Backend.cost in
   let clock = st.backend.Backend.clock in
   let store = st.backend.Backend.store in
   let tel = st.backend.Backend.telemetry in
   let fname = p.src.fname in
+  (* Shadow depth environment: one slot per register, mirroring [env].
+     Allocated only when the validator is on. *)
+  let denv =
+    match st.shadow with
+    | Some _ -> Array.make p.src.next_id 0
+    | None -> [||]
+  in
+  let dval v =
+    match v with
+    | Ir.Reg id -> denv.(id)
+    | Ir.Arg i -> if i < Array.length dargs then dargs.(i) else 0
+    | _ -> 0
+  in
   (* Iterative block dispatch: loops run for millions of iterations, so
      branch handling must not grow the OCaml stack. *)
   let ret = ref (I 0) in
@@ -291,13 +313,18 @@ and exec_blocks st p env args =
                attributed to this call site (function + instruction id)
                via the sink — the guard-site hotspot table's key. *)
             Telemetry.Sink.set_site tel ~func:fname ~instr:i.id;
+            let dactuals =
+              match st.shadow with
+              | Some _ -> Array.of_list (List.map dval call_args)
+              | None -> [||]
+            in
             match pin.ptarget with
             | Some target ->
                 (* Direct call to a defined IR function, bound at prepare
                    time: no per-call name-table lookup. *)
                 Memsim.Clock.tick clock 5 (* call overhead *);
-                call_prepared st target actuals
-            | None -> exec_call st env args callee actuals)
+                call_prepared st ~dactuals target actuals
+            | None -> exec_call st ~dactuals env args callee actuals)
         | Ir.Phi incoming -> begin
             match
               List.find_opt (fun (l, _) -> l = prev_label) incoming
@@ -310,7 +337,37 @@ and exec_blocks st p env args =
             if eval_int st env args c <> 0 then eval st env args a
             else eval st env args b
       in
-      env.(i.id) <- result
+      env.(i.id) <- result;
+      (* Shadow depth transfer, mirroring the static chain semantics:
+         loads add a hop, gep/add/sub propagate, phi/select take the
+         chosen arm, calls carry the callee's return depth. Recorded at
+         every access against the address's depth. *)
+      match st.shadow with
+      | None -> ()
+      | Some sh ->
+          let d =
+            match i.kind with
+            | Ir.Load { ptr; is_float; _ } ->
+                let pd = dval ptr in
+                Shadow.record sh ~func:fname ~instr:i.id ~depth:pd;
+                if is_float then 0 else pd + 1
+            | Ir.Store { ptr; _ } ->
+                Shadow.record sh ~func:fname ~instr:i.id ~depth:(dval ptr);
+                0
+            | Ir.Gep { base; _ } -> dval base
+            | Ir.Binop ((Ir.Add | Ir.Sub), a, b) -> max (dval a) (dval b)
+            | Ir.Phi incoming -> (
+                match
+                  List.find_opt (fun (l, _) -> l = prev_label) incoming
+                with
+                | Some (_, v) -> dval v
+                | None -> 0)
+            | Ir.Select (c, a, b) ->
+                if eval_int st env args c <> 0 then dval a else dval b
+            | Ir.Call _ -> Shadow.ret_depth sh
+            | _ -> 0
+          in
+          denv.(i.id) <- min Shadow.depth_cap d
     done;
     match blk.pterm with
     | Ir.Br l ->
@@ -321,16 +378,23 @@ and exec_blocks st p env args =
         prev := blk.plabel;
         cur := Hashtbl.find p.index target
     | Ir.Ret None ->
+        (match st.shadow with
+        | Some sh -> Shadow.set_ret_depth sh 0
+        | None -> ());
         ret := I 0;
         running := false
     | Ir.Ret (Some v) ->
+        (match st.shadow with
+        | Some sh -> Shadow.set_ret_depth sh (dval v)
+        | None -> ());
         ret := eval st env args v;
         running := false
     | Ir.Unreachable -> trap "%s: reached unreachable in %s" fname blk.plabel
   done;
   !ret
 
-let run ?profile ?(fuel = 2_000_000_000) ?(args = []) backend m ~entry =
+let run ?profile ?shadow ?(fuel = 2_000_000_000) ?(args = []) backend m ~entry
+    =
   let st =
     {
       backend;
@@ -338,6 +402,7 @@ let run ?profile ?(fuel = 2_000_000_000) ?(args = []) backend m ~entry =
       prepared = Hashtbl.create 8;
       globals = Hashtbl.create 8;
       profile;
+      shadow;
       stack_ptr = stack_base;
       fuel;
       instrs = 0;

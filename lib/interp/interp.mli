@@ -21,6 +21,7 @@ type result = {
 
 val run :
   ?profile:Profile.t ->
+  ?shadow:Shadow.t ->
   ?fuel:int ->
   ?args:int list ->
   Backend.t ->
@@ -29,4 +30,6 @@ val run :
   result
 (** [run backend m ~entry] executes [entry] (typically ["main"]).
     [profile] accumulates block execution counts for the chunking gate.
-    [fuel] bounds total executed instructions (default 2_000_000_000). *)
+    [shadow] records per-site dependent-load depths (the shape
+    analysis's dynamic audit). [fuel] bounds total executed instructions
+    (default 2_000_000_000). *)

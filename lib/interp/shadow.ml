@@ -1,0 +1,92 @@
+(* Dynamic shadow validator for the static shape analysis.
+
+   When enabled, the interpreter threads a parallel "depth" value next
+   to every integer value: how many dependent loads fed this value's
+   computation. The transfer rules deliberately mirror the static chain
+   semantics ({!Tfm_analysis.Shape.value_depth} /
+   {!Tfm_analysis.Access_pattern}): a non-float load is one hop past its
+   address's depth, gep/add/sub propagate, phi/select take the chosen
+   arm, calls carry the callee's return depth back — so a static claim
+   and a dynamic observation are directly comparable numbers. At every
+   Load/Store the address's depth is recorded per (function, instruction
+   id) site, saturated at the shared {!Tfm_analysis.Shape.depth_cap}.
+
+   This is the audit half of the shape bargain: shape facts are advice
+   the checker never reads, so a lying summary cannot break soundness —
+   but it can misroute, and the misroute shows up here as a
+   Pointer_chase site whose observed max depth is zero (or a Streaming
+   site whose address turns out to chain through loads). CI runs the
+   diff under a fixed seed; tests tamper summaries and watch it fire. *)
+
+let depth_cap = Shape.depth_cap
+
+type t = {
+  sites : (string * int, int * int) Hashtbl.t;
+      (* (func, access instr id) -> (execution count, max addr depth) *)
+  mutable ret_depth : int;
+      (* depth of the value the innermost returning call produced *)
+}
+
+let create () = { sites = Hashtbl.create 64; ret_depth = 0 }
+
+let record t ~func ~instr ~depth =
+  let depth = min depth_cap depth in
+  match Hashtbl.find_opt t.sites (func, instr) with
+  | Some (n, d) -> Hashtbl.replace t.sites (func, instr) (n + 1, max d depth)
+  | None -> Hashtbl.replace t.sites (func, instr) (1, depth)
+
+let stats t ~func ~instr = Hashtbl.find_opt t.sites (func, instr)
+let ret_depth t = t.ret_depth
+let set_ret_depth t d = t.ret_depth <- min depth_cap d
+
+type verdict =
+  | Confirmed  (* dynamic evidence matches the static claim *)
+  | Unchecked  (* not executed (enough), or the class is unconstrained *)
+  | Mismatch of string
+
+(* Compare a site's static class against its dynamic record. Classes are
+   the {!Tfm_analysis.Access_pattern.cls_to_string} names so the CLI and
+   tests share one comparator without a type dependency cycle.
+
+   A Pointer_chase site executed exactly once gets a pass on depth 0:
+   the first step of a phi-merged traversal dereferences the seed
+   pointer (depth 0); the chain only becomes observable from the second
+   step on. Mixed/Unknown claims constrain nothing. *)
+let check t ~func ~instr ~cls =
+  match stats t ~func ~instr with
+  | None -> Unchecked
+  | Some (count, maxd) -> (
+      match cls with
+      | "pointer-chase" ->
+          if maxd >= 1 then Confirmed
+          else if count < 2 then Unchecked
+          else
+            Mismatch
+              (Printf.sprintf
+                 "static pointer-chase but %d execution(s) all at depth 0"
+                 count)
+      | "streaming" ->
+          if maxd = 0 then Confirmed
+          else
+            Mismatch
+              (Printf.sprintf
+                 "static streaming but observed address depth %d" maxd)
+      | _ -> Unchecked)
+
+(* Deterministic dump: one line per recorded site, sorted by function
+   then instruction id. *)
+let dump t =
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sites []
+    |> List.sort compare
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "shadow depths: %d site(s), cap %d\n" (List.length rows)
+       depth_cap);
+  List.iter
+    (fun ((func, instr), (n, d)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %%%-4d count=%-8d maxdepth=%d\n" func instr n d))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Dynamic shadow validator for the static shape analysis.
+
+    The interpreter (only — the compiled engine rejects it) threads a
+    dependent-load depth next to every value and records, per
+    (function, access instruction) site, the execution count and the
+    maximum address depth observed, saturated at the shared
+    {!Tfm_analysis.Shape.depth_cap}. The transfer rules mirror the
+    static chain semantics, so static claims and dynamic observations
+    are directly comparable. Shape facts are advice the coverage
+    checker never reads; this recorder is what catches a lying shape
+    summary — as a misclassification diff, not an unsoundness. *)
+
+val depth_cap : int
+(** Equal to {!Tfm_analysis.Shape.depth_cap}. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> func:string -> instr:int -> depth:int -> unit
+(** Called by the interpreter at each Load/Store with the address's
+    dynamic chain depth. *)
+
+val stats : t -> func:string -> instr:int -> (int * int) option
+(** (execution count, max observed address depth) for a site. *)
+
+type verdict =
+  | Confirmed  (** dynamic evidence matches the static claim *)
+  | Unchecked
+      (** not executed (enough to tell), or the class is unconstrained *)
+  | Mismatch of string
+
+val check : t -> func:string -> instr:int -> cls:string -> verdict
+(** Compare a site's static class ({!Tfm_analysis.Access_pattern}
+    [cls_to_string] name) against the dynamic record: [pointer-chase]
+    must have observed depth >= 1 (a single execution is excused — the
+    seed hop of a traversal has depth 0), [streaming] must have observed
+    depth 0, Mixed/Unknown constrain nothing. *)
+
+val dump : t -> string
+(** Deterministic per-site dump (sorted by function, instruction). *)
+
+(**/**)
+
+val ret_depth : t -> int
+val set_ret_depth : t -> int -> unit
+(** Interpreter internals: depth of the value the innermost returning
+    call produced. *)

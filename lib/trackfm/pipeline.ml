@@ -5,6 +5,7 @@ type config = {
   cost : Cost_model.t;
   elide : bool;
   summaries : bool;
+  shapes : bool;
   route : Route_pass.mode;
   route_hotspots : (string * int) list;
   check : bool;
@@ -19,6 +20,7 @@ let default_config =
     cost = Cost_model.default;
     elide = true;
     summaries = true;
+    shapes = true;
     route = `Off;
     route_hotspots = [];
     check = true;
@@ -104,8 +106,17 @@ let run config (m : Ir.modul) =
             List.map (fun w -> (fname, w)) e.Tfm_checker.Coverage.witness_ids)
           elision.Elide_pass.elisions
       in
+      (* Shape facts are computed here — after elision froze the guard
+         placement — and handed only to the route pass. The checker's
+         re-proofs below never see them: a wrong shape verdict can
+         misroute a site (both mechanisms are sound) but cannot unprove
+         coverage; the interp shadow validator audits the verdicts
+         dynamically instead. *)
+      let shenv =
+        if config.shapes then Some (Tfm_analysis.Shape.analyze m) else None
+      in
       let r =
-        Route_pass.run ?summaries:senv ~pinned
+        Route_pass.run ?summaries:senv ?shapes:shenv ~pinned
           ~hotspots:config.route_hotspots ~mode:config.route m
       in
       Verifier.check_module m;

@@ -21,6 +21,11 @@ type config = {
       (** compute interprocedural summaries ({!Tfm_analysis.Summary})
           after chunking and hand them to the guard injector and the
           elision pass; the checker recomputes its own *)
+  shapes : bool;
+      (** compute the interprocedural shape analysis
+          ({!Tfm_analysis.Shape}) before routing so helper-hidden
+          pointer chases classify and route statically; never consulted
+          by the checker *)
   route : Route_pass.mode;
       (** hybrid data plane: [`Static] routes pointer-chasing sites to
           the page-fault path, [`Profiled] additionally upgrades

@@ -51,6 +51,11 @@ type report = {
           classified site with an adjacent private guard/page call —
           telemetry keys hotspot rows by the call, the classification by
           the access; this is the bridge *)
+  alloc_shapes : ((string * int) * string) list;
+      (** (function, allocation call id) -> structure kind, for every
+          allocation site the shape analysis resolved as recursive —
+          the provenance hints the telemetry hotspot table records as
+          groundwork for placement (ROADMAP item 5) *)
 }
 
 let empty =
@@ -62,6 +67,7 @@ let empty =
     classes = [];
     routes = [];
     site_calls = [];
+    alloc_shapes = [];
   }
 
 (* Class of a site for the hotspot table, by access instruction id. *)
@@ -76,7 +82,14 @@ let class_of_call report ~func ~instr =
   | Some access -> class_of_site report ~func ~instr:access
   | None -> None
 
-let run ?summaries ?(pinned = []) ?(hotspots = []) ~mode (m : Ir.modul) =
+(* Structure kind of an allocation call, for the hotspot table's class
+   column (alloc rows have no access-pattern class; the shape verdict is
+   the provenance hint that stands in). *)
+let shape_of_alloc report ~func ~instr =
+  List.assoc_opt (func, instr) report.alloc_shapes
+
+let run ?summaries ?shapes ?(pinned = []) ?(hotspots = []) ~mode
+    (m : Ir.modul) =
   match mode with
   | `Off -> empty
   | (`Static | `Profiled) as mode ->
@@ -97,7 +110,7 @@ let run ?summaries ?(pinned = []) ?(hotspots = []) ~mode (m : Ir.modul) =
       List.iter (fun (f, i) -> Hashtbl.replace pin (f, i) ()) pinned;
       List.iter
         (fun (f : Ir.func) ->
-          let ap = AP.analyze ?summaries f in
+          let ap = AP.analyze ?summaries ?shapes f in
           List.iter
             (fun s -> classes := (f.Ir.fname, s) :: !classes)
             (AP.sites ap);
@@ -209,6 +222,25 @@ let run ?summaries ?(pinned = []) ?(hotspots = []) ~mode (m : Ir.modul) =
                 :: !routes)
             (List.rev !decisions))
         m.Ir.funcs;
+      let alloc_shapes =
+        match shapes with
+        | None -> []
+        | Some sh ->
+            List.concat_map
+              (fun (f : Ir.func) ->
+                match Tfm_analysis.Shape.summary sh f.Ir.fname with
+                | None -> []
+                | Some s ->
+                    List.filter_map
+                      (fun (a : Tfm_analysis.Shape.alloc_site) ->
+                        if Tfm_analysis.Shape.kind_is_recursive a.kind then
+                          Some
+                            ( (f.Ir.fname, a.alloc_id),
+                              Tfm_analysis.Shape.kind_to_string a.kind )
+                        else None)
+                      s.Tfm_analysis.Shape.allocs)
+              m.Ir.funcs
+      in
       {
         routed = !routed;
         kept_pinned = !kept_pinned;
@@ -217,4 +249,5 @@ let run ?summaries ?(pinned = []) ?(hotspots = []) ~mode (m : Ir.modul) =
         classes = List.rev !classes;
         routes = List.rev !routes;
         site_calls = List.rev !site_calls;
+        alloc_shapes;
       }

@@ -29,6 +29,10 @@ type report = {
       (** (function, protecting call id) -> access id for classified
           sites with an adjacent private call; bridges telemetry keys
           (which name the call) to classification keys (the access) *)
+  alloc_shapes : ((string * int) * string) list;
+      (** (function, allocation call id) -> structure kind for every
+          allocation site the shape analysis resolved as recursive;
+          placement-hint groundwork for the telemetry hotspot table *)
 }
 
 val empty : report
@@ -45,15 +49,21 @@ val class_of_call :
 (** Static class of a site by its protecting call's instruction id (the
     key telemetry uses), via [site_calls]. *)
 
+val shape_of_alloc : report -> func:string -> instr:int -> string option
+(** Structure kind of an allocation call, via [alloc_shapes]. *)
+
 val run :
   ?summaries:Tfm_analysis.Summary.env ->
+  ?shapes:Tfm_analysis.Shape.env ->
   ?pinned:(string * int) list ->
   ?hotspots:(string * int) list ->
   mode:mode ->
   Ir.modul ->
   report
-(** Transforms the module in place. [pinned] lists (function, guard id)
-    pairs that must stay guards — the elision witnesses. [hotspots]
-    lists (function, instr id) pairs the profile shows slow-path
-    dominated; only consulted in [`Profiled] mode, and only ever to
-    upgrade Mixed/Unknown sites to the page path. *)
+(** Transforms the module in place. [shapes] lets the classifier see
+    dereference chains through helper calls (and fills [alloc_shapes]);
+    the coverage checker stays independent of it. [pinned] lists
+    (function, guard id) pairs that must stay guards — the elision
+    witnesses. [hotspots] lists (function, instr id) pairs the profile
+    shows slow-path dominated; only consulted in [`Profiled] mode, and
+    only ever to upgrade Mixed/Unknown sites to the page path. *)

@@ -11,6 +11,7 @@ type tfm_opts = {
   profile_gate : bool;
   elide_guards : bool;
   use_summaries : bool;
+  use_shapes : bool;
   route : Trackfm.Route_pass.mode;
   route_hotspots : (string * int) list;
   size_classes : (int * int * float) list;
@@ -29,6 +30,7 @@ let tfm_defaults ~local_budget =
     profile_gate = true;
     elide_guards = true;
     use_summaries = true;
+    use_shapes = true;
     route = `Off;
     route_hotspots = [];
     size_classes = [];
@@ -103,7 +105,7 @@ let profile_of ?(engine = Engine.Interp) ?(cost = Cost_model.default)
   profile
 
 let run_trackfm ?(engine = Engine.Interp) ?(cost = Cost_model.default)
-    ?(blobs = []) ?(telemetry = no_telemetry) build opts =
+    ?(blobs = []) ?(telemetry = no_telemetry) ?shadow build opts =
   let profile =
     if opts.profile_gate then Some (profile_of ~engine ~cost ~blobs build)
     else None
@@ -117,6 +119,7 @@ let run_trackfm ?(engine = Engine.Interp) ?(cost = Cost_model.default)
       cost;
       elide = opts.elide_guards;
       summaries = opts.use_summaries;
+      shapes = opts.use_shapes;
       route = opts.route;
       route_hotspots = opts.route_hotspots;
       check = true;
@@ -141,7 +144,7 @@ let run_trackfm ?(engine = Engine.Interp) ?(cost = Cost_model.default)
       ~object_size:opts.object_size ~local_budget:opts.local_budget
   in
   let backend = with_blobs blobs (Backend.trackfm rt store) in
-  (finish clock (Engine.run ~engine backend m ~entry:"main"), report)
+  (finish clock (Engine.run ~engine ?shadow backend m ~entry:"main"), report)
 
 let run_fastswap ?(engine = Engine.Interp) ?(cost = Cost_model.default)
     ?readahead ?(faults = Faults.disabled) ?(replicas = 1) ?(ack = 1)
@@ -172,6 +175,7 @@ let autotune_object_size ?(cost = Cost_model.default) ?(blobs = [])
         profile_gate = false;
         elide_guards = true;
         use_summaries = true;
+        use_shapes = true;
         route = `Off;
         route_hotspots = [];
         size_classes = [];

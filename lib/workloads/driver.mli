@@ -32,6 +32,10 @@ type tfm_opts = {
   use_summaries : bool;
       (** compute interprocedural summaries and hand them to the guard
           injector and elision pass ({!Trackfm.Pipeline.config}) *)
+  use_shapes : bool;
+      (** compute the interprocedural shape analysis before routing, so
+          helper-hidden pointer chases classify and route statically
+          ({!Trackfm.Pipeline.config}) *)
   route : Trackfm.Route_pass.mode;
       (** hybrid data plane: route pointer-chasing sites to the
           page-fault path ({!Trackfm.Route_pass}); [`Off] by default *)
@@ -77,9 +81,12 @@ val run_trackfm :
   ?cost:Cost_model.t ->
   ?blobs:(int * Bytes.t) list ->
   ?telemetry:(Clock.t -> Telemetry.Sink.t) ->
+  ?shadow:Shadow.t ->
   (unit -> Ir.modul) ->
   tfm_opts ->
   outcome * Trackfm.Pipeline.report
+(** [shadow] threads the dynamic depth recorder through the measured
+    run (interpreter engine only) — the shape analysis's audit. *)
 
 val run_fastswap :
   ?engine:Engine.t ->

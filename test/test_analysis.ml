@@ -520,6 +520,275 @@ let test_alias_uses_summaries () =
   Alcotest.(check bool) "wrapper-allocator result guarded" true
     (Alias.needs_guard with_s h)
 
+(* -- interprocedural shape analysis ---------------------------------- *)
+
+let reg = function Ir.Reg id -> id | _ -> Alcotest.fail "expected a register"
+
+(* One arena whose slots store pointers back into the same arena at the
+   given field offsets: 1 offset = list, 2 = tree, 3 = graph. *)
+let self_linked_module offsets =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let arena = Builder.call b "malloc" [ Ir.Const 320 ] in
+  Builder.for_loop b ~init:(Ir.Const 0) ~bound:(Ir.Const 9) (fun b k ->
+      let src =
+        Builder.gep b arena ~index:(Builder.add b k (Ir.Const 1)) ~scale:32 ()
+      in
+      List.iter
+        (fun off ->
+          Builder.store b src
+            ~ptr:(Builder.gep b arena ~index:k ~scale:32 ~offset:off ()))
+        offsets);
+  Builder.ret b (Some (Ir.Const 0));
+  Verifier.check_module m;
+  (m, reg arena)
+
+let test_shape_struct_kinds () =
+  let kind_of offsets =
+    let m, id = self_linked_module offsets in
+    match Shape.site_of (Shape.analyze m) ("main", id) with
+    | Some site -> (site.Shape.kind, site.Shape.link_offsets)
+    | None -> Alcotest.fail "allocation site not found"
+  in
+  Alcotest.(check bool) "one link offset = list" true
+    (kind_of [ 0 ] = (Shape.List, [ 0 ]));
+  Alcotest.(check bool) "two link offsets = tree" true
+    (kind_of [ 0; 8 ] = (Shape.Tree, [ 0; 8 ]));
+  Alcotest.(check bool) "three link offsets = graph" true
+    (kind_of [ 0; 8; 16 ] = (Shape.Graph, [ 0; 8; 16 ]));
+  let m, id = self_linked_module [] in
+  (* no self-referential stores at all: not a recursive structure *)
+  match Shape.site_of (Shape.analyze m) ("main", id) with
+  | Some site ->
+      Alcotest.(check bool) "no links = scalar" false
+        (Shape.kind_is_recursive site.Shape.kind)
+  | None -> Alcotest.fail "allocation site not found"
+
+(* A one-load helper plus a traversal loop in main: the helper's load
+   must classify pointer-chase only when shape facts fold the caller's
+   chain depth into the helper's context. *)
+let helper_chase_module () =
+  let m = Ir.create_module () in
+  let bh = Builder.create m ~name:"node_next" ~nparams:1 in
+  Builder.ret bh (Some (Builder.load bh (Builder.arg 0)));
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let arena = Builder.call b "malloc" [ Ir.Const 160 ] in
+  Builder.for_loop b ~init:(Ir.Const 0) ~bound:(Ir.Const 9) (fun b k ->
+      Builder.store b
+        (Builder.gep b arena ~index:(Builder.add b k (Ir.Const 1)) ~scale:16 ())
+        ~ptr:(Builder.gep b arena ~index:k ~scale:16 ()));
+  let final =
+    Builder.while_loop_acc b
+      ~accs:[ arena; Ir.Const 0 ]
+      ~cond:(fun b ~accs -> Builder.icmp b Ir.Ne (List.hd accs) (Ir.Const 0))
+      (fun b ~accs ->
+        let cur, n = (List.hd accs, List.nth accs 1) in
+        [ Builder.call b "node_next" [ cur ]; Builder.add b n (Ir.Const 1) ])
+  in
+  Builder.ret b (Some (List.nth final 1));
+  Verifier.check_module m;
+  m
+
+let test_shape_helper_ret_hops_and_context () =
+  let m = helper_chase_module () in
+  let env = Shape.analyze m in
+  (match Shape.summary env "node_next" with
+  | Some s ->
+      Alcotest.(check bool) "ret = arg0 after one loaded hop" true
+        (s.Shape.ret_hops = Some (0, 1));
+      Alcotest.(check bool) "chase-through bit set" true (s.Shape.chases.(0) >= 1)
+  | None -> Alcotest.fail "no shape summary for node_next");
+  match Shape.context env "node_next" with
+  | Some ctx ->
+      Alcotest.(check bool) "caller chain depth flows into the parameter" true
+        (ctx.Shape.arg_depth.(0) >= 1)
+  | None -> Alcotest.fail "no calling context for node_next"
+
+let test_shape_upgrades_helper_classification () =
+  let m = helper_chase_module () in
+  let summaries = Summary.compute m in
+  let shapes = Shape.analyze m in
+  let helper = Ir.find_func m "node_next" in
+  let cls_of t =
+    match Access_pattern.sites t with
+    | [ s ] -> s.Access_pattern.cls
+    | _ -> Alcotest.fail "expected exactly one may-heap site in node_next"
+  in
+  Alcotest.(check bool) "unknown without shape facts" true
+    (cls_of (Access_pattern.analyze ~summaries helper) = Access_pattern.Unknown);
+  let t = Access_pattern.analyze ~summaries ~shapes helper in
+  Alcotest.(check bool) "pointer-chase with shape facts" true
+    (cls_of t = Access_pattern.Pointer_chase);
+  match Access_pattern.sites t with
+  | [ s ] ->
+      Alcotest.(check bool) "chain depth from the caller" true
+        (s.Access_pattern.chain_depth >= 1);
+      Alcotest.(check (option string)) "structure kind attached" (Some "list")
+        s.Access_pattern.shape
+  | _ -> Alcotest.fail "expected exactly one site"
+
+let test_shape_recursive_scc_saturates () =
+  (* walk(p) = if p then walk(load p): the chase depth through the
+     recursive SCC must saturate at the cap, not oscillate — and the
+     whole analysis must be deterministic across reruns. *)
+  let build () =
+    let m = Ir.create_module () in
+    let b = Builder.create m ~name:"walk" ~nparams:1 in
+    let p = Builder.arg 0 in
+    let base = Builder.add_block b "base" in
+    let step = Builder.add_block b "step" in
+    Builder.cbr b (Builder.icmp b Ir.Eq p (Ir.Const 0)) base step;
+    Builder.set_block b base;
+    Builder.ret b (Some (Ir.Const 0));
+    Builder.set_block b step;
+    Builder.ret b (Some (Builder.call b "walk" [ Builder.load b p ]));
+    Verifier.check_module m;
+    m
+  in
+  let m = build () in
+  let env = Shape.analyze m in
+  (match Shape.summary env "walk" with
+  | Some s ->
+      Alcotest.(check int) "chase depth saturates at the cap" Shape.depth_cap
+        s.Shape.chases.(0)
+  | None -> Alcotest.fail "no shape summary for walk");
+  Alcotest.(check string) "deterministic across reruns"
+    (Shape.dump env m)
+    (Shape.dump (Shape.analyze (build ())) (build ()))
+
+let test_shape_mutual_recursion_no_oscillation () =
+  let build () =
+    let m = Ir.create_module () in
+    let bf = Builder.create m ~name:"even_hop" ~nparams:1 in
+    Builder.ret bf
+      (Some (Builder.call bf "odd_hop" [ Builder.load bf (Builder.arg 0) ]));
+    let bg = Builder.create m ~name:"odd_hop" ~nparams:1 in
+    Builder.ret bg
+      (Some (Builder.call bg "even_hop" [ Builder.load bg (Builder.arg 0) ]));
+    Verifier.check_module m;
+    m
+  in
+  let m = build () in
+  let env = Shape.analyze m in
+  (match (Shape.summary env "even_hop", Shape.summary env "odd_hop") with
+  | Some f, Some g ->
+      Alcotest.(check int) "even_hop saturated" Shape.depth_cap
+        f.Shape.chases.(0);
+      Alcotest.(check int) "odd_hop saturated" Shape.depth_cap
+        g.Shape.chases.(0)
+  | _ -> Alcotest.fail "missing shape summaries");
+  Alcotest.(check string) "mutual recursion deterministic"
+    (Shape.dump env m)
+    (Shape.dump (Shape.analyze (build ())) (build ()))
+
+(* -- access-pattern edge cases --------------------------------------- *)
+
+let test_classify_zero_trip_loop () =
+  (* A counted loop whose bound is 0 never runs, but its strided load
+     must still classify deterministically from static evidence. *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:0 in
+  let base = Builder.call b "malloc" [ Ir.Const 64 ] in
+  let acc =
+    Builder.for_loop_acc b ~init:(Ir.Const 0) ~bound:(Ir.Const 0)
+      ~accs:[ Ir.Const 0 ]
+      (fun b ~iv ~accs ->
+        [
+          Builder.add b (List.hd accs)
+            (Builder.load b (Builder.gep b base ~index:iv ~scale:8 ()));
+        ])
+  in
+  Builder.ret b (Some (List.hd acc));
+  Verifier.check_module m;
+  let f = Ir.find_func m "f" in
+  let t = Access_pattern.analyze ~shapes:(Shape.analyze m) f in
+  match Access_pattern.sites t with
+  | [ s ] ->
+      Alcotest.(check bool) "zero-trip strided load is streaming" true
+        (s.Access_pattern.cls = Access_pattern.Streaming);
+      Alcotest.(check (option int)) "stride survives" (Some 8)
+        s.Access_pattern.stride
+  | _ -> Alcotest.fail "expected exactly one site"
+
+let test_classify_phi_address_chain () =
+  (* The chased pointer flows through a phi: both arms derive from the
+     same loaded pointer, so the chain must survive the merge. *)
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:1 in
+  let h = Builder.load b (Builder.arg 0) in
+  let l = Builder.add_block b "l" in
+  let r = Builder.add_block b "r" in
+  let join = Builder.add_block b "join" in
+  Builder.cbr b (Builder.arg 0) l r;
+  Builder.set_block b l;
+  let p1 = Builder.gep b h ~index:(Ir.Const 0) ~scale:8 () in
+  Builder.br b join;
+  Builder.set_block b r;
+  let p2 = Builder.gep b h ~index:(Ir.Const 0) ~scale:8 ~offset:8 () in
+  Builder.br b join;
+  Builder.set_block b join;
+  let p = Builder.phi b [ (l, p1); (r, p2) ] in
+  let v = Builder.load b p in
+  Builder.ret b (Some v);
+  Verifier.check_module m;
+  let f = Ir.find_func m "f" in
+  let t = Access_pattern.analyze f in
+  match Access_pattern.site_of t (reg v) with
+  | Some s ->
+      Alcotest.(check int) "chain survives the phi" 1
+        s.Access_pattern.chain_depth;
+      Alcotest.(check bool) "classifies pointer-chase" true
+        (s.Access_pattern.cls = Access_pattern.Pointer_chase)
+  | None -> Alcotest.fail "phi-addressed load not classified"
+
+(* -- summary lint causes ---------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_lint_names_direct_unknown () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"f" ~nparams:1 in
+  ignore (Builder.call b "libc_mystery" [ Builder.arg 0 ]);
+  Builder.ret b None;
+  let env = Summary.compute m in
+  match Summary.lint m env with
+  | [ line ] ->
+      Alcotest.(check bool) "names the unknown callee" true
+        (contains ~sub:"unknown callee(s): libc_mystery" line)
+  | lines -> Alcotest.fail (String.concat "; " lines)
+
+let test_lint_names_opaque_call () =
+  let m = Ir.create_module () in
+  let bg = Builder.create m ~name:"g" ~nparams:1 in
+  ignore (Builder.call bg "libc_mystery" [ Builder.arg 0 ]);
+  Builder.ret bg None;
+  let bf = Builder.create m ~name:"f" ~nparams:1 in
+  ignore (Builder.call bf "g" [ Builder.arg 0 ]);
+  Builder.ret bf None;
+  let env = Summary.compute m in
+  let lines = Summary.lint m env in
+  match List.find_opt (fun l -> contains ~sub:"f:" l) lines with
+  | Some line ->
+      Alcotest.(check bool) "blames the opaque callee by name" true
+        (contains ~sub:"opaque call(s): g reaches unknown libc_mystery" line)
+  | None -> Alcotest.fail ("no lint line for f: " ^ String.concat "; " lines)
+
+let test_lint_names_recursive_cap () =
+  let m = Ir.create_module () in
+  let b = Builder.create m ~name:"spin" ~nparams:1 in
+  Builder.ret b (Some (Builder.call b "spin" [ Builder.load b (Builder.arg 0) ]));
+  (* round cap 0 forces the SCC fixpoint tripwire: the only bottom cause
+     with no unknown callee anywhere in reach *)
+  let env = Summary.compute ~max_rounds:0 m in
+  match Summary.lint m env with
+  | [ line ] ->
+      Alcotest.(check bool) "blames the fixpoint round cap" true
+        (contains ~sub:"recursive SCC tripped the fixpoint round cap" line)
+  | lines -> Alcotest.fail (String.concat "; " lines)
+
 let suite =
   ( "analysis",
     [
@@ -559,4 +828,23 @@ let suite =
       Alcotest.test_case "summary free escapes argument" `Quick
         test_summary_free_escapes_argument;
       Alcotest.test_case "alias uses summaries" `Quick test_alias_uses_summaries;
+      Alcotest.test_case "shape struct kinds" `Quick test_shape_struct_kinds;
+      Alcotest.test_case "shape helper ret-hops + context" `Quick
+        test_shape_helper_ret_hops_and_context;
+      Alcotest.test_case "shape upgrades helper classification" `Quick
+        test_shape_upgrades_helper_classification;
+      Alcotest.test_case "shape recursive SCC saturates" `Quick
+        test_shape_recursive_scc_saturates;
+      Alcotest.test_case "shape mutual recursion stable" `Quick
+        test_shape_mutual_recursion_no_oscillation;
+      Alcotest.test_case "classify zero-trip loop" `Quick
+        test_classify_zero_trip_loop;
+      Alcotest.test_case "classify phi address chain" `Quick
+        test_classify_phi_address_chain;
+      Alcotest.test_case "lint names direct unknown" `Quick
+        test_lint_names_direct_unknown;
+      Alcotest.test_case "lint names opaque call" `Quick
+        test_lint_names_opaque_call;
+      Alcotest.test_case "lint names recursive cap" `Quick
+        test_lint_names_recursive_cap;
     ] )

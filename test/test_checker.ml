@@ -564,6 +564,73 @@ let test_routing_flavor_tampering_caught () =
   Alcotest.(check bool) "coverage check fails too" true
     (Coverage.check_module m <> [])
 
+(* -- shape-fact independence ------------------------------------------ *)
+
+let test_lying_shape_caught_by_shadow_not_checker () =
+  (* The helper loads a freshly allocated, never-chased pointer: honest
+     shape facts leave its site unrouted. Inject a lying calling context
+     claiming a deep chain: the route pass trusts it and moves the site
+     to the page path. The structural checker and the routing-witness
+     re-proof must still accept the module — they never read shape facts
+     and the rewrite is mechanically sound — while the dynamic shadow
+     audit observes depth 0 at the site and reports the mismatch. *)
+  let m = Ir.create_module () in
+  let bh = Builder.create m ~name:"peek" ~nparams:1 in
+  let hload = Builder.load bh (Builder.arg 0) in
+  Builder.ret bh (Some hload);
+  let b = Builder.create m ~name:"main" ~nparams:0 in
+  let arena = Builder.call b "malloc" [ Ir.Const 64 ] in
+  Builder.store b (Ir.Const 5) ~ptr:arena;
+  let acc =
+    Builder.for_loop_acc b ~init:(Ir.Const 0) ~bound:(Ir.Const 4)
+      ~accs:[ Ir.Const 0 ]
+      (fun b ~iv:_ ~accs ->
+        [ Builder.add b (List.hd accs) (Builder.call b "peek" [ arena ]) ])
+  in
+  Builder.ret b (Some (List.hd acc));
+  Verifier.check_module m;
+  let load_id = match hload with Ir.Reg id -> id | _ -> assert false in
+  ignore (Trackfm.Init_pass.run m);
+  ignore (Trackfm.Libc_pass.run m);
+  let summaries = Tfm_analysis.Summary.compute m in
+  ignore (Trackfm.Guard_pass.run ~summaries m);
+  let shapes = Tfm_analysis.Shape.analyze m in
+  let honest =
+    Trackfm.Route_pass.run ~summaries ~shapes ~mode:`Static m
+  in
+  Alcotest.(check int) "honest shape facts route nothing" 0
+    honest.Trackfm.Route_pass.routed;
+  Tfm_analysis.Shape.set_context shapes "peek"
+    { Tfm_analysis.Shape.arg_depth = [| 3 |]; arg_struct = [| Tfm_analysis.Shape.Gtop |] };
+  let lied = Trackfm.Route_pass.run ~summaries ~shapes ~mode:`Static m in
+  Alcotest.(check int) "the lie routes the helper site" 1
+    lied.Trackfm.Route_pass.routed;
+  (* checker independence: both re-proofs accept the misrouted module *)
+  Coverage.enforce m;
+  Alcotest.(check (list string)) "routing witnesses re-prove" []
+    (Coverage.check_routing m lied.Trackfm.Route_pass.routes);
+  (* the dynamic audit is what catches it *)
+  let clock = Clock.create () in
+  let store = Memstore.create () in
+  let rt =
+    Trackfm.Runtime.create Cost_model.default clock store ~object_size:4096
+      ~local_budget:65_536
+  in
+  let sh = Shadow.create () in
+  let r = Interp.run ~shadow:sh (Backend.trackfm rt store) m ~entry:"main" in
+  Alcotest.(check int) "misrouted program still computes correctly" 20
+    r.Interp.ret;
+  (match
+     Shadow.check sh ~func:"peek" ~instr:load_id ~cls:"pointer-chase"
+   with
+  | Shadow.Mismatch _ -> ()
+  | Shadow.Confirmed | Shadow.Unchecked ->
+      Alcotest.fail "shadow audit failed to catch the lying shape facts");
+  (* and the honest class for the same record would have been accepted *)
+  match Shadow.check sh ~func:"peek" ~instr:load_id ~cls:"unknown" with
+  | Shadow.Unchecked | Shadow.Confirmed -> ()
+  | Shadow.Mismatch e -> Alcotest.fail ("honest class rejected: " ^ e)
+
 (* -- guard pass report invariant --------------------------------------- *)
 
 let test_guard_report_invariant () =
@@ -636,6 +703,8 @@ let suite =
         test_witness_recheck_rejects_tampering;
       Alcotest.test_case "guard report invariant" `Quick
         test_guard_report_invariant;
+      Alcotest.test_case "lying shape facts caught by shadow, not checker"
+        `Quick test_lying_shape_caught_by_shadow_not_checker;
       Alcotest.test_case "cross-call elision needs summaries" `Quick
         test_cross_call_elision_needs_summaries;
       Alcotest.test_case "cross-call elision respects impure helper" `Quick

@@ -126,6 +126,7 @@ let run_tfm ?size_classes m ~object_size ~budget ~chunk_mode =
       cost = Cost_model.default;
       elide = true;
       summaries = true;
+      shapes = true;
       route = `Off;
       route_hotspots = [];
       check = true;

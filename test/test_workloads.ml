@@ -125,6 +125,42 @@ let test_analytics_all_backends () =
     ~ws:(Analytics.working_set_bytes p)
     (fun () -> Analytics.build p ())
 
+let test_llist_all_backends () =
+  let nodes = 600 and tnodes = 257 in
+  let ws = Llist.working_set_bytes ~nodes ~tnodes in
+  check_all_backends ~name:"llist"
+    ~expected:(Llist.checksum ~nodes ~tnodes)
+    ~ws
+    (fun () -> Llist.build ~nodes ~tnodes ())
+
+(* The whole point of the workload: its dependent loads are hidden in
+   helpers, so static routing finds them only through the shape
+   analysis. With shapes off the static router must route nothing. *)
+let test_llist_routes_via_shapes () =
+  let nodes = 400 and tnodes = 127 in
+  let build () = Llist.build ~nodes ~tnodes () in
+  let ws = Llist.working_set_bytes ~nodes ~tnodes in
+  let opts =
+    {
+      (Driver.tfm_defaults ~local_budget:(budget_frac ws 30)) with
+      route = `Static;
+    }
+  in
+  let o, report = Driver.run_trackfm build opts in
+  Alcotest.(check int) "llist routed checksum"
+    (Llist.checksum ~nodes ~tnodes)
+    o.Driver.ret;
+  Alcotest.(check bool) "helper-hidden sites statically routed" true
+    (report.Trackfm.Pipeline.routing.Trackfm.Route_pass.routed >= 1);
+  let o_off, report_off =
+    Driver.run_trackfm build { opts with use_shapes = false }
+  in
+  Alcotest.(check int) "llist unrouted checksum"
+    (Llist.checksum ~nodes ~tnodes)
+    o_off.Driver.ret;
+  Alcotest.(check int) "no static routes without shape facts" 0
+    report_off.Trackfm.Pipeline.routing.Trackfm.Route_pass.routed
+
 let test_analytics_aifm_port_matches () =
   let p = Analytics.default_params ~rows:8_000 in
   let ws = Analytics.working_set_bytes p in
@@ -200,6 +236,9 @@ let suite =
       Alcotest.test_case "memcached x backends" `Quick test_memcached_all_backends;
       Alcotest.test_case "memcached skews" `Quick test_memcached_skews_valid;
       Alcotest.test_case "analytics x backends" `Quick test_analytics_all_backends;
+      Alcotest.test_case "llist x backends" `Quick test_llist_all_backends;
+      Alcotest.test_case "llist routes via shapes" `Quick
+        test_llist_routes_via_shapes;
       Alcotest.test_case "analytics AIFM port" `Quick
         test_analytics_aifm_port_matches;
       Alcotest.test_case "nas x backends" `Slow test_nas_kernels_all_backends;
